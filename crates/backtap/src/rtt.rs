@@ -1,0 +1,112 @@
+//! Per-hop RTT estimation.
+//!
+//! RTT here means **send-decision → feedback** time: the clock starts when
+//! the transport releases a cell to the link layer (so queueing at the
+//! node's own egress also counts — see DESIGN.md §4) and stops when the
+//! successor's feedback for that cell arrives. `baseRtt` is the minimum
+//! ever observed, as in TCP Vegas.
+
+use simcore::time::SimDuration;
+
+/// Tracks base (minimum), last, and aggregate RTT statistics for one hop.
+#[derive(Clone, Debug, Default)]
+pub struct RttEstimator {
+    base: Option<SimDuration>,
+    last: Option<SimDuration>,
+    max: Option<SimDuration>,
+    count: u64,
+    total: SimDuration,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, rtt: SimDuration) {
+        self.base = Some(match self.base {
+            Some(b) => b.min(rtt),
+            None => rtt,
+        });
+        self.max = Some(match self.max {
+            Some(m) => m.max(rtt),
+            None => rtt,
+        });
+        self.last = Some(rtt);
+        self.count += 1;
+        self.total += rtt;
+    }
+
+    /// The minimum RTT ever observed (`baseRtt`), if any sample exists.
+    pub fn base(&self) -> Option<SimDuration> {
+        self.base
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<SimDuration> {
+        self.last
+    }
+
+    /// The largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.max
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples, or `None` before the first.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.total / self.count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_estimator() {
+        let e = RttEstimator::new();
+        assert_eq!(e.base(), None);
+        assert_eq!(e.last(), None);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn base_is_running_minimum() {
+        let mut e = RttEstimator::new();
+        e.record(ms(10));
+        assert_eq!(e.base(), Some(ms(10)));
+        e.record(ms(15));
+        assert_eq!(e.base(), Some(ms(10)));
+        e.record(ms(7));
+        assert_eq!(e.base(), Some(ms(7)));
+        assert_eq!(e.max(), Some(ms(15)));
+        assert_eq!(e.last(), Some(ms(7)));
+    }
+
+    #[test]
+    fn mean_and_count() {
+        let mut e = RttEstimator::new();
+        for v in [2, 4, 6] {
+            e.record(ms(v));
+        }
+        assert_eq!(e.count(), 3);
+        assert_eq!(e.mean(), Some(ms(4)));
+    }
+}

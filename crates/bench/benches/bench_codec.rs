@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the cell codec and onion layering (P1 in
+//! DESIGN.md §5) — the per-cell costs a real relay implementation would
+//! pay on its fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use torcell::prelude::*;
+
+fn bench_cell_codec(c: &mut Criterion) {
+    let cell = Cell::relay_data(CircuitId(7), StreamId(1), vec![0xAB; RELAY_DATA_MAX]);
+    let wire = encode_cell(&cell);
+
+    let mut group = c.benchmark_group("torcell/codec");
+    group.throughput(Throughput::Bytes(CELL_LEN as u64));
+    group.bench_function("encode_data_cell", |b| {
+        b.iter(|| encode_cell(&cell));
+    });
+    group.bench_function("decode_data_cell", |b| {
+        b.iter(|| decode_cell(&wire).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_feedback_codec(c: &mut Criterion) {
+    let fb = Feedback {
+        circ: CircuitId(9),
+        seq: 123_456,
+    };
+    let wire = encode_feedback(&fb);
+    let mut group = c.benchmark_group("torcell/feedback");
+    group.throughput(Throughput::Bytes(FEEDBACK_WIRE_LEN as u64));
+    group.bench_function("encode", |b| b.iter(|| encode_feedback(&fb)));
+    group.bench_function("decode", |b| b.iter(|| decode_feedback(&wire).expect("valid")));
+    group.finish();
+}
+
+fn bench_onion_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("torcell/onion");
+    group.throughput(Throughput::Bytes(RELAY_DATA_MAX as u64));
+    group.bench_function("wrap_3_hops_and_strip", |b| {
+        let keys = [LayerKey(11), LayerKey(22), LayerKey(33)];
+        b.iter(|| {
+            let mut route = OnionRoute::new();
+            let mut relays: Vec<RelayCrypt> = keys
+                .iter()
+                .map(|&k| {
+                    route.push_layer(k);
+                    RelayCrypt::new(k)
+                })
+                .collect();
+            let mut cell = RelayCell::data(StreamId(1), vec![0x5A; RELAY_DATA_MAX]);
+            route.wrap_for_hop(2, &mut cell);
+            for relay in &mut relays {
+                if relay.strip_forward(&mut cell) {
+                    break;
+                }
+            }
+            assert!(cell.digest_ok());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell_codec, bench_feedback_codec, bench_onion_layers);
+criterion_main!(benches);

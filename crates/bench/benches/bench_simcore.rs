@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the simulation kernel (P1 in
+//! DESIGN.md §5): raw event throughput bounds how large an overlay
+//! experiment the reproduction can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcore::prelude::*;
+
+/// A world that keeps `fanout` self-rescheduling event chains alive.
+struct Churn {
+    remaining: u64,
+}
+
+impl World for Churn {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Context<'_, u32>, chain: u32) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(SimDuration::from_micros(u64::from(chain % 7 + 1)), chain);
+        }
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simcore/event_loop");
+    group.sample_size(20);
+    for &chains in &[1u32, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("events_100k", chains),
+            &chains,
+            |b, &chains| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(Churn { remaining: 100_000 });
+                    for chain in 0..chains {
+                        sim.schedule_at(SimTime::ZERO, chain);
+                    }
+                    sim.run();
+                    assert!(sim.events_processed() >= 100_000);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    c.bench_function("simcore/queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = simcore::event::EventQueue::with_capacity(10_000);
+            let mut x: u64 = 0x9E3779B97F4A7C15;
+            for i in 0..10_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                q.push(SimTime::from_nanos(x % 1_000_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 10_000);
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("simcore/rng_derive_and_draw", |b| {
+        let root = SimRng::seed_from(7);
+        b.iter(|| {
+            let mut r = root.derive_indexed("bench", 3);
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(r.u64());
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_loop, bench_queue_ops, bench_rng);
+criterion_main!(benches);

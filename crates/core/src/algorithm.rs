@@ -1,0 +1,151 @@
+//! Algorithm selection: constructors and overlay factories for
+//! CircuitStart and every baseline the evaluation compares against.
+
+use backtap::cc::{CongestionControl, FixedWindowCc, HalvingExit, UnlimitedCc};
+use backtap::config::CcConfig;
+use backtap::delay_cc::DelayCc;
+use relaynet::ids::Direction;
+use relaynet::node::CcFactory;
+
+use crate::adaptive::AdaptiveCc;
+use crate::exit::CircuitStartExit;
+
+/// Constructs the CircuitStart controller: discrete-round doubling driven
+/// by per-hop feedback, delay-triggered exit, **overshoot compensation**,
+/// then Vegas congestion avoidance with the **backpropagation rule** (the
+/// window snaps to the successor's demonstrated forwarding rate instead of
+/// creeping down — how a distant bottleneck's compensation reaches the
+/// source hop by hop).
+pub fn circuit_start_cc(cfg: CcConfig) -> DelayCc {
+    let mut cc = DelayCc::with_ramp("circuitstart", cfg, Box::new(CircuitStartExit));
+    cc.enable_ca_recompensation(8);
+    cc
+}
+
+/// Constructs the paper's baseline ("without CircuitStart"): identical
+/// machinery but the traditional halving exit.
+pub fn classic_cc(cfg: CcConfig) -> DelayCc {
+    DelayCc::with_ramp("backtap-classic", cfg, Box::new(HalvingExit))
+}
+
+/// Every sender-side algorithm the harness can run. The feedback
+/// machinery, relays, and topology are identical across variants — only
+/// the window policy differs, which is what makes the comparisons
+/// apples-to-apples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// The paper's contribution.
+    CircuitStart,
+    /// The paper's contribution plus the future-work extension: re-enter
+    /// the ramp when congestion avoidance detects persistent spare
+    /// capacity (e.g. after a mid-flow bandwidth increase).
+    AdaptiveCircuitStart,
+    /// "Without CircuitStart": same ramp, traditional halving exit.
+    ClassicBacktap,
+    /// No startup phase at all; the window opens at the given size
+    /// (JumpStart-style, cited by the paper as unsuited to multi-hop).
+    JumpStart(u32),
+    /// Constant per-hop window (vanilla-Tor-flavoured ablation).
+    FixedWindow(u32),
+    /// Ramp disabled, window starts at `init_cwnd` in congestion
+    /// avoidance (no-slow-start ablation: converges by ±1 per RTT only).
+    NoSlowStart,
+}
+
+impl Algorithm {
+    /// A short stable identifier for file names and report rows.
+    pub fn key(&self) -> String {
+        match self {
+            Algorithm::CircuitStart => "circuitstart".to_string(),
+            Algorithm::AdaptiveCircuitStart => "adaptive-circuitstart".to_string(),
+            Algorithm::ClassicBacktap => "classic".to_string(),
+            Algorithm::JumpStart(w) => format!("jumpstart-{w}"),
+            Algorithm::FixedWindow(w) => format!("fixed-{w}"),
+            Algorithm::NoSlowStart => "no-slow-start".to_string(),
+        }
+    }
+
+    /// Builds the controller for one forward hop.
+    pub fn make_controller(&self, cfg: CcConfig) -> Box<dyn CongestionControl + Send> {
+        match *self {
+            Algorithm::CircuitStart => Box::new(circuit_start_cc(cfg)),
+            Algorithm::AdaptiveCircuitStart => {
+                Box::new(AdaptiveCc::new(circuit_start_cc(cfg), Default::default()))
+            }
+            Algorithm::ClassicBacktap => Box::new(classic_cc(cfg)),
+            Algorithm::JumpStart(w) => Box::new(DelayCc::without_ramp("jumpstart", cfg, w)),
+            Algorithm::FixedWindow(w) => Box::new(FixedWindowCc::new(w)),
+            Algorithm::NoSlowStart => {
+                Box::new(DelayCc::without_ramp("no-slow-start", cfg, cfg.init_cwnd))
+            }
+        }
+    }
+
+    /// An overlay factory running this algorithm on every forward hop;
+    /// backward (control-only) hops are unwindowed, as in the paper's
+    /// one-directional bulk evaluation.
+    pub fn factory(&self, cfg: CcConfig) -> CcFactory {
+        let algo = *self;
+        Box::new(move |ctx| match ctx.direction {
+            Direction::Forward => algo.make_controller(cfg),
+            Direction::Backward => Box::new(UnlimitedCc),
+        })
+    }
+}
+
+/// Convenience: the CircuitStart overlay factory with given parameters.
+pub fn circuit_start_factory(cfg: CcConfig) -> CcFactory {
+    Algorithm::CircuitStart.factory(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backtap::cc::Phase;
+
+    #[test]
+    fn keys_are_stable() {
+        assert_eq!(Algorithm::CircuitStart.key(), "circuitstart");
+        assert_eq!(Algorithm::ClassicBacktap.key(), "classic");
+        assert_eq!(Algorithm::JumpStart(100).key(), "jumpstart-100");
+        assert_eq!(Algorithm::FixedWindow(8).key(), "fixed-8");
+        assert_eq!(Algorithm::NoSlowStart.key(), "no-slow-start");
+        assert_eq!(Algorithm::AdaptiveCircuitStart.key(), "adaptive-circuitstart");
+    }
+
+    #[test]
+    fn controllers_start_in_expected_phase() {
+        let cfg = CcConfig::default();
+        assert_eq!(
+            Algorithm::CircuitStart.make_controller(cfg).phase(),
+            Phase::SlowStart
+        );
+        assert_eq!(
+            Algorithm::ClassicBacktap.make_controller(cfg).phase(),
+            Phase::SlowStart
+        );
+        assert_eq!(
+            Algorithm::JumpStart(64).make_controller(cfg).phase(),
+            Phase::CongestionAvoidance
+        );
+        assert_eq!(
+            Algorithm::NoSlowStart.make_controller(cfg).phase(),
+            Phase::CongestionAvoidance
+        );
+    }
+
+    #[test]
+    fn jumpstart_window_opens_wide() {
+        let cc = Algorithm::JumpStart(64).make_controller(CcConfig::default());
+        assert_eq!(cc.cwnd(), 64);
+        let cc2 = Algorithm::NoSlowStart.make_controller(CcConfig::default());
+        assert_eq!(cc2.cwnd(), 2);
+    }
+
+    #[test]
+    fn circuit_start_cc_uses_compensation_name() {
+        let cc = circuit_start_cc(CcConfig::default());
+        use backtap::cc::CongestionControl as _;
+        assert_eq!(cc.name(), "circuitstart");
+    }
+}

@@ -1,0 +1,75 @@
+//! Overshoot compensation — the heart of CircuitStart.
+//!
+//! When the delay signal (`diff > γ`) fires during ramp-up, the window has
+//! typically *overshot* the path's capacity, especially when the
+//! bottleneck is several hops away: the doubling train was already in
+//! flight when the congestion evidence started travelling back.
+//!
+//! Traditional slow start would halve the window — an essentially
+//! arbitrary guess. CircuitStart instead sets the window to **the amount
+//! of data acknowledged within the current round so far**: the cells of
+//! the current train whose feedback has already returned form exactly the
+//! packet train the successor could forward *without additional delay*,
+//! which is the minimal window that still fully utilizes the path — a
+//! direct measurement of the optimal window (paper, §2).
+
+use backtap::cc::RampExit;
+
+/// The CircuitStart ramp-exit policy (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use backtap::cc::RampExit;
+/// use circuitstart::exit::CircuitStartExit;
+///
+/// let exit = CircuitStartExit::default();
+/// // The window overshot to 64; only 23 cells of the round came back
+/// // before the delay signal fired → the path sustains 23 cells.
+/// assert_eq!(exit.exit_cwnd(64, 23), 23);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CircuitStartExit;
+
+impl RampExit for CircuitStartExit {
+    fn name(&self) -> &'static str {
+        "circuitstart-compensation"
+    }
+
+    fn exit_cwnd(&self, _cwnd_at_exit: u32, acked_in_round: u32) -> u32 {
+        // The caller (DelayCc) clamps to [min_cwnd, max_cwnd]; an
+        // exit on the very first feedback of a round yields 1 and is
+        // clamped up to the minimum window of 2.
+        acked_in_round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backtap::cc::{HalvingExit, RampExit};
+
+    #[test]
+    fn compensation_uses_acked_count_not_cwnd() {
+        let e = CircuitStartExit;
+        assert_eq!(e.exit_cwnd(128, 40), 40);
+        assert_eq!(e.exit_cwnd(8, 40), 40, "cwnd at exit is irrelevant");
+        assert_eq!(e.exit_cwnd(128, 0), 0, "clamping happens in the controller");
+    }
+
+    #[test]
+    fn differs_from_halving_exactly_where_the_paper_says() {
+        // Far-away bottleneck: huge overshoot, few cells confirmed.
+        // Halving still leaves 4× the sustainable window; compensation
+        // lands on the measurement.
+        let overshoot = 128;
+        let confirmed = 16;
+        assert_eq!(HalvingExit.exit_cwnd(overshoot, confirmed), 64);
+        assert_eq!(CircuitStartExit.exit_cwnd(overshoot, confirmed), 16);
+    }
+
+    #[test]
+    fn name_identifies_algorithm() {
+        assert_eq!(CircuitStartExit.name(), "circuitstart-compensation");
+    }
+}

@@ -1,0 +1,308 @@
+//! The paper's analytical baseline: the optimal congestion window of a
+//! multi-hop source.
+//!
+//! # Model
+//!
+//! A circuit crosses links `L0 … L_{n−1}` (client → … → server), link `i`
+//! having rate `rᵢ` and one-way propagation delay `dᵢ`. Cells are `C`
+//! bytes, feedback frames `F` bytes. Store-and-forward relays emit
+//! feedback the instant they forward (or consume) a cell.
+//!
+//! **Per-hop base RTT.** A cell released at hop `i` on an idle path is
+//! fully received by the successor after `8C/rᵢ + dᵢ`. The successor's
+//! feedback fires the instant the cell is physically *forwarded* — i.e.
+//! when it finishes serializing onto link `i+1` (`8C/rᵢ₊₁` later) — and
+//! the feedback frame takes `8F/rᵢ + dᵢ` back. An endpoint consumes
+//! instead of forwarding, so the last hop has no `rᵢ₊₁` term:
+//!
+//! ```text
+//! RTTᵢ = 8·(C + F)/rᵢ + 2·dᵢ + 8·C/rᵢ₊₁   (i < n−1)
+//! RTTᵢ = 8·(C + F)/rᵢ + 2·dᵢ              (i = n−1)
+//! ```
+//!
+//! **Optimal window.** In steady state every hop of a single circuit
+//! carries the bottleneck rate `r_b = min rᵢ`. By Little's law, a hop
+//! sustains throughput `Wᵢ·C/RTTᵢ` while its window `Wᵢ` keeps the
+//! feedback loop full, so the *minimal fully-utilizing* window — the
+//! quantity CircuitStart's overshoot compensation estimates — is
+//!
+//! ```text
+//! Wᵢ* = (r_b/8) · RTTᵢ / C   cells.
+//! ```
+//!
+//! Anything larger only builds queues (raising `diff` past γ); anything
+//! smaller starves the bottleneck. The source's `W₀*` is the dashed line
+//! in Figure 1's upper panels. The model's knee property is verified
+//! against simulation in `tests/optimal_model.rs`.
+
+use netsim::bandwidth::Bandwidth;
+use netsim::link::LinkConfig;
+use simcore::time::SimDuration;
+use torcell::cell::{CELL_LEN, FEEDBACK_WIRE_LEN, RELAY_DATA_MAX};
+
+/// One link of the modelled path.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkModel {
+    /// Link rate.
+    pub rate: Bandwidth,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+}
+
+/// Closed-form properties of a multi-hop path.
+#[derive(Clone, Debug)]
+pub struct PathModel {
+    links: Vec<LinkModel>,
+    cell_bytes: u32,
+    feedback_bytes: u32,
+}
+
+impl PathModel {
+    /// Builds a model with the overlay's wire sizes (512-byte cells,
+    /// 20-byte feedback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is empty.
+    pub fn new(links: Vec<LinkModel>) -> PathModel {
+        assert!(!links.is_empty(), "a path needs at least one link");
+        PathModel {
+            links,
+            cell_bytes: CELL_LEN as u32,
+            feedback_bytes: FEEDBACK_WIRE_LEN as u32,
+        }
+    }
+
+    /// Builds the model from the hop configs a
+    /// [`relaynet::PathScenario`] uses, so experiment and model always
+    /// agree on parameters.
+    pub fn from_hops(hops: &[LinkConfig]) -> PathModel {
+        PathModel::new(
+            hops.iter()
+                .map(|h| LinkModel {
+                    rate: h.rate,
+                    delay: h.delay,
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `false` by construction.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[LinkModel] {
+        &self.links
+    }
+
+    /// Index of the slowest link (first on ties).
+    pub fn bottleneck_index(&self) -> usize {
+        let mut best = 0;
+        for (i, l) in self.links.iter().enumerate() {
+            if l.rate < self.links[best].rate {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Rate of the slowest link.
+    pub fn bottleneck_rate(&self) -> Bandwidth {
+        self.links[self.bottleneck_index()].rate
+    }
+
+    /// The idle-path feedback RTT of hop `i` (see the module docs for the
+    /// formula; the successor's forwarding serialization counts for all
+    /// but the final, consuming hop).
+    pub fn hop_base_rtt(&self, i: usize) -> SimDuration {
+        let l = &self.links[i];
+        let mut rtt = l.rate.transmission_time(self.cell_bytes)
+            + l.rate.transmission_time(self.feedback_bytes)
+            + l.delay
+            + l.delay;
+        if let Some(next) = self.links.get(i + 1) {
+            rtt += next.rate.transmission_time(self.cell_bytes);
+        }
+        rtt
+    }
+
+    /// The minimal fully-utilizing window of hop `i`, in cells (may be
+    /// fractional; senders round up).
+    pub fn optimal_cwnd_cells(&self, i: usize) -> f64 {
+        let r_b = self.bottleneck_rate().bytes_per_sec_f64();
+        r_b * self.hop_base_rtt(i).as_secs_f64() / f64::from(self.cell_bytes)
+    }
+
+    /// The source's optimal window in cells (hop 0) — the dashed line in
+    /// Figure 1.
+    pub fn optimal_source_cwnd_cells(&self) -> f64 {
+        self.optimal_cwnd_cells(0)
+    }
+
+    /// The source's optimal window in KiB (for plotting against the
+    /// paper's axis).
+    pub fn optimal_source_cwnd_kib(&self) -> f64 {
+        self.optimal_source_cwnd_cells() * f64::from(self.cell_bytes) / 1024.0
+    }
+
+    /// Lower bound on the transfer time of `file_bytes` of payload,
+    /// ignoring startup: pipeline fill for the first cell plus bottleneck
+    /// pacing for the rest.
+    pub fn ideal_transfer_time(&self, file_bytes: u64) -> SimDuration {
+        assert!(file_bytes > 0, "empty transfer");
+        let cells = file_bytes.div_ceil(RELAY_DATA_MAX as u64);
+        let mut first = SimDuration::ZERO;
+        for l in &self.links {
+            first = first + l.rate.transmission_time(self.cell_bytes) + l.delay;
+        }
+        let pace = self.bottleneck_rate().transmission_time(self.cell_bytes);
+        first + pace * (cells - 1)
+    }
+
+    /// Upper bound on achievable goodput (bottleneck rate scaled by the
+    /// payload/wire ratio), bits per second.
+    pub fn max_goodput_bps(&self) -> f64 {
+        self.bottleneck_rate().bps() as f64 * (RELAY_DATA_MAX as f64 / self.cell_bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn model(rates_mbps: &[u64], delay_ms: u64) -> PathModel {
+        PathModel::new(
+            rates_mbps
+                .iter()
+                .map(|&m| LinkModel {
+                    rate: Bandwidth::from_mbps(m),
+                    delay: ms(delay_ms),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn bottleneck_detection() {
+        let m = model(&[100, 20, 100, 100], 5);
+        assert_eq!(m.bottleneck_index(), 1);
+        assert_eq!(m.bottleneck_rate(), Bandwidth::from_mbps(20));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn bottleneck_tie_takes_first() {
+        let m = model(&[10, 10, 50], 1);
+        assert_eq!(m.bottleneck_index(), 0);
+    }
+
+    #[test]
+    fn hop_base_rtt_formula() {
+        // 100 Mbit/s, 5 ms: 8·532/100e6 s = 42.56 us, + 10 ms.
+        let m = model(&[100], 5);
+        let rtt = m.hop_base_rtt(0);
+        assert_eq!(rtt.as_nanos(), 10_000_000 + 40_960 + 1_600);
+    }
+
+    #[test]
+    fn optimal_window_little_law() {
+        // Bottleneck 20 Mbit/s = 2.5 MB/s; hop-0 RTT ≈ 10.0426 ms at
+        // 100 Mbit/s access. W* = 2.5e6 · 0.0100426 / 512 ≈ 49.0 cells.
+        let m = model(&[100, 20, 100, 100], 5);
+        let w = m.optimal_source_cwnd_cells();
+        assert!((48.0..50.5).contains(&w), "W* ≈ 49 cells, got {w}");
+        let kib = m.optimal_source_cwnd_kib();
+        assert!((24.0..25.3).contains(&kib), "≈ 24.5 KiB, got {kib}");
+    }
+
+    #[test]
+    fn optimal_window_grows_with_rtt() {
+        let short = model(&[100, 20, 100], 2);
+        let long = model(&[100, 20, 100], 20);
+        assert!(long.optimal_source_cwnd_cells() > 4.0 * short.optimal_source_cwnd_cells());
+    }
+
+    #[test]
+    fn optimal_window_nearly_independent_of_bottleneck_position() {
+        // The source window depends on hop-0 RTT and the bottleneck rate;
+        // the bottleneck's position only enters through the (small)
+        // forwarding-serialization term, so the dashed lines of Figure 1's
+        // two panels nearly coincide.
+        let near = model(&[100, 20, 100, 100], 5);
+        let far = model(&[100, 100, 100, 20], 5);
+        let a = near.optimal_source_cwnd_cells();
+        let b = far.optimal_source_cwnd_cells();
+        assert!(((a - b) / a).abs() < 0.02, "{a} vs {b}");
+    }
+
+    #[test]
+    fn slow_local_link_dominates_own_rtt() {
+        let m = model(&[5, 100], 5);
+        // Hop 0 at 5 Mbit/s: serialization (851.2 us + 32 us) is a visible
+        // fraction of the 10 ms propagation.
+        let rtt = m.hop_base_rtt(0);
+        assert!(rtt > ms(10) && rtt < ms(11));
+        // Bottleneck is the local link: W* = r_b·RTT/C.
+        let w = m.optimal_cwnd_cells(0);
+        assert!((13.0..14.0).contains(&w), "got {w}");
+    }
+
+    #[test]
+    fn ideal_transfer_time_components() {
+        let m = model(&[100, 20, 100, 100], 5);
+        // 496 bytes → exactly 1 cell: pipeline fill only.
+        let one = m.ideal_transfer_time(496);
+        let fill = m.ideal_transfer_time(1);
+        assert_eq!(one, fill);
+        // Adding one more cell adds one bottleneck serialization time
+        // (204.8 us at 20 Mbit/s).
+        let two = m.ideal_transfer_time(497);
+        assert_eq!(two - one, SimDuration::from_nanos(204_800));
+    }
+
+    #[test]
+    fn ideal_time_scales_with_file() {
+        let m = model(&[100, 20, 100, 100], 5);
+        let small = m.ideal_transfer_time(100_000);
+        let big = m.ideal_transfer_time(1_000_000);
+        assert!(big > small);
+        // 1 MB at ~19.4 Mbit/s goodput ≈ 0.43 s; sanity window.
+        let secs = big.as_secs_f64();
+        assert!((0.3..0.6).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn max_goodput_accounts_for_header_overhead() {
+        let m = model(&[100, 20, 100], 5);
+        let g = m.max_goodput_bps();
+        assert!((19.3e6..19.4e6).contains(&g), "20 Mbit · 496/512 ≈ 19.375 Mbit, got {g}");
+    }
+
+    #[test]
+    fn from_hops_matches_manual_model() {
+        let hops = vec![
+            LinkConfig::new(Bandwidth::from_mbps(100), ms(5)),
+            LinkConfig::new(Bandwidth::from_mbps(20), ms(5)),
+        ];
+        let m = PathModel::from_hops(&hops);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.bottleneck_rate(), Bandwidth::from_mbps(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_model_rejected() {
+        let _ = PathModel::new(vec![]);
+    }
+}

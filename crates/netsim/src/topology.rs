@@ -1,0 +1,336 @@
+//! Topology builders.
+//!
+//! Three canonical shapes cover every experiment in the paper:
+//!
+//! * [`Path`] — a chain `n0 — n1 — … — nk`, used for the single-circuit
+//!   cwnd traces (Figure 1 upper panels) where one hop is the bottleneck.
+//! * [`Star`] — every node hangs off a central switch by its own access
+//!   link; this is how nstor models "the Internet" between Tor relays
+//!   (Figure 1 lower panel). The switch itself is infinitely fast — only
+//!   access links constrain traffic.
+//! * [`Dumbbell`] — n sources and n sinks sharing one bottleneck link,
+//!   used by transport-fairness tests and ablations.
+
+use simcore::time::SimDuration;
+
+use crate::bandwidth::Bandwidth;
+use crate::frame::Frame;
+use crate::link::{LinkConfig, LinkId};
+use crate::net::{Net, NodeId};
+
+/// A chain of nodes with duplex links between neighbours.
+#[derive(Clone, Debug)]
+pub struct Path {
+    /// Nodes in chain order: `nodes[0]` is the left end.
+    pub nodes: Vec<NodeId>,
+    /// `fwd[i]` carries traffic `nodes[i] → nodes[i+1]`.
+    pub fwd: Vec<LinkId>,
+    /// `rev[i]` carries traffic `nodes[i+1] → nodes[i]`.
+    pub rev: Vec<LinkId>,
+}
+
+impl Path {
+    /// Builds a chain with one [`LinkConfig`] per hop (applied to both
+    /// directions of that hop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop_configs` is empty.
+    pub fn build<F: Frame>(net: &mut Net<F>, hop_configs: &[LinkConfig]) -> Path {
+        assert!(!hop_configs.is_empty(), "a path needs at least one hop");
+        let nodes: Vec<NodeId> = (0..=hop_configs.len())
+            .map(|i| net.add_node(&format!("path-{i}")))
+            .collect();
+        let mut fwd = Vec::with_capacity(hop_configs.len());
+        let mut rev = Vec::with_capacity(hop_configs.len());
+        for (i, cfg) in hop_configs.iter().enumerate() {
+            let (f, r) = net.add_duplex(nodes[i], nodes[i + 1], *cfg);
+            fwd.push(f);
+            rev.push(r);
+        }
+        Path { nodes, fwd, rev }
+    }
+
+    /// Number of hops (links), one less than the number of nodes.
+    pub fn hop_count(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// The position of `node` in the chain, if it belongs to it.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    /// The forward link leaving `node` (toward higher indices), if any.
+    pub fn fwd_link_from(&self, node: NodeId) -> Option<LinkId> {
+        let pos = self.position(node)?;
+        self.fwd.get(pos).copied()
+    }
+
+    /// The reverse link leaving `node` (toward lower indices), if any.
+    pub fn rev_link_from(&self, node: NodeId) -> Option<LinkId> {
+        let pos = self.position(node)?;
+        pos.checked_sub(1).map(|p| self.rev[p])
+    }
+}
+
+/// Per-leaf access parameters for a [`Star`].
+#[derive(Clone, Copy, Debug)]
+pub struct AccessConfig {
+    /// Rate of the leaf's access link (both directions).
+    pub rate: Bandwidth,
+    /// One-way propagation delay of the access link.
+    pub delay: SimDuration,
+}
+
+/// A star: leaves connected to a central switch by individual access links.
+///
+/// The switch node forwards instantly (zero rate limit, zero delay is
+/// modelled by the *caller* re-sending on the downlink in the same event);
+/// all queueing happens on the access links, which is exactly nstor's
+/// network abstraction.
+#[derive(Clone, Debug)]
+pub struct Star {
+    /// The central switch.
+    pub hub: NodeId,
+    /// Leaf nodes, in creation order.
+    pub leaves: Vec<NodeId>,
+    /// `up[i]` carries `leaves[i] → hub`.
+    pub up: Vec<LinkId>,
+    /// `down[i]` carries `hub → leaves[i]`.
+    pub down: Vec<LinkId>,
+}
+
+impl Star {
+    /// Builds a star with the given per-leaf access configurations.
+    /// Access-link egress queues are unbounded (backpressure keeps them
+    /// finite; experiments assert zero drops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is empty.
+    pub fn build<F: Frame>(net: &mut Net<F>, accesses: &[AccessConfig]) -> Star {
+        assert!(!accesses.is_empty(), "a star needs at least one leaf");
+        let hub = net.add_node("hub");
+        let mut leaves = Vec::with_capacity(accesses.len());
+        let mut up = Vec::with_capacity(accesses.len());
+        let mut down = Vec::with_capacity(accesses.len());
+        for (i, acc) in accesses.iter().enumerate() {
+            let leaf = net.add_node(&format!("leaf-{i}"));
+            let cfg = LinkConfig::new(acc.rate, acc.delay);
+            up.push(net.add_link(leaf, hub, cfg));
+            down.push(net.add_link(hub, leaf, cfg));
+            leaves.push(leaf);
+        }
+        Star { hub, leaves, up, down }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The index of a leaf node, if it is one.
+    pub fn leaf_index(&self, node: NodeId) -> Option<usize> {
+        self.leaves.iter().position(|&n| n == node)
+    }
+
+    /// The uplink (`leaf → hub`) of a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a leaf of this star.
+    pub fn uplink_of(&self, node: NodeId) -> LinkId {
+        self.up[self.leaf_index(node).expect("node is not a leaf of this star")]
+    }
+
+    /// The downlink (`hub → leaf`) of a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a leaf of this star.
+    pub fn downlink_of(&self, node: NodeId) -> LinkId {
+        self.down[self.leaf_index(node).expect("node is not a leaf of this star")]
+    }
+}
+
+/// A dumbbell: `n` sources, `n` sinks, one shared bottleneck.
+#[derive(Clone, Debug)]
+pub struct Dumbbell {
+    /// Source nodes (left side).
+    pub sources: Vec<NodeId>,
+    /// Sink nodes (right side).
+    pub sinks: Vec<NodeId>,
+    /// Left aggregation router.
+    pub left_router: NodeId,
+    /// Right aggregation router.
+    pub right_router: NodeId,
+    /// `source_links[i]` carries `sources[i] → left_router` (with reverse
+    /// as the next id).
+    pub source_links: Vec<(LinkId, LinkId)>,
+    /// `sink_links[i]` carries `right_router → sinks[i]` (with reverse).
+    pub sink_links: Vec<(LinkId, LinkId)>,
+    /// Bottleneck `left_router → right_router`.
+    pub bottleneck_fwd: LinkId,
+    /// Bottleneck reverse direction.
+    pub bottleneck_rev: LinkId,
+}
+
+impl Dumbbell {
+    /// Builds a dumbbell with `n` source/sink pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn build<F: Frame>(
+        net: &mut Net<F>,
+        n: usize,
+        edge: LinkConfig,
+        bottleneck: LinkConfig,
+    ) -> Dumbbell {
+        assert!(n > 0, "a dumbbell needs at least one flow");
+        let left_router = net.add_node("left-router");
+        let right_router = net.add_node("right-router");
+        let (bottleneck_fwd, bottleneck_rev) = net.add_duplex(left_router, right_router, bottleneck);
+        let mut sources = Vec::with_capacity(n);
+        let mut sinks = Vec::with_capacity(n);
+        let mut source_links = Vec::with_capacity(n);
+        let mut sink_links = Vec::with_capacity(n);
+        for i in 0..n {
+            let s = net.add_node(&format!("src-{i}"));
+            let t = net.add_node(&format!("dst-{i}"));
+            source_links.push(net.add_duplex(s, left_router, edge));
+            sink_links.push(net.add_duplex(right_router, t, edge));
+            sources.push(s);
+            sinks.push(t);
+        }
+        Dumbbell {
+            sources,
+            sinks,
+            left_router,
+            right_router,
+            source_links,
+            sink_links,
+            bottleneck_fwd,
+            bottleneck_rev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::RawFrame;
+
+    fn cfg(mbps: u64, delay_ms: u64) -> LinkConfig {
+        LinkConfig::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis(delay_ms))
+    }
+
+    #[test]
+    fn path_structure() {
+        let mut net: Net<RawFrame> = Net::new();
+        let p = Path::build(&mut net, &[cfg(10, 1), cfg(5, 2), cfg(10, 1)]);
+        assert_eq!(p.nodes.len(), 4);
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.link_count(), 6);
+        // fwd[i] runs nodes[i] → nodes[i+1]
+        for i in 0..3 {
+            assert_eq!(net.link_ends(p.fwd[i]), (p.nodes[i], p.nodes[i + 1]));
+            assert_eq!(net.link_ends(p.rev[i]), (p.nodes[i + 1], p.nodes[i]));
+        }
+        assert_eq!(net.link_config(p.fwd[1]).rate, Bandwidth::from_mbps(5));
+    }
+
+    #[test]
+    fn path_link_lookups() {
+        let mut net: Net<RawFrame> = Net::new();
+        let p = Path::build(&mut net, &[cfg(10, 1), cfg(10, 1)]);
+        let (a, b, c) = (p.nodes[0], p.nodes[1], p.nodes[2]);
+        assert_eq!(p.position(b), Some(1));
+        assert_eq!(p.fwd_link_from(a), Some(p.fwd[0]));
+        assert_eq!(p.fwd_link_from(b), Some(p.fwd[1]));
+        assert_eq!(p.fwd_link_from(c), None); // right end has no fwd
+        assert_eq!(p.rev_link_from(a), None); // left end has no rev
+        assert_eq!(p.rev_link_from(c), Some(p.rev[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_path_rejected() {
+        let mut net: Net<RawFrame> = Net::new();
+        let _ = Path::build(&mut net, &[]);
+    }
+
+    #[test]
+    fn star_structure() {
+        let mut net: Net<RawFrame> = Net::new();
+        let acc = AccessConfig {
+            rate: Bandwidth::from_mbps(20),
+            delay: SimDuration::from_millis(10),
+        };
+        let s = Star::build(&mut net, &[acc, acc, acc]);
+        assert_eq!(s.leaf_count(), 3);
+        assert_eq!(net.node_count(), 4); // hub + 3 leaves
+        assert_eq!(net.link_count(), 6);
+        for i in 0..3 {
+            assert_eq!(net.link_ends(s.up[i]), (s.leaves[i], s.hub));
+            assert_eq!(net.link_ends(s.down[i]), (s.hub, s.leaves[i]));
+        }
+        let leaf1 = s.leaves[1];
+        assert_eq!(s.leaf_index(leaf1), Some(1));
+        assert_eq!(s.uplink_of(leaf1), s.up[1]);
+        assert_eq!(s.downlink_of(leaf1), s.down[1]);
+        assert_eq!(s.leaf_index(s.hub), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a leaf")]
+    fn star_uplink_of_hub_panics() {
+        let mut net: Net<RawFrame> = Net::new();
+        let acc = AccessConfig {
+            rate: Bandwidth::from_mbps(20),
+            delay: SimDuration::ZERO,
+        };
+        let s = Star::build(&mut net, &[acc]);
+        let _ = s.uplink_of(s.hub);
+    }
+
+    #[test]
+    fn star_heterogeneous_access_rates() {
+        let mut net: Net<RawFrame> = Net::new();
+        let mk = |mbps| AccessConfig {
+            rate: Bandwidth::from_mbps(mbps),
+            delay: SimDuration::ZERO,
+        };
+        let s = Star::build(&mut net, &[mk(10), mk(50)]);
+        assert_eq!(net.link_config(s.up[0]).rate, Bandwidth::from_mbps(10));
+        assert_eq!(net.link_config(s.down[1]).rate, Bandwidth::from_mbps(50));
+    }
+
+    #[test]
+    fn dumbbell_structure() {
+        let mut net: Net<RawFrame> = Net::new();
+        let d = Dumbbell::build(&mut net, 2, cfg(100, 1), cfg(10, 5));
+        assert_eq!(d.sources.len(), 2);
+        assert_eq!(d.sinks.len(), 2);
+        // 2 routers + 2 sources + 2 sinks
+        assert_eq!(net.node_count(), 6);
+        // bottleneck duplex + 2 source duplex + 2 sink duplex = 10 simplex
+        assert_eq!(net.link_count(), 10);
+        assert_eq!(
+            net.link_ends(d.bottleneck_fwd),
+            (d.left_router, d.right_router)
+        );
+        assert_eq!(net.link_config(d.bottleneck_fwd).rate, Bandwidth::from_mbps(10));
+        assert_eq!(net.link_ends(d.source_links[0].0), (d.sources[0], d.left_router));
+        assert_eq!(net.link_ends(d.sink_links[1].0), (d.right_router, d.sinks[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn empty_dumbbell_rejected() {
+        let mut net: Net<RawFrame> = Net::new();
+        let _ = Dumbbell::build(&mut net, 0, cfg(1, 0), cfg(1, 0));
+    }
+}

@@ -1,0 +1,518 @@
+//! Scenario builders: wire topology, overlay, circuits, and start events
+//! into a ready-to-run [`Simulator`].
+//!
+//! Two canonical scenarios cover the paper's evaluation:
+//!
+//! * [`PathScenario`] — one circuit over a chain of nodes with explicit
+//!   per-hop link parameters (Figure 1 upper panels: put the bottleneck at
+//!   a chosen distance from the source).
+//! * [`StarScenario`] — nstor's network model: every relay, client, and
+//!   server hangs off a central switch by its own access link; many
+//!   circuits run concurrently over randomly selected relays (Figure 1
+//!   lower panel).
+
+use backtap::cc::{UnlimitedCc};
+use backtap::config::CcConfig;
+use backtap::delay_cc::DelayCc;
+use netsim::bandwidth::Bandwidth;
+use netsim::link::LinkConfig;
+use netsim::net::Net;
+use netsim::topology::{AccessConfig, Path, Star};
+use simcore::rng::SimRng;
+use simcore::sim::Simulator;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::directory::{Directory, DirectoryConfig};
+use crate::event::TorEvent;
+use crate::ids::{CircId, Direction};
+use crate::network::{TorNetwork, WorldConfig};
+use crate::node::{CcFactory, NodeRole};
+use crate::router::Router;
+
+/// A single circuit over an explicit chain of links.
+#[derive(Clone, Debug)]
+pub struct PathScenario {
+    /// Per-hop link parameters: `hops[0]` is client↔first relay, the last
+    /// entry is exit↔server. A circuit with `k` relays has `k + 1` hops.
+    pub hops: Vec<LinkConfig>,
+    /// Payload bytes the client transfers.
+    pub file_bytes: u64,
+    /// World switches.
+    pub world: WorldConfig,
+}
+
+/// Handles into a built [`PathScenario`]: the circuit plus the link and
+/// node ids needed for telemetry and mid-flow interventions.
+#[derive(Clone, Debug)]
+pub struct PathHandles {
+    /// The single circuit.
+    pub circ: CircId,
+    /// Forward links, `fwd[i]` carrying hop `i` (client side = 0).
+    pub fwd_links: Vec<netsim::link::LinkId>,
+    /// Reverse links (feedback path).
+    pub rev_links: Vec<netsim::link::LinkId>,
+    /// Overlay nodes in path order.
+    pub overlay_path: Vec<crate::ids::OverlayId>,
+}
+
+impl PathScenario {
+    /// Builds the network and returns the simulator plus handles.
+    /// The circuit starts at `t = 0`.
+    pub fn build(&self, factory: CcFactory, seed: u64) -> (Simulator<TorNetwork>, PathHandles) {
+        assert!(
+            self.hops.len() >= 2,
+            "a path circuit needs at least client↔relay↔server"
+        );
+        let mut net: Net<crate::wire::WireFrame> = Net::new();
+        let topo = Path::build(&mut net, &self.hops);
+        let mut router = Router::new();
+        for i in 0..topo.hop_count() {
+            router.install(topo.nodes[i], topo.nodes[i + 1], topo.fwd[i]);
+            router.install(topo.nodes[i + 1], topo.nodes[i], topo.rev[i]);
+        }
+        let rng = SimRng::seed_from(seed);
+        let mut world = TorNetwork::new(net, router, self.world, factory, rng.derive("handshakes"));
+        let last = topo.nodes.len() - 1;
+        let overlay_path: Vec<_> = topo
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &nn)| {
+                let (role, name) = if i == 0 {
+                    (NodeRole::Client, "client".to_string())
+                } else if i == last {
+                    (NodeRole::Server, "server".to_string())
+                } else {
+                    (NodeRole::Relay, format!("relay-{i}"))
+                };
+                world.add_overlay(nn, role, &name)
+            })
+            .collect();
+        let circ = world.add_circuit(overlay_path.clone(), self.file_bytes);
+        let mut sim = Simulator::new(world);
+        sim.schedule_at(SimTime::ZERO, TorEvent::StartCircuit(circ));
+        let handles = PathHandles {
+            circ,
+            fwd_links: topo.fwd,
+            rev_links: topo.rev,
+            overlay_path,
+        };
+        (sim, handles)
+    }
+}
+
+/// Many circuits over a randomly generated relay population in a star.
+#[derive(Clone, Debug)]
+pub struct StarScenario {
+    /// Relay population parameters.
+    pub directory: DirectoryConfig,
+    /// Number of concurrent circuits (each gets its own client and server
+    /// leaf).
+    pub circuits: usize,
+    /// Relays per circuit (Tor default: 3).
+    pub relays_per_circuit: usize,
+    /// Access rate of client and server leaves (fast, so relays are the
+    /// bottleneck, as in the paper's setup).
+    pub endpoint_rate: Bandwidth,
+    /// Client/server access delay range (uniform, one-way, ms).
+    pub endpoint_delay_ms: (f64, f64),
+    /// Payload bytes per circuit.
+    pub file_bytes: u64,
+    /// Circuit starts are jittered uniformly over `[0, start_jitter_ms]`
+    /// to avoid artificial phase lock between 50 identical state machines.
+    pub start_jitter_ms: f64,
+    /// Bandwidth-weighted relay selection (Tor-style) instead of uniform.
+    pub weighted_selection: bool,
+    /// World switches.
+    pub world: WorldConfig,
+}
+
+impl Default for StarScenario {
+    fn default() -> Self {
+        StarScenario {
+            directory: DirectoryConfig::default(),
+            circuits: 50,
+            relays_per_circuit: 3,
+            endpoint_rate: Bandwidth::from_mbps(200),
+            endpoint_delay_ms: (3.0, 8.0),
+            file_bytes: 1 << 20,
+            start_jitter_ms: 50.0,
+            weighted_selection: false,
+            world: WorldConfig::default(),
+        }
+    }
+}
+
+impl StarScenario {
+    /// Builds the network and returns the simulator plus all circuit ids.
+    pub fn build(&self, factory: CcFactory, seed: u64) -> (Simulator<TorNetwork>, Vec<CircId>) {
+        assert!(self.circuits > 0, "need at least one circuit");
+        assert!(
+            self.relays_per_circuit >= 1,
+            "need at least one relay per circuit"
+        );
+        let master = SimRng::seed_from(seed);
+        let directory = Directory::generate(&self.directory, &master.derive("directory"));
+        let mut endpoint_rng = master.derive("endpoints");
+        let mut path_rng = master.derive("paths");
+        let mut jitter_rng = master.derive("start-jitter");
+
+        // Leaves: all relays first, then client/server pairs per circuit.
+        let mut accesses: Vec<AccessConfig> = directory
+            .relays()
+            .iter()
+            .map(|r| AccessConfig {
+                rate: r.bandwidth,
+                delay: r.delay,
+            })
+            .collect();
+        for _ in 0..self.circuits {
+            for _ in 0..2 {
+                let delay_ms = if self.endpoint_delay_ms.1 > self.endpoint_delay_ms.0 {
+                    endpoint_rng.range_f64(self.endpoint_delay_ms.0, self.endpoint_delay_ms.1)
+                } else {
+                    self.endpoint_delay_ms.0
+                };
+                accesses.push(AccessConfig {
+                    rate: self.endpoint_rate,
+                    delay: SimDuration::from_secs_f64(delay_ms / 1e3),
+                });
+            }
+        }
+
+        let mut net: Net<crate::wire::WireFrame> = Net::new();
+        let star = Star::build(&mut net, &accesses);
+        let mut router = Router::new();
+        for (i, &leaf) in star.leaves.iter().enumerate() {
+            // Frames leaving a leaf always take its uplink; the hub picks
+            // the destination's downlink.
+            for (j, &other) in star.leaves.iter().enumerate() {
+                if i != j {
+                    router.install(leaf, other, star.up[i]);
+                }
+            }
+            router.install(star.hub, leaf, star.down[i]);
+        }
+
+        let mut world = TorNetwork::new(
+            net,
+            router,
+            self.world,
+            factory,
+            master.derive("handshakes"),
+        );
+        let relay_overlays: Vec<_> = (0..directory.len())
+            .map(|i| world.add_overlay(star.leaves[i], NodeRole::Relay, &format!("relay-{i}")))
+            .collect();
+
+        let mut circuits = Vec::with_capacity(self.circuits);
+        let mut sim_events: Vec<(SimTime, CircId)> = Vec::with_capacity(self.circuits);
+        for c in 0..self.circuits {
+            let client_leaf = star.leaves[directory.len() + 2 * c];
+            let server_leaf = star.leaves[directory.len() + 2 * c + 1];
+            let client = world.add_overlay(client_leaf, NodeRole::Client, &format!("client-{c}"));
+            let server = world.add_overlay(server_leaf, NodeRole::Server, &format!("server-{c}"));
+            let picks = if self.weighted_selection {
+                directory.select_path_weighted(&mut path_rng, self.relays_per_circuit)
+            } else {
+                directory.select_path_uniform(&mut path_rng, self.relays_per_circuit)
+            };
+            let mut path = Vec::with_capacity(self.relays_per_circuit + 2);
+            path.push(client);
+            path.extend(picks.into_iter().map(|i| relay_overlays[i]));
+            path.push(server);
+            let circ = world.add_circuit(path, self.file_bytes);
+            let start = if self.start_jitter_ms > 0.0 {
+                SimTime::from_secs_f64(jitter_rng.range_f64(0.0, self.start_jitter_ms) / 1e3)
+            } else {
+                SimTime::ZERO
+            };
+            sim_events.push((start, circ));
+            circuits.push(circ);
+        }
+
+        let mut sim = Simulator::new(world);
+        for (t, circ) in sim_events {
+            sim.schedule_at(t, TorEvent::StartCircuit(circ));
+        }
+        (sim, circuits)
+    }
+}
+
+/// The paper's "without CircuitStart" baseline: BackTap's delay-based
+/// controller with the traditional halving exit on every forward hop;
+/// backward (control-only) hops are unwindowed.
+pub fn baseline_factory(cfg: CcConfig) -> CcFactory {
+    Box::new(move |ctx| match ctx.direction {
+        Direction::Forward => Box::new(DelayCc::with_ramp(
+            "backtap-classic",
+            cfg,
+            Box::new(backtap::cc::HalvingExit),
+        )),
+        Direction::Backward => Box::new(UnlimitedCc),
+    })
+}
+
+/// JumpStart-style factory: no ramp-up at all, the forward window opens at
+/// `jump_cwnd` immediately (the paper cites this family as unsuitable for
+/// multi-hop overlays — used as an ablation baseline).
+pub fn jumpstart_factory(cfg: CcConfig, jump_cwnd: u32) -> CcFactory {
+    Box::new(move |ctx| match ctx.direction {
+        Direction::Forward => Box::new(DelayCc::without_ramp("jumpstart", cfg, jump_cwnd)),
+        Direction::Backward => Box::new(UnlimitedCc),
+    })
+}
+
+/// Fixed per-hop windows (vanilla-Tor-flavoured ablation).
+pub fn fixed_window_factory(window: u32) -> CcFactory {
+    Box::new(move |ctx| match ctx.direction {
+        Direction::Forward => Box::new(backtap::cc::FixedWindowCc::new(window)),
+        Direction::Backward => Box::new(UnlimitedCc),
+    })
+}
+
+/// No windows anywhere — relays forward as fast as links allow. Useful to
+/// measure raw path capacity and as a worst-case queueing baseline.
+pub fn unlimited_factory() -> CcFactory {
+    Box::new(|_| Box::new(UnlimitedCc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::sim::StopReason;
+
+    fn hop(mbps: u64, delay_ms: u64) -> LinkConfig {
+        LinkConfig::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis(delay_ms))
+    }
+
+    /// Full-stack smoke test: 2-relay circuit, fixed windows, small file.
+    #[test]
+    fn path_transfer_completes_with_fixed_windows() {
+        let scenario = PathScenario {
+            hops: vec![hop(10, 2), hop(10, 2), hop(10, 2)],
+            file_bytes: 10_000,
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(fixed_window_factory(8), 1);
+        let circ = h.circ;
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::QueueEmpty);
+        let world = sim.world();
+        let r = world.result_of(circ);
+        assert!(r.completed, "transfer must complete");
+        assert_eq!(r.bytes_delivered, 10_000);
+        assert_eq!(r.cells_delivered, 21); // ceil(10000/496)
+        assert_eq!(r.payload_errors, 0);
+        assert_eq!(world.stats().protocol_errors, 0);
+        assert_eq!(world.net().total_drops(), 0);
+        assert!(r.transfer_time().unwrap() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn path_transfer_with_delay_cc_baseline() {
+        let scenario = PathScenario {
+            hops: vec![hop(50, 2), hop(8, 5), hop(50, 2), hop(50, 2)],
+            file_bytes: 200_000,
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), 7);
+        let circ = h.circ;
+        sim.run();
+        let world = sim.world();
+        let r = world.result_of(circ);
+        assert!(r.completed);
+        assert_eq!(r.bytes_delivered, 200_000);
+        assert_eq!(r.payload_errors, 0);
+        assert_eq!(world.stats().protocol_errors, 0);
+        // The client ramped: its cwnd trace must contain a doubling.
+        let trace = world.source_cwnd_trace(circ).expect("tracing enabled");
+        assert!(trace.len() >= 2, "cwnd must have changed during ramp-up");
+        assert_eq!(trace[0].1, 2, "initial window is 2 cells");
+    }
+
+    #[test]
+    fn single_relay_minimal_path() {
+        let scenario = PathScenario {
+            hops: vec![hop(10, 1), hop(10, 1)],
+            file_bytes: 496,
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(fixed_window_factory(4), 3);
+        let circ = h.circ;
+        sim.run();
+        let r = sim.world().result_of(circ);
+        assert!(r.completed);
+        assert_eq!(r.cells_delivered, 1);
+        assert_eq!(sim.world().stats().protocol_errors, 0);
+    }
+
+    #[test]
+    fn long_path_five_relays() {
+        let scenario = PathScenario {
+            hops: vec![hop(20, 1); 6],
+            file_bytes: 50_000,
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), 5);
+        let circ = h.circ;
+        sim.run();
+        let r = sim.world().result_of(circ);
+        assert!(r.completed);
+        assert_eq!(r.bytes_delivered, 50_000);
+        assert_eq!(sim.world().stats().protocol_errors, 0);
+    }
+
+    #[test]
+    fn relay_queue_is_bounded_by_backpressure() {
+        // Slow middle link: the first relay's forward queue must stay
+        // bounded by the client's window, not grow with the file.
+        let scenario = PathScenario {
+            hops: vec![hop(100, 1), hop(5, 5), hop(100, 1)],
+            file_bytes: 300_000,
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(fixed_window_factory(10), 2);
+        let circ = h.circ;
+        sim.run();
+        let world = sim.world();
+        let r = world.result_of(circ);
+        assert!(r.completed);
+        let relay1 = world.circuit_info(circ).path[1];
+        let hwm = world.fwd_queue_hwm(relay1, circ).expect("relay forward queue");
+        assert!(
+            hwm <= 10,
+            "queue high-water {hwm} must be bounded by the 10-cell window"
+        );
+    }
+
+    #[test]
+    fn star_two_circuits_complete() {
+        let scenario = StarScenario {
+            circuits: 2,
+            file_bytes: 30_000,
+            directory: DirectoryConfig {
+                relays: 6,
+                bandwidth_mbps: (20.0, 50.0),
+                delay_ms: (2.0, 5.0),
+            },
+            ..Default::default()
+        };
+        let (mut sim, circuits) = scenario.build(baseline_factory(CcConfig::default()), 11);
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::QueueEmpty);
+        let world = sim.world();
+        for c in circuits {
+            let r = world.result_of(c);
+            assert!(r.completed, "{c} incomplete");
+            assert_eq!(r.bytes_delivered, 30_000);
+            assert_eq!(r.payload_errors, 0);
+        }
+        assert_eq!(world.stats().protocol_errors, 0);
+        assert_eq!(world.net().total_drops(), 0);
+    }
+
+    #[test]
+    fn star_circuits_share_relays_fairly_enough_to_finish() {
+        // Tiny relay pool forces sharing.
+        let scenario = StarScenario {
+            circuits: 4,
+            relays_per_circuit: 2,
+            file_bytes: 20_000,
+            directory: DirectoryConfig {
+                relays: 3,
+                bandwidth_mbps: (10.0, 20.0),
+                delay_ms: (2.0, 4.0),
+            },
+            ..Default::default()
+        };
+        let (mut sim, circuits) = scenario.build(baseline_factory(CcConfig::default()), 13);
+        sim.run();
+        let world = sim.world();
+        for c in circuits {
+            assert!(world.result_of(c).completed);
+        }
+        assert_eq!(world.stats().protocol_errors, 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let scenario = PathScenario {
+            hops: vec![hop(30, 2), hop(10, 3), hop(30, 2)],
+            file_bytes: 100_000,
+            world: WorldConfig::default(),
+        };
+        let run = |seed| {
+            let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), seed);
+        let circ = h.circ;
+            sim.run();
+            let w = sim.world();
+            (
+                w.result_of(circ).last_byte_at,
+                w.source_cwnd_trace(circ).unwrap().to_vec(),
+                w.stats().cells_sent,
+            )
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must reproduce identical runs");
+        let c = run(43);
+        assert_eq!(a.0.is_some(), c.0.is_some());
+    }
+
+    #[test]
+    fn jumpstart_overshoots_but_completes() {
+        let scenario = PathScenario {
+            hops: vec![hop(50, 2), hop(8, 5), hop(50, 2)],
+            file_bytes: 150_000,
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(jumpstart_factory(CcConfig::default(), 100), 9);
+        let circ = h.circ;
+        sim.run();
+        let world = sim.world();
+        assert!(world.result_of(circ).completed);
+        // With a 100-cell initial window everywhere, the burst piles up in
+        // front of the bottleneck link (hop 1) — the behaviour the paper
+        // warns about. Queueing lives in the link's round-robin scheduler
+        // (links take one frame at a time).
+        let hwm = world.sched_backlog_hwm(h.fwd_links[1]);
+        assert!(hwm > 30, "jumpstart should pile up a large queue, got {hwm}");
+    }
+
+    #[test]
+    fn unlimited_factory_moves_data() {
+        let scenario = PathScenario {
+            hops: vec![hop(10, 1), hop(10, 1)],
+            file_bytes: 5_000,
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(unlimited_factory(), 21);
+        let circ = h.circ;
+        sim.run();
+        assert!(sim.world().result_of(circ).completed);
+    }
+
+    #[test]
+    fn teardown_destroys_circuit_state() {
+        let scenario = PathScenario {
+            hops: vec![hop(10, 1), hop(10, 1), hop(10, 1)],
+            file_bytes: 4_960,
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(fixed_window_factory(4), 17);
+        let circ = h.circ;
+        sim.run();
+        assert!(sim.world().result_of(circ).completed);
+        // Tear down after completion; DESTROY must propagate silently.
+        sim.schedule_in(SimDuration::from_millis(1), TorEvent::Teardown(circ));
+        sim.run();
+        let world = sim.world();
+        assert_eq!(world.stats().protocol_errors, 0);
+        let server = *world.circuit_info(circ).path.last().unwrap();
+        assert!(
+            world.node(server).circuits.get(&circ).unwrap().closed,
+            "server side must see the DESTROY"
+        );
+    }
+}

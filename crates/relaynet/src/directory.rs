@@ -1,0 +1,295 @@
+//! Relay generation and path selection.
+//!
+//! The paper evaluates over "a randomly generated network of Tor relays".
+//! The exact distribution is not published, so this module exposes it as a
+//! parameter with a heavy-tailed (log-uniform) default — relay capacity in
+//! the live Tor network spans orders of magnitude. Path selection follows
+//! Tor's two essential rules: relays on a path are distinct, and selection
+//! can optionally be bandwidth-weighted (as Tor weights by consensus
+//! bandwidth).
+
+use netsim::bandwidth::Bandwidth;
+use simcore::rng::SimRng;
+use simcore::time::SimDuration;
+
+/// A generated relay's access-link characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct RelaySpec {
+    /// Access-link rate (both directions).
+    pub bandwidth: Bandwidth,
+    /// One-way propagation delay of the access link.
+    pub delay: SimDuration,
+}
+
+/// Parameters for relay generation.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectoryConfig {
+    /// Number of relays.
+    pub relays: usize,
+    /// Relay bandwidth is log-uniform in `[low, high]` Mbit/s.
+    pub bandwidth_mbps: (f64, f64),
+    /// Access-link one-way delay is uniform in `[low, high]` ms.
+    pub delay_ms: (f64, f64),
+}
+
+impl Default for DirectoryConfig {
+    fn default() -> Self {
+        DirectoryConfig {
+            relays: 30,
+            bandwidth_mbps: (20.0, 100.0),
+            // Chosen so per-circuit bottleneck shares land at bandwidth-
+            // delay products of tens of cells (the regime the paper's
+            // Figure 1 axes imply): ~5 circuits share a relay, so shares
+            // run 4–20 Mbit/s over ~15–35 ms hop RTTs.
+            delay_ms: (3.0, 10.0),
+        }
+    }
+}
+
+/// A generated set of relays plus path-selection logic.
+#[derive(Clone, Debug)]
+pub struct Directory {
+    relays: Vec<RelaySpec>,
+}
+
+impl Directory {
+    /// Samples `cfg.relays` relays using the stream derived from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.relays == 0` or ranges are invalid.
+    pub fn generate(cfg: &DirectoryConfig, rng: &SimRng) -> Directory {
+        assert!(cfg.relays > 0, "directory needs at least one relay");
+        assert!(
+            cfg.bandwidth_mbps.0 > 0.0 && cfg.bandwidth_mbps.1 > cfg.bandwidth_mbps.0,
+            "invalid bandwidth range"
+        );
+        assert!(
+            cfg.delay_ms.0 >= 0.0 && cfg.delay_ms.1 >= cfg.delay_ms.0,
+            "invalid delay range"
+        );
+        let mut relays = Vec::with_capacity(cfg.relays);
+        for i in 0..cfg.relays {
+            let mut r = rng.derive_indexed("relay-spec", i as u64);
+            let mbps = r.log_uniform(cfg.bandwidth_mbps.0, cfg.bandwidth_mbps.1);
+            let delay = if cfg.delay_ms.1 > cfg.delay_ms.0 {
+                r.range_f64(cfg.delay_ms.0, cfg.delay_ms.1)
+            } else {
+                cfg.delay_ms.0
+            };
+            relays.push(RelaySpec {
+                bandwidth: Bandwidth::from_mbps_f64(mbps),
+                delay: SimDuration::from_secs_f64(delay / 1e3),
+            });
+        }
+        Directory { relays }
+    }
+
+    /// Builds a directory from explicit specs (tests, hand-tuned setups).
+    pub fn from_specs(relays: Vec<RelaySpec>) -> Directory {
+        assert!(!relays.is_empty(), "directory needs at least one relay");
+        Directory { relays }
+    }
+
+    /// The relay specs, indexed by relay id.
+    pub fn relays(&self) -> &[RelaySpec] {
+        &self.relays
+    }
+
+    /// Number of relays.
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// `false` (construction rejects empty directories).
+    pub fn is_empty(&self) -> bool {
+        self.relays.is_empty()
+    }
+
+    /// Selects `path_len` **distinct** relay indices uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_len` exceeds the number of relays.
+    pub fn select_path_uniform(&self, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+        assert!(
+            path_len <= self.relays.len(),
+            "cannot pick {path_len} distinct relays from {}",
+            self.relays.len()
+        );
+        rng.sample_distinct(self.relays.len(), path_len)
+    }
+
+    /// Selects `path_len` distinct relay indices with probability
+    /// proportional to bandwidth (Tor-style weighting), by repeated
+    /// weighted draws without replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_len` exceeds the number of relays.
+    pub fn select_path_weighted(&self, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+        assert!(
+            path_len <= self.relays.len(),
+            "cannot pick {path_len} distinct relays from {}",
+            self.relays.len()
+        );
+        let mut chosen: Vec<usize> = Vec::with_capacity(path_len);
+        let mut weights: Vec<f64> = self
+            .relays
+            .iter()
+            .map(|r| r.bandwidth.bps() as f64)
+            .collect();
+        for _ in 0..path_len {
+            let total: f64 = weights.iter().sum();
+            debug_assert!(total > 0.0);
+            let mut x = rng.range_f64(0.0, total);
+            let mut pick = weights.len() - 1;
+            for (i, &w) in weights.iter().enumerate() {
+                if w > 0.0 && x < w {
+                    pick = i;
+                    break;
+                }
+                x -= w;
+            }
+            chosen.push(pick);
+            weights[pick] = 0.0; // without replacement
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(42)
+    }
+
+    #[test]
+    fn generate_respects_ranges() {
+        let cfg = DirectoryConfig {
+            relays: 50,
+            bandwidth_mbps: (10.0, 100.0),
+            delay_ms: (5.0, 15.0),
+        };
+        let dir = Directory::generate(&cfg, &rng());
+        assert_eq!(dir.len(), 50);
+        for r in dir.relays() {
+            let mbps = r.bandwidth.as_mbps_f64();
+            assert!((10.0..=100.0).contains(&mbps), "bw {mbps}");
+            let ms = r.delay.as_millis_f64();
+            assert!((5.0..=15.0).contains(&ms), "delay {ms}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let cfg = DirectoryConfig::default();
+        let a = Directory::generate(&cfg, &SimRng::seed_from(7));
+        let b = Directory::generate(&cfg, &SimRng::seed_from(7));
+        let c = Directory::generate(&cfg, &SimRng::seed_from(8));
+        for (x, y) in a.relays().iter().zip(b.relays()) {
+            assert_eq!(x.bandwidth, y.bandwidth);
+            assert_eq!(x.delay, y.delay);
+        }
+        let same = a
+            .relays()
+            .iter()
+            .zip(c.relays())
+            .filter(|(x, y)| x.bandwidth == y.bandwidth)
+            .count();
+        assert!(same < 3, "different seeds should differ");
+    }
+
+    #[test]
+    fn fixed_delay_range_allowed() {
+        let cfg = DirectoryConfig {
+            relays: 3,
+            bandwidth_mbps: (10.0, 20.0),
+            delay_ms: (10.0, 10.0),
+        };
+        let dir = Directory::generate(&cfg, &rng());
+        for r in dir.relays() {
+            assert_eq!(r.delay, SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn uniform_paths_are_distinct() {
+        let dir = Directory::generate(&DirectoryConfig::default(), &rng());
+        let mut r = rng();
+        for _ in 0..100 {
+            let p = dir.select_path_uniform(&mut r, 3);
+            assert_eq!(p.len(), 3);
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), 3);
+        }
+    }
+
+    #[test]
+    fn weighted_paths_prefer_fat_relays() {
+        // One relay 100× the bandwidth of the others: it should appear in
+        // nearly every 1-relay path.
+        let mut specs = vec![
+            RelaySpec {
+                bandwidth: Bandwidth::from_mbps(1),
+                delay: SimDuration::from_millis(10),
+            };
+            10
+        ];
+        specs[4].bandwidth = Bandwidth::from_mbps(1000);
+        let dir = Directory::from_specs(specs);
+        let mut r = rng();
+        let hits = (0..200)
+            .filter(|_| dir.select_path_weighted(&mut r, 1)[0] == 4)
+            .count();
+        assert!(hits > 150, "fat relay picked only {hits}/200 times");
+    }
+
+    #[test]
+    fn weighted_paths_are_distinct() {
+        let dir = Directory::generate(&DirectoryConfig::default(), &rng());
+        let mut r = rng();
+        for _ in 0..50 {
+            let p = dir.select_path_weighted(&mut r, 5);
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct relays")]
+    fn path_longer_than_directory_panics() {
+        let dir = Directory::from_specs(vec![RelaySpec {
+            bandwidth: Bandwidth::from_mbps(1),
+            delay: SimDuration::ZERO,
+        }]);
+        let mut r = rng();
+        let _ = dir.select_path_uniform(&mut r, 2);
+    }
+
+    #[test]
+    fn log_uniform_bandwidths_span_decade() {
+        let cfg = DirectoryConfig {
+            relays: 300,
+            bandwidth_mbps: (10.0, 100.0),
+            delay_ms: (5.0, 15.0),
+        };
+        let dir = Directory::generate(&cfg, &rng());
+        let low = dir
+            .relays()
+            .iter()
+            .filter(|r| r.bandwidth.as_mbps_f64() < 31.6)
+            .count();
+        let frac = low as f64 / 300.0;
+        assert!(
+            (0.35..0.65).contains(&frac),
+            "log-uniform: ~half below the geometric mean, got {frac}"
+        );
+    }
+}

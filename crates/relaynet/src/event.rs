@@ -1,0 +1,56 @@
+//! The overlay's event type.
+
+use netsim::bandwidth::Bandwidth;
+use netsim::link::LinkId;
+use netsim::net::NetEvent;
+
+use crate::ids::CircId;
+
+/// Everything that can happen in a [`crate::network::TorNetwork`].
+#[derive(Clone, Copy, Debug)]
+pub enum TorEvent {
+    /// A link-layer event (serialization finished / frame arrived).
+    Net(NetEvent),
+    /// A client begins building circuit `0` and transferring once built.
+    StartCircuit(CircId),
+    /// A client initiates teardown of an established circuit.
+    Teardown(CircId),
+    /// Change a link's rate mid-run (bandwidth-change experiments for the
+    /// paper's future-work extension).
+    SetLinkRate {
+        /// Which link.
+        link: LinkId,
+        /// The new rate.
+        rate: Bandwidth,
+    },
+}
+
+impl From<NetEvent> for TorEvent {
+    fn from(e: NetEvent) -> Self {
+        TorEvent::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::link::LinkId;
+
+    #[test]
+    fn net_events_embed() {
+        // LinkId has a crate-private constructor; round-trip through a Net.
+        let mut net: netsim::net::Net<crate::wire::WireFrame> = netsim::net::Net::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let link: LinkId = net.add_link(
+            a,
+            b,
+            netsim::link::LinkConfig::new(
+                netsim::bandwidth::Bandwidth::from_mbps(1),
+                simcore::time::SimDuration::ZERO,
+            ),
+        );
+        let ev: TorEvent = NetEvent::Deliver { link }.into();
+        assert!(matches!(ev, TorEvent::Net(NetEvent::Deliver { .. })));
+    }
+}

@@ -1,0 +1,67 @@
+//! # relaynet — a network-level model of the Tor overlay
+//!
+//! The reproduction's stand-in for `nstor` (the ns-3-based Tor model the
+//! paper evaluates on): clients, relays, and servers exchanging fixed-size
+//! cells over simulated links, with
+//!
+//! * telescoping circuit construction (CREATE / EXTEND / EXTENDED),
+//! * leaky-pipe recognition via per-hop onion layers,
+//! * per-hop windowed transports driven by forwarding **feedback**
+//!   (the BackTap substrate CircuitStart plugs into),
+//! * bulk-transfer client/server applications with time-to-last-byte
+//!   accounting,
+//! * relay directories with sampled bandwidths and Tor-style path
+//!   selection, and
+//! * the two evaluation topologies (explicit path, nstor-style star).
+//!
+//! The congestion-control algorithm is injected through
+//! [`node::CcFactory`], so this crate knows nothing about CircuitStart
+//! itself — the `circuitstart` crate supplies the paper's controller, and
+//! [`builder::baseline_factory`] supplies the paper's baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod circuit;
+pub mod directory;
+pub mod event;
+pub mod ids;
+pub mod network;
+pub mod node;
+pub mod router;
+pub mod scheduler;
+pub mod wire;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::builder::{
+        PathHandles,
+        baseline_factory, fixed_window_factory, jumpstart_factory, unlimited_factory,
+        PathScenario, StarScenario,
+    };
+    pub use crate::circuit::{CircuitInfo, CircuitResult};
+    pub use crate::directory::{Directory, DirectoryConfig, RelaySpec};
+    pub use crate::event::TorEvent;
+    pub use crate::ids::{CircId, Direction, OverlayId};
+    pub use crate::network::{fill_pattern, TorNetwork, WorldConfig, WorldStats};
+    pub use crate::node::{CcFactory, HopCtx, NodeRole};
+    pub use crate::router::Router;
+    pub use crate::scheduler::LinkScheduler;
+    pub use crate::wire::{FramePayload, WireFrame};
+}
+
+pub use builder::{
+    PathHandles,
+    baseline_factory, fixed_window_factory, jumpstart_factory, unlimited_factory, PathScenario,
+    StarScenario,
+};
+pub use circuit::{CircuitInfo, CircuitResult};
+pub use directory::{Directory, DirectoryConfig, RelaySpec};
+pub use event::TorEvent;
+pub use ids::{CircId, Direction, OverlayId};
+pub use network::{fill_pattern, TorNetwork, WorldConfig, WorldStats};
+pub use node::{CcFactory, HopCtx, NodeRole};
+pub use router::Router;
+pub use scheduler::LinkScheduler;
+pub use wire::{FramePayload, WireFrame};

@@ -1,0 +1,1381 @@
+//! The overlay engine: a [`simcore::World`] tying relays, circuits,
+//! transports, and the packet network together.
+//!
+//! # Protocol summary (all rules are local; see DESIGN.md §4)
+//!
+//! * **Circuit build** is Tor's telescope: the client CREATEs the first
+//!   hop, then sends EXTEND relay cells that the current last relay
+//!   converts into CREATEs toward the next node. Link-local circuit ids
+//!   are negotiated per connection; onion layers are derived from the
+//!   CREATE handshakes.
+//! * **Recognition** is leaky-pipe, as in Tor: a relay strips its layer
+//!   from every forward relay cell; if the digest then verifies, the cell
+//!   is for this hop and is consumed, otherwise it is forwarded.
+//! * **Feedback** (the BackTap/CircuitStart mechanism): whenever a node
+//!   takes a cell *out* of a per-circuit queue — forwarding it toward the
+//!   successor or consuming it locally — it sends a 20-byte feedback frame
+//!   to the neighbour the cell came from, echoing that neighbour's per-hop
+//!   sequence number. Windows grow on feedback, never on end-to-end ACKs.
+//! * **Transfer**: after the build, the client opens a stream (BEGIN /
+//!   CONNECTED) and pumps DATA cells, each wrapped in onion layers and
+//!   subject to the per-hop window; the server verifies, counts, and
+//!   timestamps them, and the END cell completes the transfer.
+
+use netsim::net::{Net, NetEvent, NodeId, SendOutcome};
+use rand::RngCore;
+use simcore::rng::SimRng;
+use simcore::sim::{Context, World};
+use simcore::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+use backtap::hop::HopTransport;
+use torcell::cell::{Cell, CellBody, Feedback, RelayCell, RelayCommand, HANDSHAKE_LEN};
+use torcell::crypto::{payload_digest, LayerKey, RelayCrypt};
+use torcell::ids::{CircuitId, StreamId};
+
+use crate::circuit::{CircuitInfo, CircuitResult};
+use crate::event::TorEvent;
+use crate::ids::{CircId, Direction, OverlayId};
+use crate::node::{
+    CcFactory, ClientApp, ClientStage, HopCtx, HopDir, NodeCircuit, NodeRole, OverlayNode,
+    PendingConfirm, QueuedCell, ServerApp,
+};
+use crate::router::Router;
+use crate::scheduler::LinkScheduler;
+use crate::wire::{FramePayload, WireFrame};
+
+/// Reason code carried by the END cell when a transfer finishes normally.
+pub const END_REASON_DONE: u8 = 1;
+/// Reason code carried by DESTROY cells on explicit teardown.
+pub const DESTROY_REASON_FINISHED: u8 = 9;
+
+/// Global behaviour switches.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// Verify DATA payload bytes at the server against the deterministic
+    /// fill pattern (cheap; catches crypto/ordering bugs).
+    pub verify_payload: bool,
+    /// Record the client's forward congestion window over time (the
+    /// Figure 1 trace).
+    pub trace_client_cwnd: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            verify_payload: true,
+            trace_client_cwnd: true,
+        }
+    }
+}
+
+/// Global protocol counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldStats {
+    /// Cell frames handed to the link layer.
+    pub cells_sent: u64,
+    /// Feedback frames handed to the link layer.
+    pub feedback_sent: u64,
+    /// Protocol violations observed (must stay 0 in healthy runs).
+    pub protocol_errors: u64,
+    /// Relay cells dropped because their circuit was torn down.
+    pub cells_dropped_closed: u64,
+}
+
+/// The deterministic fill pattern for DATA payloads: byte `i` of cell
+/// `idx` on circuit `circ`.
+pub fn fill_pattern(circ: CircId, idx: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((u64::from(circ.0) * 131 + idx * 31 + i as u64) & 0xFF) as u8)
+        .collect()
+}
+
+/// The overlay world. Construct with [`TorNetwork::new`], add nodes and
+/// circuits, then drive with a [`simcore::Simulator`] after scheduling
+/// [`TorEvent::StartCircuit`] events.
+pub struct TorNetwork {
+    net: Net<WireFrame>,
+    router: Router,
+    nodes: Vec<OverlayNode>,
+    /// Overlay index → backing network node (read-only after setup; kept
+    /// separate so hot paths can use it while a node is borrowed mutably).
+    net_node_of: Vec<NodeId>,
+    overlay_by_net: BTreeMap<NodeId, OverlayId>,
+    circuits: Vec<CircuitInfo>,
+    factory: CcFactory,
+    cfg: WorldConfig,
+    rng: SimRng,
+    next_link_circ_id: u32,
+    /// Per-link round-robin circuit schedulers (overlay egress links; the
+    /// hub's links stay FIFO — the backbone is not ours to schedule).
+    link_sched: Vec<LinkScheduler>,
+    stats: WorldStats,
+}
+
+impl TorNetwork {
+    /// Creates an overlay over an already-built network and routing table.
+    pub fn new(
+        net: Net<WireFrame>,
+        router: Router,
+        cfg: WorldConfig,
+        factory: CcFactory,
+        rng: SimRng,
+    ) -> TorNetwork {
+        let link_sched = (0..net.link_count()).map(|_| LinkScheduler::new()).collect();
+        TorNetwork {
+            net,
+            router,
+            nodes: Vec::new(),
+            net_node_of: Vec::new(),
+            overlay_by_net: BTreeMap::new(),
+            circuits: Vec::new(),
+            factory,
+            cfg,
+            rng,
+            next_link_circ_id: 1,
+            link_sched,
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Registers an overlay participant backed by network node `net_node`.
+    pub fn add_overlay(&mut self, net_node: NodeId, role: NodeRole, name: &str) -> OverlayId {
+        let id = OverlayId(u32::try_from(self.nodes.len()).expect("too many overlay nodes"));
+        assert!(
+            self.overlay_by_net.insert(net_node, id).is_none(),
+            "network node already hosts an overlay node"
+        );
+        self.nodes
+            .push(OverlayNode::new(id, net_node, role, name.to_string()));
+        self.net_node_of.push(net_node);
+        id
+    }
+
+    /// Registers a circuit over `path` transferring `file_bytes`; start it
+    /// by scheduling [`TorEvent::StartCircuit`].
+    pub fn add_circuit(&mut self, path: Vec<OverlayId>, file_bytes: u64) -> CircId {
+        assert!(path.len() >= 2, "a circuit needs at least client and server");
+        for &n in &path {
+            assert!(n.index() < self.nodes.len(), "unknown overlay node on path");
+        }
+        let id = CircId(u32::try_from(self.circuits.len()).expect("too many circuits"));
+        self.circuits.push(CircuitInfo {
+            path,
+            file_bytes,
+            started_at: None,
+        });
+        id
+    }
+
+    /// The underlying packet network (for link telemetry).
+    pub fn net(&self) -> &Net<WireFrame> {
+        &self.net
+    }
+
+    /// Global counters.
+    pub fn stats(&self) -> &WorldStats {
+        &self.stats
+    }
+
+    /// The static record of a circuit.
+    pub fn circuit_info(&self, circ: CircId) -> &CircuitInfo {
+        &self.circuits[circ.index()]
+    }
+
+    /// Number of registered circuits.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// An overlay node.
+    pub fn node(&self, id: OverlayId) -> &OverlayNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The client's forward hop transport of a circuit, if built.
+    pub fn client_transport(&self, circ: CircId) -> Option<&HopTransport> {
+        let client = *self.circuits[circ.index()].path.first()?;
+        let nc = self.nodes[client.index()].circuits.get(&circ)?;
+        Some(&nc.fwd.as_ref()?.transport)
+    }
+
+    /// The recorded source congestion-window trace of a circuit (requires
+    /// [`WorldConfig::trace_client_cwnd`]).
+    pub fn source_cwnd_trace(&self, circ: CircId) -> Option<&[(SimTime, u32)]> {
+        self.client_transport(circ)?.cwnd_trace()
+    }
+
+    /// The recorded per-cell RTT samples at the source (requires
+    /// [`WorldConfig::trace_client_cwnd`]).
+    pub fn source_rtt_trace(&self, circ: CircId) -> Option<&[(SimTime, u64, SimDuration)]> {
+        self.client_transport(circ)?.rtt_trace()
+    }
+
+    /// The forward-queue high-water mark at `node` for `circ` — the
+    /// backpressure bound tests assert on.
+    pub fn fwd_queue_hwm(&self, node: OverlayId, circ: CircId) -> Option<usize> {
+        let nc = self.nodes[node.index()].circuits.get(&circ)?;
+        Some(nc.fwd.as_ref()?.queue_hwm)
+    }
+
+    /// The round-robin scheduler backlog high-water mark of an egress
+    /// link — where queueing shows up now that links take one frame at a
+    /// time.
+    pub fn sched_backlog_hwm(&self, link: netsim::link::LinkId) -> usize {
+        self.link_sched[link.index()].high_water_mark()
+    }
+
+    /// Collects the measured outcome of every circuit.
+    pub fn results(&self) -> Vec<CircuitResult> {
+        (0..self.circuits.len())
+            .map(|i| self.result_of(CircId(i as u32)))
+            .collect()
+    }
+
+    /// The measured outcome of one circuit.
+    pub fn result_of(&self, circ: CircId) -> CircuitResult {
+        let info = &self.circuits[circ.index()];
+        let client_node = info.path[0];
+        let server_node = *info.path.last().expect("non-empty path");
+        let client = self.nodes[client_node.index()]
+            .circuits
+            .get(&circ)
+            .and_then(|nc| nc.client.as_ref());
+        let server = self.nodes[server_node.index()]
+            .circuits
+            .get(&circ)
+            .and_then(|nc| nc.server.as_ref());
+        CircuitResult {
+            circ,
+            started_at: info.started_at,
+            connected_at: client.and_then(|c| c.connected_at),
+            first_data_at: client.and_then(|c| c.first_data_at),
+            last_byte_at: server.and_then(|s| s.last_byte_at),
+            completed: server.is_some_and(|s| s.ended),
+            bytes_delivered: server.map_or(0, |s| s.bytes_received),
+            cells_delivered: server.map_or(0, |s| s.cells_received),
+            payload_errors: server.map_or(0, |s| s.payload_errors),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery
+    // ------------------------------------------------------------------
+
+    fn alloc_link_circ_id(&mut self) -> CircuitId {
+        let id = CircuitId(self.next_link_circ_id);
+        self.next_link_circ_id += 1;
+        id
+    }
+
+    /// Handshake blob: global circuit id (instrumentation channel for the
+    /// responder's registry — documented in DESIGN.md §4) plus fresh
+    /// random key material.
+    fn make_handshake(&mut self, circ: CircId) -> [u8; HANDSHAKE_LEN] {
+        let mut hs = [0u8; HANDSHAKE_LEN];
+        hs[0..4].copy_from_slice(&circ.0.to_be_bytes());
+        self.rng.fill_bytes(&mut hs[4..]);
+        hs
+    }
+
+    fn protocol_error(stats: &mut WorldStats, what: &str) {
+        stats.protocol_errors += 1;
+        debug_assert!(false, "protocol error: {what}");
+    }
+
+    /// Hands a frame to an overlay egress link: directly if the link is
+    /// idle, otherwise into the link's round-robin scheduler (feedback has
+    /// strict priority; data cells queue per circuit).
+    fn sched_send(
+        net: &mut Net<WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        ctx: &mut Context<'_, TorEvent>,
+        link: netsim::link::LinkId,
+        frame: WireFrame,
+        data_circuit: Option<CircId>,
+    ) {
+        if net.is_busy(link) {
+            let sched = &mut link_sched[link.index()];
+            match data_circuit {
+                Some(circ) => sched.push_cell(circ, frame),
+                None => sched.push_feedback(frame),
+            }
+        } else {
+            debug_assert_eq!(net.queue_len(link), 0, "idle link with queued frames");
+            let outcome = net.send(ctx, link, frame);
+            debug_assert_eq!(outcome, SendOutcome::Accepted, "idle link refused a frame");
+        }
+    }
+
+    /// After a transmission completes, starts the next scheduled frame on
+    /// the link, if any.
+    fn refill_link(
+        net: &mut Net<WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        ctx: &mut Context<'_, TorEvent>,
+        link: netsim::link::LinkId,
+    ) {
+        if !net.is_busy(link) {
+            if let Some(frame) = link_sched[link.index()].pop() {
+                let outcome = net.send(ctx, link, frame);
+                debug_assert_eq!(outcome, SendOutcome::Accepted);
+            }
+        }
+    }
+
+    /// Sends a feedback frame to `cf.neighbor`.
+    #[allow(clippy::too_many_arguments)]
+    fn send_feedback(
+        net: &mut Net<WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        router: &Router,
+        net_node_of: &[NodeId],
+        stats: &mut WorldStats,
+        ctx: &mut Context<'_, TorEvent>,
+        my_net: NodeId,
+        cf: PendingConfirm,
+    ) {
+        let dst = net_node_of[cf.neighbor.index()];
+        let frame = WireFrame {
+            src: my_net,
+            dst,
+            payload: FramePayload::Feedback(Feedback {
+                circ: cf.circ_id,
+                seq: cf.seq,
+            }),
+            confirm: None,
+        };
+        Self::sched_send(net, link_sched, ctx, router.next_link(my_net, dst), frame, None);
+        stats.feedback_sent += 1;
+    }
+
+    /// Drains one hop direction: sends queued cells (and, at a
+    /// transferring client, freshly generated DATA/END cells) while the
+    /// window allows, paying owed feedback as cells leave the queue.
+    #[allow(clippy::too_many_arguments)]
+    fn pump_dir(
+        net: &mut Net<WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        router: &Router,
+        net_node_of: &[NodeId],
+        stats: &mut WorldStats,
+        ctx: &mut Context<'_, TorEvent>,
+        my_net: NodeId,
+        nc: &mut NodeCircuit,
+        dir: Direction,
+    ) {
+        let circ = nc.circ;
+        let NodeCircuit {
+            fwd, bwd, client, ..
+        } = nc;
+        let Some(hopdir) = (match dir {
+            Direction::Forward => fwd.as_mut(),
+            Direction::Backward => bwd.as_mut(),
+        }) else {
+            return;
+        };
+        loop {
+            if !hopdir.transport.can_send() {
+                break;
+            }
+            let qc = if let Some(qc) = hopdir.queue.pop_front() {
+                qc
+            } else if dir == Direction::Forward {
+                match Self::generate_client_cell(client.as_mut(), circ, ctx.now()) {
+                    Some(qc) => qc,
+                    None => break,
+                }
+            } else {
+                break;
+            };
+
+            let mut cell = qc.cell;
+            if let Some(hop) = qc.wrap_for_hop {
+                let app = client
+                    .as_mut()
+                    .expect("wrap_for_hop is only set on client-originated cells");
+                match &mut cell.body {
+                    CellBody::Relay(rc) => app.route.wrap_for_hop(hop, rc),
+                    _ => debug_assert!(false, "wrap_for_hop on a control cell"),
+                }
+            }
+            let seq = hopdir.transport.register_send(ctx.now());
+            cell.circ = hopdir.link_circ_id;
+            let dst = net_node_of[hopdir.neighbor.index()];
+            let frame = WireFrame {
+                src: my_net,
+                dst,
+                payload: FramePayload::Cell {
+                    cell,
+                    hop_seq: seq,
+                },
+                // Paid when the cell finishes serializing (TxComplete):
+                // that is the instant the cell is "forwarded".
+                confirm: qc.confirm,
+            };
+            Self::sched_send(
+                net,
+                link_sched,
+                ctx,
+                router.next_link(my_net, dst),
+                frame,
+                Some(circ),
+            );
+            stats.cells_sent += 1;
+        }
+    }
+
+    /// Produces the next client-originated cell (DATA, then one END), or
+    /// `None` if the client has nothing to send.
+    fn generate_client_cell(
+        client: Option<&mut ClientApp>,
+        circ: CircId,
+        now: SimTime,
+    ) -> Option<QueuedCell> {
+        let app = client?;
+        if app.stage != ClientStage::Transferring {
+            return None;
+        }
+        let server_hop = app.server_hop();
+        if app.sent_cells < app.total_cells {
+            let idx = app.sent_cells;
+            let len = app.cell_len(idx);
+            let payload = fill_pattern(circ, idx, len);
+            let rc = RelayCell::data(StreamId(1), payload);
+            app.sent_cells += 1;
+            if app.first_data_at.is_none() {
+                app.first_data_at = Some(now);
+            }
+            Some(QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL, // restamped at send
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: Some(server_hop),
+            })
+        } else if !app.end_sent {
+            app.end_sent = true;
+            app.stage = ClientStage::Finished;
+            // ≥ 8 payload bytes so leaky-pipe recognition stays sound (a
+            // near-empty payload could spuriously "recognize" early).
+            let data = vec![END_REASON_DONE; 8];
+            let rc = RelayCell {
+                cmd: RelayCommand::End,
+                stream: StreamId(1),
+                digest: payload_digest(&data),
+                data,
+            };
+            Some(QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL,
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: Some(server_hop),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn start_circuit(&mut self, ctx: &mut Context<'_, TorEvent>, circ: CircId) {
+        let info = &mut self.circuits[circ.index()];
+        assert!(info.started_at.is_none(), "circuit started twice");
+        info.started_at = Some(ctx.now());
+        let path = info.path.clone();
+        let file_bytes = info.file_bytes;
+        let client_id = path[0];
+        let first_hop = path[1];
+        let link_id = self.alloc_link_circ_id();
+        let hs = self.make_handshake(circ);
+
+        let hop_ctx = HopCtx {
+            circuit: circ,
+            position: 0,
+            direction: Direction::Forward,
+        };
+        let mut transport = HopTransport::new((self.factory)(&hop_ctx));
+        if self.cfg.trace_client_cwnd {
+            transport.enable_cwnd_trace(ctx.now());
+            transport.enable_rtt_trace();
+        }
+
+        let node = &mut self.nodes[client_id.index()];
+        debug_assert_eq!(node.role, NodeRole::Client, "circuit must start at a client");
+        node.routes
+            .insert((first_hop, link_id), (circ, Direction::Backward));
+        let mut nc = NodeCircuit::new(circ, 0);
+        nc.client = Some(ClientApp::new(path, file_bytes, ctx.now()));
+        let mut hopdir = HopDir::new(first_hop, link_id, transport);
+        hopdir.enqueue(QueuedCell {
+            cell: Cell::create(CircuitId::CONTROL, hs),
+            confirm: None,
+            wrap_for_hop: None,
+        });
+        nc.fwd = Some(hopdir);
+        node.circuits.insert(circ, nc);
+
+        let my_net = node.net_node;
+        let nc = self.nodes[client_id.index()]
+            .circuits
+            .get_mut(&circ)
+            .expect("just inserted");
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            Direction::Forward,
+        );
+    }
+
+    fn deliver(&mut self, ctx: &mut Context<'_, TorEvent>, frame: WireFrame) {
+        let to = *self
+            .overlay_by_net
+            .get(&frame.dst)
+            .expect("frame delivered to a node with no overlay participant");
+        let from = *self
+            .overlay_by_net
+            .get(&frame.src)
+            .expect("frame from a node with no overlay participant");
+        match frame.payload {
+            FramePayload::Feedback(fb) => self.on_feedback(ctx, to, from, fb),
+            FramePayload::Cell { cell, hop_seq } => self.on_cell(ctx, to, from, cell, hop_seq),
+        }
+    }
+
+    fn on_feedback(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        fb: Feedback,
+    ) {
+        let node = &mut self.nodes[to.index()];
+        let Some(&(circ, _)) = node.routes.get(&(from, fb.circ)) else {
+            Self::protocol_error(&mut self.stats, "feedback on unknown route");
+            return;
+        };
+        let my_net = node.net_node;
+        let Some(nc) = node.circuits.get_mut(&circ) else {
+            Self::protocol_error(&mut self.stats, "feedback for unknown circuit");
+            return;
+        };
+        let Some(dir) = nc.direction_toward(from) else {
+            Self::protocol_error(&mut self.stats, "feedback from non-neighbour");
+            return;
+        };
+        {
+            let hopdir = nc.hopdir_toward_mut(from).expect("direction just resolved");
+            if hopdir.transport.on_feedback(fb.seq, ctx.now()).is_err() {
+                Self::protocol_error(&mut self.stats, "feedback with unknown sequence");
+                return;
+            }
+        }
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            dir,
+        );
+    }
+
+    fn on_cell(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        cell: Cell,
+        hop_seq: u64,
+    ) {
+        match cell.body {
+            CellBody::Create { handshake } => {
+                self.handle_create(ctx, to, from, cell.circ, handshake, hop_seq)
+            }
+            CellBody::Created { handshake } => {
+                self.handle_created(ctx, to, from, cell.circ, handshake, hop_seq)
+            }
+            CellBody::Destroy { reason } => {
+                self.handle_destroy(ctx, to, from, cell.circ, reason, hop_seq)
+            }
+            CellBody::Padding => {
+                // Padding is consumed silently but still confirmed so the
+                // sender's window does not leak.
+                let my_net = self.net_node_of[to.index()];
+                Self::send_feedback(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    ctx,
+                    my_net,
+                    PendingConfirm {
+                        neighbor: from,
+                        circ_id: cell.circ,
+                        seq: hop_seq,
+                    },
+                );
+            }
+            CellBody::Relay(rc) => self.handle_relay(ctx, to, from, cell.circ, rc, hop_seq),
+        }
+    }
+
+    /// CREATE: become part of the circuit; answer CREATED.
+    fn handle_create(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        link_id: CircuitId,
+        handshake: [u8; HANDSHAKE_LEN],
+        hop_seq: u64,
+    ) {
+        let global = CircId(u32::from_be_bytes(
+            handshake[0..4].try_into().expect("4 bytes"),
+        ));
+        let Some(info) = self.circuits.get(global.index()) else {
+            Self::protocol_error(&mut self.stats, "CREATE for unregistered circuit");
+            return;
+        };
+        let Some(position) = info.path.iter().position(|&n| n == to) else {
+            Self::protocol_error(&mut self.stats, "CREATE at node not on the path");
+            return;
+        };
+        let is_server = position == info.path.len() - 1;
+
+        let hop_ctx = HopCtx {
+            circuit: global,
+            position,
+            direction: Direction::Backward,
+        };
+        let transport = HopTransport::new((self.factory)(&hop_ctx));
+
+        let node = &mut self.nodes[to.index()];
+        let my_net = node.net_node;
+        node.routes
+            .insert((from, link_id), (global, Direction::Forward));
+        let mut nc = NodeCircuit::new(global, position);
+        nc.pred = Some(from);
+        nc.pred_circ_id = Some(link_id);
+        nc.crypt = Some(RelayCrypt::new(LayerKey::from_handshake(&handshake)));
+        if is_server {
+            nc.server = Some(ServerApp::default());
+        }
+        let mut bwd = HopDir::new(from, link_id, transport);
+        bwd.enqueue(QueuedCell {
+            cell: Cell::created(CircuitId::CONTROL, handshake),
+            confirm: None,
+            wrap_for_hop: None,
+        });
+        nc.bwd = Some(bwd);
+        node.circuits.insert(global, nc);
+
+        // Confirm the consumed CREATE, then answer.
+        Self::send_feedback(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            PendingConfirm {
+                neighbor: from,
+                circ_id: link_id,
+                seq: hop_seq,
+            },
+        );
+        let nc = self.nodes[to.index()]
+            .circuits
+            .get_mut(&global)
+            .expect("just inserted");
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            Direction::Backward,
+        );
+    }
+
+    /// CREATED: the hop we asked for exists. At the client this advances
+    /// the build; at a relay it answers a pending EXTEND with EXTENDED.
+    fn handle_created(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        link_id: CircuitId,
+        handshake: [u8; HANDSHAKE_LEN],
+        hop_seq: u64,
+    ) {
+        let node = &mut self.nodes[to.index()];
+        let my_net = node.net_node;
+        let Some(&(global, _)) = node.routes.get(&(from, link_id)) else {
+            Self::protocol_error(&mut self.stats, "CREATED on unknown route");
+            return;
+        };
+        Self::send_feedback(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            PendingConfirm {
+                neighbor: from,
+                circ_id: link_id,
+                seq: hop_seq,
+            },
+        );
+        let node = &mut self.nodes[to.index()];
+        let Some(nc) = node.circuits.get_mut(&global) else {
+            Self::protocol_error(&mut self.stats, "CREATED for unknown circuit");
+            return;
+        };
+        if nc.client.is_some() {
+            self.client_advance_build(ctx, to, global, handshake);
+        } else {
+            // A relay completed an EXTEND: report EXTENDED to the client.
+            let Some(echo) = nc.pending_extend.take() else {
+                Self::protocol_error(&mut self.stats, "CREATED without pending EXTEND");
+                return;
+            };
+            debug_assert_eq!(echo, handshake, "CREATED must echo the extend handshake");
+            let mut rc = RelayCell {
+                cmd: RelayCommand::Extended,
+                stream: StreamId::CIRCUIT,
+                digest: payload_digest(&echo),
+                data: echo.to_vec(),
+            };
+            nc.crypt
+                .as_mut()
+                .expect("relay has crypt state")
+                .add_backward(&mut rc);
+            let Some(bwd) = nc.bwd.as_mut() else {
+                Self::protocol_error(&mut self.stats, "relay without backward hop");
+                return;
+            };
+            bwd.enqueue(QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL,
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: None,
+            });
+            Self::pump_dir(
+                &mut self.net,
+                &mut self.link_sched,
+                &self.router,
+                &self.net_node_of,
+                &mut self.stats,
+                ctx,
+                my_net,
+                nc,
+                Direction::Backward,
+            );
+        }
+    }
+
+    /// The client gained a key for one more hop: extend further, or open
+    /// the stream if the circuit is complete.
+    fn client_advance_build(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        client: OverlayId,
+        circ: CircId,
+        handshake: [u8; HANDSHAKE_LEN],
+    ) {
+        // Pre-generate randomness before borrowing node state.
+        let next_handshake = self.make_handshake(circ);
+        let node = &mut self.nodes[client.index()];
+        let my_net = node.net_node;
+        let nc = node.circuits.get_mut(&circ).expect("client circuit exists");
+        let app = nc.client.as_mut().expect("client app exists");
+        app.route.push_layer(LayerKey::from_handshake(&handshake));
+        let built = app.route.len();
+        let needed = app.path.len() - 1;
+        let qc = if built < needed {
+            let target = app.path[built + 1];
+            app.stage = ClientStage::Building { next: built + 1 };
+            let mut data = Vec::with_capacity(4 + HANDSHAKE_LEN);
+            data.extend_from_slice(&target.0.to_be_bytes());
+            data.extend_from_slice(&next_handshake);
+            let rc = RelayCell {
+                cmd: RelayCommand::Extend,
+                stream: StreamId::CIRCUIT,
+                digest: payload_digest(&data),
+                data,
+            };
+            QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL,
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: Some(built - 1),
+            }
+        } else {
+            app.stage = ClientStage::Opening;
+            let data = b"server:443".to_vec();
+            let rc = RelayCell {
+                cmd: RelayCommand::Begin,
+                stream: StreamId(1),
+                digest: payload_digest(&data),
+                data,
+            };
+            QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL,
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: Some(needed - 1),
+            }
+        };
+        nc.fwd.as_mut().expect("client forward hop").enqueue(qc);
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            Direction::Forward,
+        );
+    }
+
+    /// A relay cell arrived from a neighbour.
+    fn handle_relay(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        link_id: CircuitId,
+        mut rc: RelayCell,
+        hop_seq: u64,
+    ) {
+        let node = &mut self.nodes[to.index()];
+        let my_net = node.net_node;
+        let Some(&(global, flow)) = node.routes.get(&(from, link_id)) else {
+            Self::protocol_error(&mut self.stats, "relay cell on unknown route");
+            return;
+        };
+        let Some(nc) = node.circuits.get_mut(&global) else {
+            Self::protocol_error(&mut self.stats, "relay cell for unknown circuit");
+            return;
+        };
+        let confirm = PendingConfirm {
+            neighbor: from,
+            circ_id: link_id,
+            seq: hop_seq,
+        };
+
+        if nc.closed {
+            // Torn-down circuit: confirm (so the sender's window drains)
+            // and drop.
+            self.stats.cells_dropped_closed += 1;
+            Self::send_feedback(
+                &mut self.net,
+                &mut self.link_sched,
+                &self.router,
+                &self.net_node_of,
+                &mut self.stats,
+                ctx,
+                my_net,
+                confirm,
+            );
+            return;
+        }
+
+        match flow {
+            Direction::Forward => {
+                if nc.client.is_some() {
+                    Self::protocol_error(&mut self.stats, "forward relay cell at client");
+                    return;
+                }
+                let recognized = nc
+                    .crypt
+                    .as_mut()
+                    .expect("non-client has crypt state")
+                    .strip_forward(&mut rc);
+                if recognized {
+                    Self::send_feedback(
+                        &mut self.net,
+                        &mut self.link_sched,
+                        &self.router,
+                        &self.net_node_of,
+                        &mut self.stats,
+                        ctx,
+                        my_net,
+                        confirm,
+                    );
+                    let nc = self.nodes[to.index()]
+                        .circuits
+                        .get_mut(&global)
+                        .expect("still present");
+                    if nc.server.is_some() {
+                        self.server_consume(ctx, to, global, rc);
+                    } else {
+                        self.relay_consume(ctx, to, global, rc);
+                    }
+                } else {
+                    if nc.server.is_some() {
+                        Self::protocol_error(&mut self.stats, "unrecognized relay cell at server");
+                        return;
+                    }
+                    let Some(fwd) = nc.fwd.as_mut() else {
+                        Self::protocol_error(&mut self.stats, "forwarding past the built circuit");
+                        return;
+                    };
+                    fwd.enqueue(QueuedCell {
+                        cell: Cell {
+                            circ: CircuitId::CONTROL,
+                            body: CellBody::Relay(rc),
+                        },
+                        confirm: Some(confirm),
+                        wrap_for_hop: None,
+                    });
+                    Self::pump_dir(
+                        &mut self.net,
+                        &mut self.link_sched,
+                        &self.router,
+                        &self.net_node_of,
+                        &mut self.stats,
+                        ctx,
+                        my_net,
+                        nc,
+                        Direction::Forward,
+                    );
+                }
+            }
+            Direction::Backward => {
+                if nc.client.is_some() {
+                    Self::send_feedback(
+                        &mut self.net,
+                        &mut self.link_sched,
+                        &self.router,
+                        &self.net_node_of,
+                        &mut self.stats,
+                        ctx,
+                        my_net,
+                        confirm,
+                    );
+                    let node = &mut self.nodes[to.index()];
+                    let nc = node.circuits.get_mut(&global).expect("still present");
+                    let app = nc.client.as_mut().expect("client app");
+                    match app.route.unwrap_inbound(&mut rc) {
+                        Some(origin) => {
+                            self.client_consume_backward(ctx, to, global, origin, rc)
+                        }
+                        None => {
+                            Self::protocol_error(
+                                &mut self.stats,
+                                "backward cell not recognized by any layer",
+                            );
+                        }
+                    }
+                } else {
+                    nc.crypt
+                        .as_mut()
+                        .expect("relay has crypt state")
+                        .add_backward(&mut rc);
+                    let Some(bwd) = nc.bwd.as_mut() else {
+                        Self::protocol_error(&mut self.stats, "backward cell with no client side");
+                        return;
+                    };
+                    bwd.enqueue(QueuedCell {
+                        cell: Cell {
+                            circ: CircuitId::CONTROL,
+                            body: CellBody::Relay(rc),
+                        },
+                        confirm: Some(confirm),
+                        wrap_for_hop: None,
+                    });
+                    Self::pump_dir(
+                        &mut self.net,
+                        &mut self.link_sched,
+                        &self.router,
+                        &self.net_node_of,
+                        &mut self.stats,
+                        ctx,
+                        my_net,
+                        nc,
+                        Direction::Backward,
+                    );
+                }
+            }
+        }
+    }
+
+    /// A relay recognized a forward cell: only EXTEND is valid here.
+    fn relay_consume(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        relay: OverlayId,
+        circ: CircId,
+        rc: RelayCell,
+    ) {
+        if rc.cmd != RelayCommand::Extend {
+            Self::protocol_error(&mut self.stats, "relay consumed a non-EXTEND cell");
+            return;
+        }
+        if rc.data.len() != 4 + HANDSHAKE_LEN {
+            Self::protocol_error(&mut self.stats, "malformed EXTEND payload");
+            return;
+        }
+        let target = OverlayId(u32::from_be_bytes(rc.data[0..4].try_into().expect("4 bytes")));
+        if target.index() >= self.nodes.len() {
+            Self::protocol_error(&mut self.stats, "EXTEND to unknown node");
+            return;
+        }
+        let mut hs = [0u8; HANDSHAKE_LEN];
+        hs.copy_from_slice(&rc.data[4..]);
+        let new_id = self.alloc_link_circ_id();
+
+        let node = &mut self.nodes[relay.index()];
+        let my_net = node.net_node;
+        let position = node
+            .circuits
+            .get(&circ)
+            .expect("circuit exists at relay")
+            .position;
+        node.routes
+            .insert((target, new_id), (circ, Direction::Backward));
+        let hop_ctx = HopCtx {
+            circuit: circ,
+            position,
+            direction: Direction::Forward,
+        };
+        let transport = HopTransport::new((self.factory)(&hop_ctx));
+        let nc = node.circuits.get_mut(&circ).expect("circuit exists");
+        nc.pending_extend = Some(hs);
+        let mut fwd = HopDir::new(target, new_id, transport);
+        fwd.enqueue(QueuedCell {
+            cell: Cell::create(CircuitId::CONTROL, hs),
+            confirm: None,
+            wrap_for_hop: None,
+        });
+        nc.fwd = Some(fwd);
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            Direction::Forward,
+        );
+    }
+
+    /// The server recognized a forward cell.
+    fn server_consume(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        server: OverlayId,
+        circ: CircId,
+        rc: RelayCell,
+    ) {
+        let verify = self.cfg.verify_payload;
+        let node = &mut self.nodes[server.index()];
+        let my_net = node.net_node;
+        let nc = node.circuits.get_mut(&circ).expect("server circuit exists");
+        let app = nc.server.as_mut().expect("server app exists");
+        match rc.cmd {
+            RelayCommand::Begin => {
+                app.stream_open = true;
+                let data = vec![0xC0u8; 8];
+                let mut reply = RelayCell {
+                    cmd: RelayCommand::Connected,
+                    stream: rc.stream,
+                    digest: payload_digest(&data),
+                    data,
+                };
+                nc.crypt
+                    .as_mut()
+                    .expect("server has crypt state")
+                    .add_backward(&mut reply);
+                nc.bwd
+                    .as_mut()
+                    .expect("server backward hop")
+                    .enqueue(QueuedCell {
+                        cell: Cell {
+                            circ: CircuitId::CONTROL,
+                            body: CellBody::Relay(reply),
+                        },
+                        confirm: None,
+                        wrap_for_hop: None,
+                    });
+                Self::pump_dir(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    ctx,
+                    my_net,
+                    nc,
+                    Direction::Backward,
+                );
+            }
+            RelayCommand::Data => {
+                if !app.stream_open {
+                    Self::protocol_error(&mut self.stats, "DATA before BEGIN");
+                    return;
+                }
+                if verify {
+                    let expected = fill_pattern(circ, app.cells_received, rc.data.len());
+                    if rc.data != expected {
+                        app.payload_errors += 1;
+                        debug_assert!(false, "payload verification failed");
+                    }
+                }
+                app.cells_received += 1;
+                app.bytes_received += rc.data.len() as u64;
+                if app.first_byte_at.is_none() {
+                    app.first_byte_at = Some(ctx.now());
+                }
+                app.last_byte_at = Some(ctx.now());
+            }
+            RelayCommand::End => {
+                app.ended = true;
+            }
+            _ => {
+                Self::protocol_error(&mut self.stats, "unexpected relay command at server");
+            }
+        }
+    }
+
+    /// The client recognized a backward cell originated by hop `origin`.
+    fn client_consume_backward(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        client: OverlayId,
+        circ: CircId,
+        origin: usize,
+        rc: RelayCell,
+    ) {
+        match rc.cmd {
+            RelayCommand::Extended => {
+                if rc.data.len() != HANDSHAKE_LEN {
+                    Self::protocol_error(&mut self.stats, "malformed EXTENDED payload");
+                    return;
+                }
+                let node = &self.nodes[client.index()];
+                let nc = node.circuits.get(&circ).expect("client circuit");
+                let app = nc.client.as_ref().expect("client app");
+                debug_assert_eq!(
+                    origin,
+                    app.route.len() - 1,
+                    "EXTENDED must originate from the current last hop"
+                );
+                let mut hs = [0u8; HANDSHAKE_LEN];
+                hs.copy_from_slice(&rc.data);
+                self.client_advance_build(ctx, client, circ, hs);
+            }
+            RelayCommand::Connected => {
+                let node = &mut self.nodes[client.index()];
+                let my_net = node.net_node;
+                let nc = node.circuits.get_mut(&circ).expect("client circuit");
+                let app = nc.client.as_mut().expect("client app");
+                if app.stage != ClientStage::Opening {
+                    Self::protocol_error(&mut self.stats, "CONNECTED in wrong stage");
+                    return;
+                }
+                app.stage = ClientStage::Transferring;
+                app.connected_at = Some(ctx.now());
+                Self::pump_dir(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    ctx,
+                    my_net,
+                    nc,
+                    Direction::Forward,
+                );
+            }
+            RelayCommand::End => {
+                // Server-initiated close; nothing to do for bulk transfers.
+            }
+            _ => {
+                Self::protocol_error(&mut self.stats, "unexpected backward relay command");
+            }
+        }
+    }
+
+    /// DESTROY: mark the circuit closed and propagate.
+    fn handle_destroy(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        link_id: CircuitId,
+        reason: u8,
+        hop_seq: u64,
+    ) {
+        let node = &mut self.nodes[to.index()];
+        let my_net = node.net_node;
+        let Some(&(global, _)) = node.routes.get(&(from, link_id)) else {
+            Self::protocol_error(&mut self.stats, "DESTROY on unknown route");
+            return;
+        };
+        Self::send_feedback(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            PendingConfirm {
+                neighbor: from,
+                circ_id: link_id,
+                seq: hop_seq,
+            },
+        );
+        let node = &mut self.nodes[to.index()];
+        let Some(nc) = node.circuits.get_mut(&global) else {
+            return; // already gone
+        };
+        if nc.closed {
+            return;
+        }
+        nc.closed = true;
+        // Propagate away from the sender.
+        let propagate_dir = match nc.direction_toward(from) {
+            // The hop *toward* the sender is where it came from; continue
+            // in the other direction.
+            Some(Direction::Forward) => Direction::Backward,
+            Some(Direction::Backward) => Direction::Forward,
+            None => return,
+        };
+        let hopdir = match propagate_dir {
+            Direction::Forward => nc.fwd.as_mut(),
+            Direction::Backward => nc.bwd.as_mut(),
+        };
+        if let Some(hd) = hopdir {
+            hd.enqueue(QueuedCell {
+                cell: Cell::destroy(CircuitId::CONTROL, reason),
+                confirm: None,
+                wrap_for_hop: None,
+            });
+            Self::pump_dir(
+                &mut self.net,
+                &mut self.link_sched,
+                &self.router,
+                &self.net_node_of,
+                &mut self.stats,
+                ctx,
+                my_net,
+                nc,
+                propagate_dir,
+            );
+        }
+    }
+
+    /// Client-initiated teardown (from a [`TorEvent::Teardown`]).
+    fn teardown(&mut self, ctx: &mut Context<'_, TorEvent>, circ: CircId) {
+        let client_id = self.circuits[circ.index()].path[0];
+        let node = &mut self.nodes[client_id.index()];
+        let my_net = node.net_node;
+        let Some(nc) = node.circuits.get_mut(&circ) else {
+            return;
+        };
+        if nc.closed {
+            return;
+        }
+        nc.closed = true;
+        if let Some(fwd) = nc.fwd.as_mut() {
+            fwd.enqueue(QueuedCell {
+                cell: Cell::destroy(CircuitId::CONTROL, DESTROY_REASON_FINISHED),
+                confirm: None,
+                wrap_for_hop: None,
+            });
+            Self::pump_dir(
+                &mut self.net,
+                &mut self.link_sched,
+                &self.router,
+                &self.net_node_of,
+                &mut self.stats,
+                ctx,
+                my_net,
+                nc,
+                Direction::Forward,
+            );
+        }
+    }
+}
+
+impl World for TorNetwork {
+    type Event = TorEvent;
+
+    fn handle(&mut self, ctx: &mut Context<'_, TorEvent>, event: TorEvent) {
+        match event {
+            TorEvent::Net(NetEvent::TxComplete { link }) => {
+                // A cell that just finished serializing is now physically
+                // forwarded: pay the feedback owed to the upstream
+                // neighbour. `take()` ensures intermediate switches (the
+                // star hub) do not pay it a second time.
+                let confirm = self
+                    .net
+                    .transmitting_mut(link)
+                    .and_then(|f| f.confirm.take());
+                self.net.on_tx_complete(ctx, link);
+                // Serve the next scheduled frame before anything else so
+                // the link never idles while work is waiting.
+                Self::refill_link(&mut self.net, &mut self.link_sched, ctx, link);
+                if let Some(cf) = confirm {
+                    let my_net = self.net.link_src(link);
+                    Self::send_feedback(
+                        &mut self.net,
+                        &mut self.link_sched,
+                        &self.router,
+                        &self.net_node_of,
+                        &mut self.stats,
+                        ctx,
+                        my_net,
+                        cf,
+                    );
+                }
+            }
+            TorEvent::Net(NetEvent::Deliver { link }) => {
+                let frame = self.net.take_delivered(link);
+                let here = self.net.link_dst(link);
+                if here != frame.dst {
+                    // An intermediate switch (the star hub): forward.
+                    let next = self.router.next_link(here, frame.dst);
+                    let outcome = self.net.send(ctx, next, frame);
+                    debug_assert_eq!(outcome, SendOutcome::Accepted, "switch dropped a frame");
+                } else {
+                    self.deliver(ctx, frame);
+                }
+            }
+            TorEvent::StartCircuit(circ) => self.start_circuit(ctx, circ),
+            TorEvent::Teardown(circ) => self.teardown(ctx, circ),
+            TorEvent::SetLinkRate { link, rate } => self.net.set_link_rate(link, rate),
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Per-node overlay state.
+//!
+//! Each overlay node (client, relay, or server) keeps, per circuit it
+//! participates in, a [`NodeCircuit`]: the per-direction hop transports
+//! and queues, the relay-side onion layer, and — at the endpoints — the
+//! application state machines.
+//!
+//! All maps are `BTreeMap`s: the simulator never iterates hash maps whose
+//! order could leak into event ordering, keeping runs bit-reproducible.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use backtap::cc::CongestionControl;
+use backtap::hop::HopTransport;
+use netsim::net::NodeId;
+use simcore::time::SimTime;
+use torcell::cell::{Cell, HANDSHAKE_LEN};
+use torcell::crypto::{OnionRoute, RelayCrypt};
+use torcell::ids::CircuitId;
+
+use crate::ids::{CircId, Direction, OverlayId};
+
+/// What kind of overlay participant a node is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeRole {
+    /// Originates circuits and data (the onion proxy).
+    Client,
+    /// Forwards cells between neighbours.
+    Relay,
+    /// Terminates circuits and consumes data.
+    Server,
+}
+
+/// Context handed to the congestion-controller factory for every hop
+/// transport created.
+#[derive(Clone, Copy, Debug)]
+pub struct HopCtx {
+    /// Which circuit the transport belongs to.
+    pub circuit: CircId,
+    /// The owning node's position on the path (0 = client).
+    pub position: usize,
+    /// Which direction the transport sends in.
+    pub direction: Direction,
+}
+
+/// Creates the congestion controller for a hop transport.
+///
+/// The experiment harness supplies this; it is how the CircuitStart
+/// algorithm (which lives above this crate) is plugged into the overlay.
+pub type CcFactory = Box<dyn Fn(&HopCtx) -> Box<dyn CongestionControl + Send>>;
+
+/// Feedback owed to the neighbour a cell arrived from, payable at the
+/// moment the cell is forwarded (relays) or consumed (endpoints).
+#[derive(Clone, Copy, Debug)]
+pub struct PendingConfirm {
+    /// Neighbour to notify.
+    pub neighbor: OverlayId,
+    /// Link-local circuit id on that neighbour's connection.
+    pub circ_id: CircuitId,
+    /// The neighbour's per-hop sequence number for the cell.
+    pub seq: u64,
+}
+
+/// A cell waiting in a hop's egress queue.
+#[derive(Clone, Debug)]
+pub struct QueuedCell {
+    /// The cell (its `circ` field is restamped at send time).
+    pub cell: Cell,
+    /// Feedback owed upstream once this cell leaves the queue.
+    pub confirm: Option<PendingConfirm>,
+    /// For client-originated relay cells: the hop (layer index) that must
+    /// recognize the cell; onion wrapping happens at dequeue so that layer
+    /// counters advance in exact send order.
+    pub wrap_for_hop: Option<usize>,
+}
+
+/// One direction of one circuit at one node: the transport toward the
+/// neighbour plus the queue of cells waiting for the window.
+pub struct HopDir {
+    /// The adjacent overlay node this hop sends to.
+    pub neighbor: OverlayId,
+    /// Link-local circuit id stamped on every cell sent on this hop.
+    pub link_circ_id: CircuitId,
+    /// Window/feedback machinery.
+    pub transport: HopTransport,
+    /// Cells awaiting window credit.
+    pub queue: VecDeque<QueuedCell>,
+    /// Largest queue length observed (bounded by the predecessor's window
+    /// — the backpressure property the tests assert).
+    pub queue_hwm: usize,
+}
+
+impl HopDir {
+    /// Creates a hop direction.
+    pub fn new(neighbor: OverlayId, link_circ_id: CircuitId, transport: HopTransport) -> HopDir {
+        HopDir {
+            neighbor,
+            link_circ_id,
+            transport,
+            queue: VecDeque::new(),
+            queue_hwm: 0,
+        }
+    }
+
+    /// Enqueues a cell and updates the high-water mark.
+    pub fn enqueue(&mut self, qc: QueuedCell) {
+        self.queue.push_back(qc);
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
+    }
+}
+
+/// Client-side build/transfer state machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientStage {
+    /// Waiting for CREATED/EXTENDED of hop `next` (1 = first relay).
+    Building {
+        /// Index into the path of the hop being created.
+        next: usize,
+    },
+    /// BEGIN sent, waiting for CONNECTED.
+    Opening,
+    /// Bulk data flowing.
+    Transferring,
+    /// END sent; all data handed to the network.
+    Finished,
+}
+
+/// Client application state for one circuit.
+pub struct ClientApp {
+    /// Full path including the client itself and the server.
+    pub path: Vec<OverlayId>,
+    /// Onion layers negotiated so far.
+    pub route: OnionRoute,
+    /// Build/transfer stage.
+    pub stage: ClientStage,
+    /// Total payload bytes to transfer.
+    pub file_bytes: u64,
+    /// Total DATA cells the transfer needs.
+    pub total_cells: u64,
+    /// DATA cells sent so far.
+    pub sent_cells: u64,
+    /// Whether the trailing END cell has been sent.
+    pub end_sent: bool,
+    /// When the circuit build started.
+    pub started_at: SimTime,
+    /// When CONNECTED arrived (transfer begins).
+    pub connected_at: Option<SimTime>,
+    /// When the first DATA cell was sent.
+    pub first_data_at: Option<SimTime>,
+}
+
+impl ClientApp {
+    /// Creates client state for a transfer of `file_bytes` over `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is shorter than client + server or the file is
+    /// empty.
+    pub fn new(path: Vec<OverlayId>, file_bytes: u64, started_at: SimTime) -> ClientApp {
+        assert!(path.len() >= 2, "a circuit needs at least client and server");
+        assert!(file_bytes > 0, "cannot transfer an empty file");
+        let payload = torcell::cell::RELAY_DATA_MAX as u64;
+        ClientApp {
+            path,
+            route: OnionRoute::new(),
+            stage: ClientStage::Building { next: 1 },
+            file_bytes,
+            total_cells: file_bytes.div_ceil(payload),
+            sent_cells: 0,
+            end_sent: false,
+            started_at,
+            connected_at: None,
+            first_data_at: None,
+        }
+    }
+
+    /// Bytes the DATA cell with index `idx` carries.
+    pub fn cell_len(&self, idx: u64) -> usize {
+        let payload = torcell::cell::RELAY_DATA_MAX as u64;
+        if idx + 1 < self.total_cells {
+            payload as usize
+        } else {
+            let rem = self.file_bytes - (self.total_cells - 1) * payload;
+            rem as usize
+        }
+    }
+
+    /// The layer index of the server (the hop that recognizes DATA).
+    pub fn server_hop(&self) -> usize {
+        self.path.len() - 2
+    }
+}
+
+/// Server application state for one circuit.
+#[derive(Clone, Debug, Default)]
+pub struct ServerApp {
+    /// Stream established (BEGIN processed).
+    pub stream_open: bool,
+    /// DATA cells consumed.
+    pub cells_received: u64,
+    /// Payload bytes consumed.
+    pub bytes_received: u64,
+    /// Arrival time of the first DATA cell.
+    pub first_byte_at: Option<SimTime>,
+    /// Arrival time of the most recent DATA cell.
+    pub last_byte_at: Option<SimTime>,
+    /// END received — transfer complete.
+    pub ended: bool,
+    /// Payload-verification failures (must stay 0).
+    pub payload_errors: u64,
+}
+
+/// A node's participation in one circuit.
+pub struct NodeCircuit {
+    /// Global circuit id (simulator bookkeeping).
+    pub circ: CircId,
+    /// This node's position on the path (0 = client).
+    pub position: usize,
+    /// Neighbour toward the client, if any.
+    pub pred: Option<OverlayId>,
+    /// Link-local id on the predecessor connection.
+    pub pred_circ_id: Option<CircuitId>,
+    /// Transport and queue toward the server (None at the server).
+    pub fwd: Option<HopDir>,
+    /// Transport and queue toward the client (None at the client).
+    pub bwd: Option<HopDir>,
+    /// Relay-side onion layer (None at the client).
+    pub crypt: Option<RelayCrypt>,
+    /// Handshake blob of an EXTEND in progress, echoed in EXTENDED.
+    pub pending_extend: Option<[u8; HANDSHAKE_LEN]>,
+    /// Client application (only at position 0).
+    pub client: Option<ClientApp>,
+    /// Server application (only at the last position).
+    pub server: Option<ServerApp>,
+    /// Circuit has been torn down (DESTROY seen); late cells are dropped.
+    pub closed: bool,
+}
+
+impl NodeCircuit {
+    /// Creates an empty participation record.
+    pub fn new(circ: CircId, position: usize) -> NodeCircuit {
+        NodeCircuit {
+            circ,
+            position,
+            pred: None,
+            pred_circ_id: None,
+            fwd: None,
+            bwd: None,
+            crypt: None,
+            pending_extend: None,
+            client: None,
+            server: None,
+            closed: false,
+        }
+    }
+
+    /// The hop direction that *sends to* `neighbor`, used to route
+    /// feedback to the right transport.
+    pub fn hopdir_toward_mut(&mut self, neighbor: OverlayId) -> Option<&mut HopDir> {
+        if self.fwd.as_ref().is_some_and(|h| h.neighbor == neighbor) {
+            return self.fwd.as_mut();
+        }
+        if self.bwd.as_ref().is_some_and(|h| h.neighbor == neighbor) {
+            return self.bwd.as_mut();
+        }
+        None
+    }
+
+    /// The direction of the hop that sends to `neighbor`.
+    pub fn direction_toward(&self, neighbor: OverlayId) -> Option<Direction> {
+        if self.fwd.as_ref().is_some_and(|h| h.neighbor == neighbor) {
+            return Some(Direction::Forward);
+        }
+        if self.bwd.as_ref().is_some_and(|h| h.neighbor == neighbor) {
+            return Some(Direction::Backward);
+        }
+        None
+    }
+}
+
+/// An overlay node: identity plus all per-circuit state.
+pub struct OverlayNode {
+    /// Overlay id.
+    pub id: OverlayId,
+    /// Backing network node.
+    pub net_node: NodeId,
+    /// Participant kind.
+    pub role: NodeRole,
+    /// Diagnostic name.
+    pub name: String,
+    /// Per-circuit state.
+    pub circuits: BTreeMap<CircId, NodeCircuit>,
+    /// Resolves `(neighbour, link-local id)` to `(circuit, direction data
+    /// flows when arriving from that neighbour)`.
+    pub routes: BTreeMap<(OverlayId, CircuitId), (CircId, Direction)>,
+}
+
+impl OverlayNode {
+    /// Creates a node.
+    pub fn new(id: OverlayId, net_node: NodeId, role: NodeRole, name: String) -> OverlayNode {
+        OverlayNode {
+            id,
+            net_node,
+            role,
+            name,
+            circuits: BTreeMap::new(),
+            routes: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backtap::cc::FixedWindowCc;
+
+    fn transport() -> HopTransport {
+        HopTransport::new(Box::new(FixedWindowCc::new(4)))
+    }
+
+    #[test]
+    fn client_app_cell_accounting() {
+        let path = vec![OverlayId(0), OverlayId(1), OverlayId(2)];
+        let app = ClientApp::new(path, 1000, SimTime::ZERO);
+        // 1000 bytes / 496 per cell = 3 cells: 496 + 496 + 8.
+        assert_eq!(app.total_cells, 3);
+        assert_eq!(app.cell_len(0), 496);
+        assert_eq!(app.cell_len(1), 496);
+        assert_eq!(app.cell_len(2), 8);
+        assert_eq!(app.server_hop(), 1);
+    }
+
+    #[test]
+    fn client_app_exact_multiple() {
+        let path = vec![OverlayId(0), OverlayId(1)];
+        let app = ClientApp::new(path, 992, SimTime::ZERO);
+        assert_eq!(app.total_cells, 2);
+        assert_eq!(app.cell_len(1), 496);
+    }
+
+    #[test]
+    fn client_app_single_byte() {
+        let app = ClientApp::new(vec![OverlayId(0), OverlayId(1)], 1, SimTime::ZERO);
+        assert_eq!(app.total_cells, 1);
+        assert_eq!(app.cell_len(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty file")]
+    fn client_app_rejects_empty_file() {
+        let _ = ClientApp::new(vec![OverlayId(0), OverlayId(1)], 0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "client and server")]
+    fn client_app_rejects_short_path() {
+        let _ = ClientApp::new(vec![OverlayId(0)], 10, SimTime::ZERO);
+    }
+
+    #[test]
+    fn hopdir_queue_hwm() {
+        let mut hd = HopDir::new(OverlayId(1), CircuitId(5), transport());
+        for _ in 0..3 {
+            hd.enqueue(QueuedCell {
+                cell: Cell::destroy(CircuitId(5), 0),
+                confirm: None,
+                wrap_for_hop: None,
+            });
+        }
+        hd.queue.pop_front();
+        hd.enqueue(QueuedCell {
+            cell: Cell::destroy(CircuitId(5), 0),
+            confirm: None,
+            wrap_for_hop: None,
+        });
+        assert_eq!(hd.queue_hwm, 3);
+    }
+
+    #[test]
+    fn node_circuit_direction_resolution() {
+        let mut nc = NodeCircuit::new(CircId(0), 1);
+        nc.fwd = Some(HopDir::new(OverlayId(2), CircuitId(10), transport()));
+        nc.bwd = Some(HopDir::new(OverlayId(0), CircuitId(11), transport()));
+        assert_eq!(nc.direction_toward(OverlayId(2)), Some(Direction::Forward));
+        assert_eq!(nc.direction_toward(OverlayId(0)), Some(Direction::Backward));
+        assert_eq!(nc.direction_toward(OverlayId(9)), None);
+        assert!(nc.hopdir_toward_mut(OverlayId(2)).is_some());
+        assert!(nc.hopdir_toward_mut(OverlayId(9)).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Static next-hop routing between network nodes.
+//!
+//! Overlay nodes address frames to the *network* node of the adjacent
+//! overlay hop. In the path topology that node is directly connected; in
+//! the star topology the frame crosses the hub, which forwards it using
+//! this table. Routes are computed once at build time — topologies are
+//! static for the lifetime of an experiment.
+
+use std::collections::HashMap;
+
+use netsim::link::LinkId;
+use netsim::net::NodeId;
+
+/// A `(current node, final destination) → outgoing link` table.
+#[derive(Clone, Debug, Default)]
+pub struct Router {
+    next: HashMap<(NodeId, NodeId), LinkId>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Installs a route: at `at`, frames for `dst` leave via `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair already has a different route — conflicting
+    /// routes mean a topology-construction bug.
+    pub fn install(&mut self, at: NodeId, dst: NodeId, link: LinkId) {
+        let prev = self.next.insert((at, dst), link);
+        assert!(
+            prev.is_none() || prev == Some(link),
+            "conflicting route installed at {at:?} for {dst:?}"
+        );
+    }
+
+    /// The outgoing link at `at` for frames addressed to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no route exists — frames must never be addressed to
+    /// unreachable nodes.
+    pub fn next_link(&self, at: NodeId, dst: NodeId) -> LinkId {
+        *self
+            .next
+            .get(&(at, dst))
+            .unwrap_or_else(|| panic!("no route from {at:?} to {dst:?}"))
+    }
+
+    /// Like [`Router::next_link`] but returns `None` instead of panicking.
+    pub fn try_next_link(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next.get(&(at, dst)).copied()
+    }
+
+    /// Number of installed routes.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// `true` if no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireFrame;
+    use netsim::bandwidth::Bandwidth;
+    use netsim::link::LinkConfig;
+    use netsim::net::Net;
+    use simcore::time::SimDuration;
+
+    fn tiny_net() -> (Net<WireFrame>, Vec<NodeId>, Vec<LinkId>) {
+        let mut net = Net::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let c = net.add_node("c");
+        let cfg = LinkConfig::new(Bandwidth::from_mbps(1), SimDuration::ZERO);
+        let ab = net.add_link(a, b, cfg);
+        let bc = net.add_link(b, c, cfg);
+        (net, vec![a, b, c], vec![ab, bc])
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let (_, nodes, links) = tiny_net();
+        let mut r = Router::new();
+        r.install(nodes[0], nodes[2], links[0]);
+        r.install(nodes[1], nodes[2], links[1]);
+        assert_eq!(r.next_link(nodes[0], nodes[2]), links[0]);
+        assert_eq!(r.next_link(nodes[1], nodes[2]), links[1]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn reinstalling_same_route_is_ok() {
+        let (_, nodes, links) = tiny_net();
+        let mut r = Router::new();
+        r.install(nodes[0], nodes[2], links[0]);
+        r.install(nodes[0], nodes[2], links[0]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting route")]
+    fn conflicting_route_panics() {
+        let (_, nodes, links) = tiny_net();
+        let mut r = Router::new();
+        r.install(nodes[0], nodes[2], links[0]);
+        r.install(nodes[0], nodes[2], links[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let (_, nodes, _) = tiny_net();
+        let r = Router::new();
+        let _ = r.next_link(nodes[0], nodes[1]);
+    }
+
+    #[test]
+    fn try_next_link_is_total() {
+        let (_, nodes, links) = tiny_net();
+        let mut r = Router::new();
+        r.install(nodes[0], nodes[1], links[0]);
+        assert_eq!(r.try_next_link(nodes[0], nodes[1]), Some(links[0]));
+        assert_eq!(r.try_next_link(nodes[1], nodes[0]), None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-link circuit scheduling.
+//!
+//! Tor relays do not serve their outgoing connection first-come-first-
+//! served across circuits: they pick the next *circuit* to send from
+//! (classically round-robin, later EWMA-weighted). This matters for
+//! congestion experiments — under FIFO, a sender that overshoots its
+//! window grabs queue positions and is rewarded with earlier service;
+//! under round-robin, overshooting only delays the sender's own cells.
+//! BackTap inherits the round-robin model, so this reproduction does too.
+//!
+//! Mechanically: each overlay node hands its egress link **one frame at a
+//! time**. While the link serializes, further frames wait here, in
+//! per-circuit queues; on `TxComplete` the overlay pulls the next frame —
+//! feedback frames first (they are the transport's control signal, like
+//! ACKs), then data cells round-robin across circuits.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::ids::CircId;
+use crate::wire::WireFrame;
+
+/// Round-robin frame scheduler for one egress link (see module docs).
+#[derive(Default)]
+pub struct LinkScheduler {
+    /// Control frames (feedback): strict priority, FIFO among themselves.
+    feedback: VecDeque<WireFrame>,
+    /// Data cells, one queue per circuit.
+    per_circuit: BTreeMap<CircId, VecDeque<WireFrame>>,
+    /// Rotation order over circuits with queued cells.
+    rotation: VecDeque<CircId>,
+    /// Telemetry: largest number of frames ever waiting here.
+    hwm: usize,
+    /// Current number of frames waiting.
+    len: usize,
+}
+
+impl LinkScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> LinkScheduler {
+        LinkScheduler::default()
+    }
+
+    /// Queues a feedback frame (strict priority over data).
+    pub fn push_feedback(&mut self, frame: WireFrame) {
+        self.feedback.push_back(frame);
+        self.bump();
+    }
+
+    /// Queues a data cell on `circ`'s queue.
+    pub fn push_cell(&mut self, circ: CircId, frame: WireFrame) {
+        let queue = self.per_circuit.entry(circ).or_default();
+        if queue.is_empty() {
+            self.rotation.push_back(circ);
+        }
+        queue.push_back(frame);
+        self.bump();
+    }
+
+    /// Picks the next frame: feedback first, then the next circuit in the
+    /// rotation (which moves to the back if it still has cells).
+    pub fn pop(&mut self) -> Option<WireFrame> {
+        if let Some(fb) = self.feedback.pop_front() {
+            self.len -= 1;
+            return Some(fb);
+        }
+        let circ = self.rotation.pop_front()?;
+        let queue = self
+            .per_circuit
+            .get_mut(&circ)
+            .expect("rotation entries always have queues");
+        let frame = queue.pop_front().expect("queued circuits are non-empty");
+        if queue.is_empty() {
+            self.per_circuit.remove(&circ);
+        } else {
+            self.rotation.push_back(circ);
+        }
+        self.len -= 1;
+        Some(frame)
+    }
+
+    /// Frames currently waiting.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest backlog ever observed (telemetry).
+    pub fn high_water_mark(&self) -> usize {
+        self.hwm
+    }
+
+    /// Number of distinct circuits currently queued.
+    pub fn queued_circuits(&self) -> usize {
+        self.per_circuit.len()
+    }
+
+    fn bump(&mut self) {
+        self.len += 1;
+        self.hwm = self.hwm.max(self.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::net::Net;
+    use torcell::cell::{Cell, Feedback};
+    use torcell::ids::CircuitId;
+
+    fn frames() -> (WireFrame, WireFrame) {
+        let mut net: Net<WireFrame> = Net::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let cell = WireFrame {
+            src: a,
+            dst: b,
+            payload: crate::wire::FramePayload::Cell {
+                cell: Cell::destroy(CircuitId(1), 0),
+                hop_seq: 0,
+            },
+            confirm: None,
+        };
+        let fb = WireFrame {
+            src: a,
+            dst: b,
+            payload: crate::wire::FramePayload::Feedback(Feedback {
+                circ: CircuitId(1),
+                seq: 0,
+            }),
+            confirm: None,
+        };
+        (cell, fb)
+    }
+
+    fn tag_of(frame: &WireFrame) -> u64 {
+        match &frame.payload {
+            crate::wire::FramePayload::Cell { hop_seq, .. } => *hop_seq,
+            crate::wire::FramePayload::Feedback(fb) => 1_000 + fb.seq,
+        }
+    }
+
+    fn cell_with_seq(seq: u64) -> WireFrame {
+        let (mut cell, _) = frames();
+        if let crate::wire::FramePayload::Cell { hop_seq, .. } = &mut cell.payload {
+            *hop_seq = seq;
+        }
+        cell
+    }
+
+    #[test]
+    fn empty_scheduler() {
+        let mut s = LinkScheduler::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.pop().is_none());
+        assert_eq!(s.high_water_mark(), 0);
+    }
+
+    #[test]
+    fn feedback_has_strict_priority() {
+        let (_, fb) = frames();
+        let mut s = LinkScheduler::new();
+        s.push_cell(CircId(0), cell_with_seq(1));
+        s.push_feedback(fb);
+        assert_eq!(tag_of(&s.pop().unwrap()), 1_000, "feedback first");
+        assert_eq!(tag_of(&s.pop().unwrap()), 1);
+    }
+
+    #[test]
+    fn round_robin_across_circuits() {
+        let mut s = LinkScheduler::new();
+        // Circuit 0 queues three cells before circuit 1 queues two.
+        s.push_cell(CircId(0), cell_with_seq(1));
+        s.push_cell(CircId(0), cell_with_seq(2));
+        s.push_cell(CircId(0), cell_with_seq(3));
+        s.push_cell(CircId(1), cell_with_seq(11));
+        s.push_cell(CircId(1), cell_with_seq(12));
+        assert_eq!(s.queued_circuits(), 2);
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|f| tag_of(&f))).collect();
+        // FIFO would give 1,2,3,11,12; round-robin interleaves.
+        assert_eq!(order, vec![1, 11, 2, 12, 3]);
+    }
+
+    #[test]
+    fn per_circuit_order_is_fifo() {
+        let mut s = LinkScheduler::new();
+        for seq in 1..=4 {
+            s.push_cell(CircId(7), cell_with_seq(seq));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|f| tag_of(&f))).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rotation_survives_emptying_and_refilling() {
+        let mut s = LinkScheduler::new();
+        s.push_cell(CircId(0), cell_with_seq(1));
+        assert_eq!(tag_of(&s.pop().unwrap()), 1);
+        assert!(s.is_empty());
+        s.push_cell(CircId(0), cell_with_seq(2));
+        s.push_cell(CircId(1), cell_with_seq(11));
+        assert_eq!(tag_of(&s.pop().unwrap()), 2);
+        assert_eq!(tag_of(&s.pop().unwrap()), 11);
+    }
+
+    #[test]
+    fn high_water_mark_counts_all_classes() {
+        let (_, fb) = frames();
+        let mut s = LinkScheduler::new();
+        s.push_cell(CircId(0), cell_with_seq(1));
+        s.push_feedback(fb);
+        s.push_cell(CircId(1), cell_with_seq(2));
+        assert_eq!(s.high_water_mark(), 3);
+        s.pop();
+        s.pop();
+        s.pop();
+        assert_eq!(s.high_water_mark(), 3);
+        assert!(s.is_empty());
+    }
+}

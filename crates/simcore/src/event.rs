@@ -1,0 +1,263 @@
+//! The pending-event queue.
+//!
+//! A thin wrapper around [`BinaryHeap`] that turns it into a *stable*
+//! min-priority queue keyed on [`SimTime`]: events scheduled for the same
+//! instant are popped in the order they were pushed (FIFO tie-breaking via a
+//! monotonically increasing sequence number). Stability is what makes the
+//! whole simulator deterministic — `BinaryHeap` alone makes no ordering
+//! guarantee for equal keys.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, unique within one simulation run.
+///
+/// Returned by [`EventQueue::push`] so callers can later cancel the event
+/// (see [`crate::sim::Simulator::cancel`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw sequence number.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    event: E,
+}
+
+// Order entries so that the *earliest* (time, id) pair is the heap maximum,
+// because `BinaryHeap` is a max-heap.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller (time, id) compares greater.
+        (other.time, other.id).cmp(&(self.time, self.id))
+    }
+}
+
+/// A stable min-priority queue of timestamped events.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::event::EventQueue;
+/// use simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(2), "late");
+/// q.push(SimTime::from_millis(1), "early");
+/// q.push(SimTime::from_millis(1), "early-second");
+///
+/// assert_eq!(q.pop().map(|(t, _, e)| (t.as_millis(), e)), Some((1, "early")));
+/// assert_eq!(q.pop().map(|(t, _, e)| (t.as_millis(), e)), Some((1, "early-second")));
+/// assert_eq!(q.pop().map(|(t, _, e)| (t.as_millis(), e)), Some((2, "late")));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Largest number of simultaneously pending events ever observed.
+    high_water: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Creates an empty queue with space for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time` and returns its id.
+    ///
+    /// Events with equal timestamps are delivered in push order.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(Entry { time, id, event });
+        self.high_water = self.high_water.max(self.heap.len());
+        id
+    }
+
+    /// Removes and returns the earliest event as `(time, id, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        self.heap.pop().map(|e| (e.time, e.id, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest number of simultaneously pending events observed so far.
+    /// Useful for sizing and for detecting event-storm bugs.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total number of events ever pushed.
+    pub fn pushed_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Discards all pending events (the sequence counter keeps advancing so
+    /// ids remain unique within the run).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ms(30), 'c');
+        q.push(ms(10), 'a');
+        q.push(ms(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(ms(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_equal_and_unequal() {
+        let mut q = EventQueue::new();
+        q.push(ms(1), "t1-first");
+        q.push(ms(0), "t0");
+        q.push(ms(1), "t1-second");
+        assert_eq!(q.pop().unwrap().2, "t0");
+        assert_eq!(q.pop().unwrap().2, "t1-first");
+        assert_eq!(q.pop().unwrap().2, "t1-second");
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut q = EventQueue::new();
+        let a = q.push(ms(1), ());
+        let b = q.push(ms(0), ());
+        assert!(b.as_u64() > a.as_u64());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(ms(7), ());
+        assert_eq!(q.peek_time(), Some(ms(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(ms(1), ());
+        q.push(ms(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(ms(i), ());
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        q.push(ms(9), ());
+        assert_eq!(q.high_water_mark(), 5);
+        assert_eq!(q.pushed_total(), 6);
+    }
+
+    #[test]
+    fn clear_keeps_id_counter() {
+        let mut q = EventQueue::new();
+        q.push(ms(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        let id = q.push(ms(1), ());
+        assert_eq!(id.as_u64(), 1);
+    }
+
+    #[test]
+    fn large_randomish_workload_sorted() {
+        // Pseudo-random but deterministic insertion order.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            q.push(SimTime::from_nanos(x % 10_000), x);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Reproducibility rule: every random choice in an experiment must be
+//! derived from the experiment's single master seed. [`SimRng`] wraps a
+//! fast non-cryptographic generator ([`rand::rngs::SmallRng`]) and adds
+//! **labelled stream derivation**: `rng.derive("relay-bandwidths")` yields
+//! an independent child generator whose seed depends only on the parent
+//! seed and the label. Components can therefore draw randomness in any
+//! order — adding a new consumer never perturbs the streams of existing
+//! ones, which keeps results comparable across code revisions.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// FNV-1a, 64-bit. Tiny, stable, and good enough for seed derivation —
+/// this is *not* used for anything security-relevant.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: scrambles a 64-bit value; used so that similar
+/// (seed, label) pairs yield very different child seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random stream tied to a seed.
+///
+/// Implements [`rand::RngCore`], so all `rand` adapters (`gen_range`,
+/// `shuffle`, distributions) work on it directly.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::rng::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>()); // same seed, same stream
+///
+/// let mut child = a.derive("relay-bandwidths");
+/// let x: f64 = child.gen_range(10.0..100.0);
+/// assert!((10.0..100.0).contains(&x));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a master seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// Derivation is a pure function of `(self.seed, label)`: it does not
+    /// consume randomness from, and is unaffected by, draws on `self`.
+    pub fn derive(&self, label: &str) -> SimRng {
+        let child_seed = splitmix64(self.seed ^ fnv1a(label.as_bytes()));
+        SimRng::seed_from(child_seed)
+    }
+
+    /// Derives an independent child stream identified by a label and an
+    /// index (convenient for per-node / per-circuit streams).
+    pub fn derive_indexed(&self, label: &str, index: u64) -> SimRng {
+        let child_seed = splitmix64(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix64(index));
+        SimRng::seed_from(child_seed)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform integer in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn range_u64(&mut self, low: u64, high: u64) -> u64 {
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniform float in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or either bound is not finite.
+    pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
+        self.inner.gen_range(low..high)
+    }
+
+    /// Log-uniform float in `[low, high)`: the base-10 logarithm of the
+    /// result is uniform. Both bounds must be positive. This matches the
+    /// heavy-tailed flavour of relay-bandwidth distributions.
+    pub fn log_uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(
+            low > 0.0 && high > low,
+            "log_uniform requires 0 < low < high, got [{low}, {high})"
+        );
+        let lg = self.range_f64(low.log10(), high.log10());
+        10f64.powf(lg)
+    }
+
+    /// Fisher–Yates shuffle of a slice, deterministic given the stream
+    /// state.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        // Manual implementation to avoid depending on rand's `seq` feature
+        // details; classic downward Fisher–Yates.
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (uniformly, order
+    /// unspecified but deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        let mut all: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: shuffle only the first k positions.
+        for i in 0..k {
+            let j = self.inner.gen_range(i..n);
+            all.swap(i, j);
+        }
+        all.truncate(k);
+        all
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(8);
+        let same = (0..100).filter(|_| a.u64() == b.u64()).count();
+        assert!(same < 3, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn derive_is_pure_and_order_independent() {
+        let parent = SimRng::seed_from(99);
+        let mut c1 = parent.derive("alpha");
+        // Draw from a *copy* of the parent first; derivation must not care.
+        let mut parent2 = SimRng::seed_from(99);
+        let _ = parent2.u64();
+        let _ = parent2.u64();
+        let mut c2 = parent2.derive("alpha");
+        for _ in 0..20 {
+            assert_eq!(c1.u64(), c2.u64());
+        }
+    }
+
+    #[test]
+    fn derive_labels_independent() {
+        let parent = SimRng::seed_from(99);
+        let mut a = parent.derive("alpha");
+        let mut b = parent.derive("beta");
+        let same = (0..100).filter(|_| a.u64() == b.u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn derive_indexed_distinct() {
+        let parent = SimRng::seed_from(5);
+        let mut a = parent.derive_indexed("relay", 0);
+        let mut b = parent.derive_indexed("relay", 1);
+        assert_ne!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn log_uniform_in_bounds_and_spans_decades() {
+        let mut rng = SimRng::seed_from(2);
+        let mut low_decade = 0;
+        let mut high_decade = 0;
+        for _ in 0..2000 {
+            let v = rng.log_uniform(1.0, 100.0);
+            assert!((1.0..100.0).contains(&v));
+            if v < 10.0 {
+                low_decade += 1;
+            } else {
+                high_decade += 1;
+            }
+        }
+        // Log-uniform: each decade gets ~half the mass.
+        let ratio = low_decade as f64 / high_decade as f64;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "decades should be roughly balanced, got {low_decade}/{high_decade}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "log_uniform requires")]
+    fn log_uniform_rejects_nonpositive() {
+        let mut rng = SimRng::seed_from(2);
+        let _ = rng.log_uniform(0.0, 10.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut rng1 = SimRng::seed_from(3);
+        let mut rng2 = SimRng::seed_from(3);
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        rng1.shuffle(&mut a);
+        rng2.shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "a 50-element shuffle is virtually never the identity");
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..50 {
+            let sample = rng.sample_distinct(10, 3);
+            assert_eq!(sample.len(), 3);
+            let mut s = sample.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 3, "sample must be distinct");
+            assert!(sample.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = SimRng::seed_from(4);
+        let mut sample = rng.sample_distinct(5, 5);
+        sample.sort_unstable();
+        assert_eq!(sample, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_rejects_oversize() {
+        let mut rng = SimRng::seed_from(4);
+        let _ = rng.sample_distinct(3, 4);
+    }
+
+    #[test]
+    fn rngcore_interface_works_with_rand_adapters() {
+        use rand::Rng;
+        let mut rng = SimRng::seed_from(11);
+        let v: f64 = rng.gen_range(0.5..0.6);
+        assert!((0.5..0.6).contains(&v));
+        let mut buf = [0u8; 16];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 16]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's Figure 1 (lower panel) plots the empirical CDF of
+//! time-to-last-byte across circuits. [`Cdf`] collects samples, sorts them
+//! once on freeze, and then answers `F(x)`, quantile, and plotting-point
+//! queries.
+
+use std::fmt;
+
+/// An empirical CDF built from a set of `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use simstats::cdf::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.0);   // median (lower interpolation)
+/// assert_eq!(cdf.quantile(1.0), 4.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples. Returns `None` if `samples` is empty or
+    /// contains NaN.
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<Cdf> {
+        if samples.is_empty() || samples.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN already excluded"));
+        Some(Cdf { sorted: samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false` (construction rejects empty sample sets); present for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Empirical `F(x)`: the fraction of samples `<= x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        // partition_point returns the index of the first element > x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile with *lower* interpolation: the smallest sample `v`
+    /// such that `F(v) >= q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+        if q == 0.0 {
+            return self.min();
+        }
+        let n = self.sorted.len();
+        let rank = (q * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The classic staircase plotting points: one `(x, F(x))` pair per
+    /// sample, with `F` evaluated *after* the step. Suitable for gnuplot
+    /// `with steps`.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// `true` if `self` stochastically dominates `other` (is everywhere at
+    /// least as "fast"/left-shifted): for every probability level `q` in the
+    /// given grid, `self.quantile(q) <= other.quantile(q) + slack`.
+    ///
+    /// `slack` absorbs simulation noise; pass `0.0` for strict dominance.
+    pub fn stochastically_dominates(&self, other: &Cdf, slack: f64) -> bool {
+        let grid = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+        grid.iter()
+            .all(|&q| self.quantile(q) <= other.quantile(q) + slack)
+    }
+
+    /// Largest quantile gap `other.quantile(q) − self.quantile(q)` over a
+    /// uniform grid — "by how much does `self` beat `other` at best".
+    /// Negative values mean `self` is never better.
+    pub fn max_quantile_improvement_over(&self, other: &Cdf) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for i in 1..=19 {
+            let q = i as f64 / 20.0;
+            best = best.max(other.quantile(q) - self.quantile(q));
+        }
+        best
+    }
+
+    /// Access the sorted samples.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cdf(n={}, min={:.4}, p50={:.4}, p90={:.4}, max={:.4})",
+            self.len(),
+            self.min(),
+            self.median(),
+            self.quantile(0.9),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(v: Vec<f64>) -> Cdf {
+        Cdf::from_samples(v).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Cdf::from_samples(vec![]).is_none());
+        assert!(Cdf::from_samples(vec![1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn fraction_at_or_below_steps() {
+        let c = cdf(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.fraction_at_or_below(5.0), 0.0);
+        assert_eq!(c.fraction_at_or_below(10.0), 0.25);
+        assert_eq!(c.fraction_at_or_below(19.999), 0.25);
+        assert_eq!(c.fraction_at_or_below(20.0), 0.5);
+        assert_eq!(c.fraction_at_or_below(40.0), 1.0);
+        assert_eq!(c.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_with_duplicates() {
+        let c = cdf(vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(c.fraction_at_or_below(1.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = cdf(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(0.2), 1.0);
+        assert_eq!(c.quantile(0.200001), 2.0);
+        assert_eq!(c.quantile(0.5), 3.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+        assert_eq!(c.median(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q in [0,1]")]
+    fn quantile_out_of_range_panics() {
+        cdf(vec![1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let c = cdf(vec![3.0, 1.0, 2.0]);
+        assert_eq!(c.sorted_samples(), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 3.0);
+    }
+
+    #[test]
+    fn points_are_staircase() {
+        let c = cdf(vec![5.0, 10.0]);
+        assert_eq!(c.points(), vec![(5.0, 0.5), (10.0, 1.0)]);
+    }
+
+    #[test]
+    fn mean_matches() {
+        let c = cdf(vec![1.0, 2.0, 3.0]);
+        assert!((c.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominance_detects_shift() {
+        let fast = cdf((0..100).map(|i| 1.0 + i as f64 / 100.0).collect());
+        let slow = cdf((0..100).map(|i| 1.5 + i as f64 / 100.0).collect());
+        assert!(fast.stochastically_dominates(&slow, 0.0));
+        assert!(!slow.stochastically_dominates(&fast, 0.0));
+        assert!(slow.stochastically_dominates(&fast, 0.6)); // slack rescues it
+        let gain = fast.max_quantile_improvement_over(&slow);
+        assert!((gain - 0.5).abs() < 0.02, "gain ≈ 0.5, got {gain}");
+    }
+
+    #[test]
+    fn dominance_of_self() {
+        let c = cdf(vec![1.0, 2.0, 3.0]);
+        assert!(c.stochastically_dominates(&c, 0.0));
+        assert!(c.max_quantile_improvement_over(&c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let c = cdf(vec![1.0, 2.0, 3.0, 4.0]);
+        let s = c.to_string();
+        assert!(s.contains("n=4"));
+        assert!(s.contains("p50"));
+    }
+}

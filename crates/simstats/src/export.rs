@@ -1,0 +1,215 @@
+//! Plain-text exporters for experiment results.
+//!
+//! Two formats are supported, both trivially consumable:
+//!
+//! * **CSV** with a header row — for spreadsheets and pandas.
+//! * **gnuplot `.dat`** — whitespace-separated columns with `#` comments,
+//!   the format the original paper's plots were produced from.
+//!
+//! The writers are deliberately dependency-free (no serde): every artifact
+//! is a flat numeric table. See DESIGN.md §7.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A named numeric column set — the common denominator of everything the
+/// harness exports (cwnd traces, CDF points, sweep tables).
+///
+/// All columns must have equal length.
+///
+/// # Examples
+///
+/// ```
+/// use simstats::export::Table;
+///
+/// let mut t = Table::new(vec!["time_ms", "cwnd_kb"]);
+/// t.push_row(&[0.0, 1.0]);
+/// t.push_row(&[1.0, 2.0]);
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("time_ms,cwnd_kb\n0,1\n"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "Table requires at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row.to_vec());
+    }
+
+    /// Builds a table from `(x, y)` pairs with two column names.
+    pub fn from_pairs<S: Into<String>>(x_name: S, y_name: S, pairs: &[(f64, f64)]) -> Self {
+        let mut t = Table::new(vec![x_name.into(), y_name.into()]);
+        for &(x, y) in pairs {
+            t.push_row(&[x, y]);
+        }
+        t
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders a number compactly: integers without a decimal point,
+    /// everything else with up to 9 significant digits.
+    fn fmt_num(v: f64) -> String {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            let s = format!("{v:.9}");
+            // Trim trailing zeros but keep at least one decimal digit.
+            let trimmed = s.trim_end_matches('0');
+            let trimmed = if trimmed.ends_with('.') {
+                &s[..trimmed.len() + 1]
+            } else {
+                trimmed
+            };
+            trimmed.to_string()
+        }
+    }
+
+    /// Serializes to CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|&v| Self::fmt_num(v)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to a gnuplot-ready `.dat` block: `#`-prefixed header,
+    /// whitespace-separated columns.
+    pub fn to_gnuplot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.headers.join("\t"));
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|&v| Self::fmt_num(v)).collect();
+            out.push_str(&line.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+
+    /// Writes the gnuplot rendering to `path`, creating parent directories.
+    pub fn write_gnuplot(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_gnuplot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_shape() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.push_row(&[1.0, 2.5, -3.0]);
+        t.push_row(&[4.0, 0.125, 6.0]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["a,b,c", "1,2.5,-3", "4,0.125,6"]);
+    }
+
+    #[test]
+    fn gnuplot_has_comment_header() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.push_row(&[1.0, 2.0]);
+        let dat = t.to_gnuplot();
+        assert!(dat.starts_with("# x\ty\n1\t2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(vec!["x"]);
+        t.push_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn from_pairs_builds_two_columns() {
+        let t = Table::from_pairs("t", "v", &[(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(t.headers(), &["t".to_string(), "v".to_string()]);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(Table::fmt_num(3.0), "3");
+        assert_eq!(Table::fmt_num(-2.0), "-2");
+        assert_eq!(Table::fmt_num(0.5), "0.5");
+        assert_eq!(Table::fmt_num(1.0 / 3.0), "0.333333333");
+        assert_eq!(Table::fmt_num(0.0), "0");
+    }
+
+    #[test]
+    fn write_files_roundtrip() {
+        let dir = std::env::temp_dir().join("simstats-test-export");
+        let _ = fs::remove_dir_all(&dir);
+        let mut t = Table::new(vec!["x", "y"]);
+        t.push_row(&[1.0, 2.0]);
+        let csv_path = dir.join("sub/t.csv");
+        let dat_path = dir.join("sub/t.dat");
+        t.write_csv(&csv_path).unwrap();
+        t.write_gnuplot(&dat_path).unwrap();
+        assert_eq!(fs::read_to_string(&csv_path).unwrap(), t.to_csv());
+        assert_eq!(fs::read_to_string(&dat_path).unwrap(), t.to_gnuplot());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fixed-bin histograms.
+//!
+//! Used for queue-depth and RTT distributions in the evaluation harness.
+
+use std::fmt;
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
+/// overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use simstats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5); // bins of width 2
+/// h.record(1.0);
+/// h.record(3.0);
+/// h.record(3.5);
+/// h.record(-1.0);  // underflow
+/// h.record(42.0);  // overflow
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(1), 2);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, either bound is not finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "Histogram::record with NaN");
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            // Guard against floating-point edge where value≈hi maps to len().
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn bin_len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bin `idx`.
+    pub fn bin_range(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.bins.len(), "bin index {idx} out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * idx as f64, self.lo + width * (idx + 1) as f64)
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Index of the fullest bin (first one on ties), or `None` if all bins
+    /// are empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let max = *self.bins.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.bins.iter().position(|&c| c == max)
+    }
+
+    /// Iterates over `(bin_midpoint, count)`.
+    pub fn iter_midpoints(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| {
+            let (a, b) = self.bin_range(i);
+            ((a + b) / 2.0, self.bins[i])
+        })
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram([{}, {}), bins={}, n={}, under={}, over={})",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            self.total(),
+            self.underflow,
+            self.overflow
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for v in [0.0, 0.24, 0.25, 0.5, 0.75, 0.99] {
+            h.record(v);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(3), 2);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn boundaries_are_half_open() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(10.0); // == hi → overflow
+        assert_eq!(h.overflow(), 1);
+        h.record(0.0); // == lo → bin 0
+        assert_eq!(h.bin_count(0), 1);
+    }
+
+    #[test]
+    fn bin_range_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+        let mids: Vec<f64> = h.iter_midpoints().map(|(m, _)| m).collect();
+        assert_eq!(mids, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn mode_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        assert_eq!(h.mode_bin(), None);
+        h.record(1.5);
+        h.record(1.6);
+        h.record(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn rejects_bad_range() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn rejects_zero_bins() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Histogram::new(0.0, 1.0, 1).record(f64::NAN);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(0.5);
+        assert!(h.to_string().contains("n=1"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # simstats — measurement and reporting toolkit
+//!
+//! Everything the CircuitStart evaluation harness uses to turn raw
+//! simulation output into the artifacts the paper reports:
+//!
+//! * [`timeseries`] — step-function traces (cwnd over time, Figure 1 upper
+//!   panels), resampling, settling-time metrics.
+//! * [`cdf`] — empirical CDFs (time-to-last-byte, Figure 1 lower panel),
+//!   quantiles, stochastic-dominance checks.
+//! * [`summary`] — streaming mean/variance/min/max (Welford).
+//! * [`histogram`] — fixed-bin histograms for queue and RTT distributions.
+//! * [`export`] — CSV and gnuplot writers (dependency-free by design).
+//! * [`ascii`] — terminal plots for the bench binaries.
+//!
+//! This crate is deliberately free of simulation dependencies: it consumes
+//! plain `f64`s so it can be reused and tested in isolation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ascii;
+pub mod cdf;
+pub mod export;
+pub mod histogram;
+pub mod summary;
+pub mod timeseries;
+
+pub use ascii::{plot_lines, PlotConfig};
+pub use cdf::Cdf;
+pub use export::Table;
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,295 @@
+//! Streaming summary statistics.
+//!
+//! [`Summary`] accumulates count / mean / variance (Welford's online
+//! algorithm), min, max, and sum in O(1) memory, so simulations can track
+//! millions of samples without storing them.
+
+use std::fmt;
+
+/// Online accumulator for basic statistics of an `f64` stream.
+///
+/// # Examples
+///
+/// ```
+/// use simstats::summary::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_std_dev(), 2.0);
+/// assert_eq!(s.min(), 2.0);
+/// assert_eq!(s.max(), 9.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — a NaN sample is always an upstream bug and would
+    /// silently poison every derived statistic.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "Summary::record called with NaN");
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (0 for an empty accumulator).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn mean(&self) -> f64 {
+        assert!(self.count > 0, "mean of empty Summary");
+        self.mean
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty Summary");
+        self.min
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty Summary");
+        self.max
+    }
+
+    /// Population variance (divide by `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn population_variance(&self) -> f64 {
+        assert!(self.count > 0, "variance of empty Summary");
+        self.m2 / self.count as f64
+    }
+
+    /// Sample variance (divide by `n - 1`); 0 when only one sample exists.
+    pub fn sample_variance(&self) -> f64 {
+        assert!(self.count > 0, "variance of empty Summary");
+        if self.count == 1 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+                self.count,
+                self.mean,
+                self.sample_std_dev(),
+                self.min,
+                self.max
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_state() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty")]
+    fn mean_of_empty_panics() {
+        Summary::new().mean();
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.record(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.population_variance() - 1.25).abs() < 1e-12);
+        assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.sum(), 10.0);
+    }
+
+    #[test]
+    fn negative_values() {
+        let mut s = Summary::new();
+        for v in [-5.0, 0.0, 5.0] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), -5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &v in &data {
+            whole.record(v);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &v in &data[..37] {
+            a.record(v);
+        }
+        for &v in &data[37..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - whole.population_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::new();
+        s.record(1.0);
+        s.record(2.0);
+        let before = format!("{s}");
+        s.merge(&Summary::new());
+        assert_eq!(format!("{s}"), before);
+
+        let mut e = Summary::new();
+        e.merge(&s);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), 1.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut s = Summary::new();
+        assert_eq!(s.to_string(), "n=0");
+        s.record(1.0);
+        assert!(s.to_string().starts_with("n=1 mean=1.000000"));
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation test: tiny variance on a huge
+        // mean offset.
+        let mut s = Summary::new();
+        for v in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            s.record(v);
+        }
+        assert!((s.sample_variance() - 30.0).abs() < 1e-6);
+    }
+}

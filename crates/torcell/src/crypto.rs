@@ -1,0 +1,446 @@
+//! Onion-layering stand-in.
+//!
+//! # ⚠ Not cryptography
+//!
+//! Real Tor wraps relay payloads in per-hop AES-CTR layers with SHA-1
+//! running digests. The CircuitStart experiments measure **congestion
+//! dynamics**; the only properties of the onion layers that matter there
+//! are (a) payload size is preserved by each layer and (b) each hop applies
+//! or removes exactly one layer. This module reproduces that *structure*
+//! with a keyed xorshift keystream — deterministic, size-preserving,
+//! trivially invertible, and completely insecure. See DESIGN.md §2 for the
+//! substitution rationale.
+
+use crate::cell::RelayCell;
+
+/// A 64-bit layer key (stand-in for negotiated key material).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LayerKey(pub u64);
+
+impl LayerKey {
+    /// Derives a key from a handshake blob, mimicking key agreement: both
+    /// ends of a CREATE/CREATED exchange derive the same key.
+    pub fn from_handshake(handshake: &[u8]) -> LayerKey {
+        let mut k: u64 = 0x2545_F491_4F6C_DD1D;
+        for &b in handshake {
+            k ^= u64::from(b);
+            k = k.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        }
+        // Avoid the degenerate all-zero xorshift state.
+        LayerKey(if k == 0 { 1 } else { k })
+    }
+}
+
+/// One onion layer: a keyed, position-synchronized XOR keystream.
+///
+/// Applying the layer twice with the same starting offset is the identity,
+/// which is exactly how the tests verify wrap/unwrap symmetry.
+#[derive(Clone, Debug)]
+pub struct LayerCipher {
+    key: LayerKey,
+}
+
+impl LayerCipher {
+    /// Creates a cipher from a key.
+    pub fn new(key: LayerKey) -> LayerCipher {
+        LayerCipher { key }
+    }
+
+    /// XORs the keystream for (`key`, `nonce`) over `data` in place.
+    /// `nonce` must match between apply and un-apply; callers use the
+    /// per-cell sequence number.
+    pub fn apply(&self, nonce: u64, data: &mut [u8]) {
+        let mut state = self.key.0 ^ nonce.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        let mut word = [0u8; 8];
+        for (i, byte) in data.iter_mut().enumerate() {
+            if i % 8 == 0 {
+                // xorshift64*
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                word = state.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+            }
+            *byte ^= word[i % 8];
+        }
+    }
+}
+
+/// The client-side stack of layers for a circuit: layer `0` is shared with
+/// the first relay, layer `n-1` with the exit.
+#[derive(Clone, Debug, Default)]
+pub struct OnionStack {
+    layers: Vec<LayerCipher>,
+}
+
+impl OnionStack {
+    /// Creates an empty stack.
+    pub fn new() -> OnionStack {
+        OnionStack { layers: Vec::new() }
+    }
+
+    /// Appends the layer shared with the next relay on the path.
+    pub fn push_layer(&mut self, key: LayerKey) {
+        self.layers.push(LayerCipher::new(key));
+    }
+
+    /// Number of layers (circuit length).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if no layers have been negotiated yet.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Client → exit: wraps payload in all layers, outermost (first relay)
+    /// last, so the first relay strips first.
+    pub fn wrap_outbound(&self, nonce: u64, cell: &mut RelayCell) {
+        for layer in self.layers.iter().rev() {
+            layer.apply(nonce, &mut cell.data);
+        }
+    }
+
+    /// Exit → client: removes all layers at once (the client holds every
+    /// key). Relays along the path each *added* one layer with
+    /// [`LayerCipher::apply`].
+    pub fn unwrap_inbound(&self, nonce: u64, cell: &mut RelayCell) {
+        for layer in &self.layers {
+            layer.apply(nonce, &mut cell.data);
+        }
+    }
+}
+
+/// Client-side onion state with **per-layer cell counters**, mirroring how
+/// Tor's stateful AES-CTR streams stay synchronized when cells leave the
+/// circuit early ("leaky pipe"): a cell recognized at hop `k` advances only
+/// the counters of layers `0..=k`, because hops beyond `k` never see it.
+///
+/// Relays keep a single per-direction counter (they process every cell
+/// that traverses them exactly once), so both sides stay in lockstep.
+#[derive(Clone, Debug, Default)]
+pub struct OnionRoute {
+    layers: Vec<LayerCipher>,
+    /// Client-side counter per layer, forward direction.
+    fwd_counters: Vec<u64>,
+    /// Client-side counter per layer, backward direction.
+    bwd_counters: Vec<u64>,
+}
+
+impl OnionRoute {
+    /// Creates an empty route (no hops negotiated yet).
+    pub fn new() -> OnionRoute {
+        OnionRoute::default()
+    }
+
+    /// Appends the layer shared with the newly added hop.
+    pub fn push_layer(&mut self, key: LayerKey) {
+        self.layers.push(LayerCipher::new(key));
+        self.fwd_counters.push(0);
+        self.bwd_counters.push(0);
+    }
+
+    /// Number of negotiated hops.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` before the first hop is negotiated.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Wraps an outbound relay cell so that it is recognized at layer
+    /// `hop` (0 = first relay). Layers are applied innermost-first, so the
+    /// first relay strips first; counters of layers `0..=hop` advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is out of range.
+    pub fn wrap_for_hop(&mut self, hop: usize, cell: &mut RelayCell) {
+        assert!(hop < self.layers.len(), "wrap_for_hop: hop {hop} out of range");
+        for i in (0..=hop).rev() {
+            self.layers[i].apply(self.fwd_counters[i], &mut cell.data);
+            self.fwd_counters[i] += 1;
+        }
+    }
+
+    /// Unwraps an inbound (backward) relay cell layer by layer until the
+    /// digest verifies, returning the hop it originated from. Counters of
+    /// every attempted layer advance, exactly like Tor's stream ciphers.
+    ///
+    /// Returns `None` (after consuming one count on every layer) if no
+    /// layer produces a valid digest — a corrupt or misrouted cell.
+    pub fn unwrap_inbound(&mut self, cell: &mut RelayCell) -> Option<usize> {
+        for i in 0..self.layers.len() {
+            self.layers[i].apply(self.bwd_counters[i], &mut cell.data);
+            self.bwd_counters[i] += 1;
+            if cell.digest_ok() {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Relay-side cipher state for one circuit: one layer key and one counter
+/// per direction.
+#[derive(Clone, Debug)]
+pub struct RelayCrypt {
+    cipher: LayerCipher,
+    fwd_counter: u64,
+    bwd_counter: u64,
+}
+
+impl RelayCrypt {
+    /// Creates relay-side state from the hop's key.
+    pub fn new(key: LayerKey) -> RelayCrypt {
+        RelayCrypt {
+            cipher: LayerCipher::new(key),
+            fwd_counter: 0,
+            bwd_counter: 0,
+        }
+    }
+
+    /// Strips this relay's layer from a forward cell (client → exit) and
+    /// reports whether the cell is now *recognized* (digest valid ⇒ this
+    /// relay is the target and must consume it).
+    pub fn strip_forward(&mut self, cell: &mut RelayCell) -> bool {
+        self.cipher.apply(self.fwd_counter, &mut cell.data);
+        self.fwd_counter += 1;
+        cell.digest_ok()
+    }
+
+    /// Adds this relay's layer to a backward cell (toward the client) —
+    /// used both for cells it forwards and for cells it originates.
+    pub fn add_backward(&mut self, cell: &mut RelayCell) {
+        self.cipher.apply(self.bwd_counter, &mut cell.data);
+        self.bwd_counter += 1;
+    }
+}
+
+/// Payload digest — FNV-1a-32 over the data.
+///
+/// Stands in for Tor's running SHA-1 "recognized" digest: it lets the
+/// recognizing hop detect payload corruption in tests, nothing more.
+pub fn payload_digest(data: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in data {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::StreamId;
+
+    #[test]
+    fn digest_distinguishes_payloads() {
+        assert_ne!(payload_digest(b"hello"), payload_digest(b"hellp"));
+        assert_eq!(payload_digest(b""), 0x811c_9dc5);
+    }
+
+    #[test]
+    fn key_from_handshake_is_deterministic_and_sensitive() {
+        let a = LayerKey::from_handshake(&[1, 2, 3]);
+        let b = LayerKey::from_handshake(&[1, 2, 3]);
+        let c = LayerKey::from_handshake(&[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a.0, 0);
+    }
+
+    #[test]
+    fn cipher_is_involutive() {
+        let cipher = LayerCipher::new(LayerKey(0xDEADBEEF));
+        let original: Vec<u8> = (0..=255).collect();
+        let mut data = original.clone();
+        cipher.apply(42, &mut data);
+        assert_ne!(data, original, "keystream must change the data");
+        cipher.apply(42, &mut data);
+        assert_eq!(data, original, "applying twice must restore");
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let cipher = LayerCipher::new(LayerKey(7));
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        cipher.apply(1, &mut a);
+        cipher.apply(2, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_key_zero_nonce_still_encrypts() {
+        // Engineered degenerate case: state must not collapse to zero.
+        let cipher = LayerCipher::new(LayerKey(0));
+        let mut data = vec![0u8; 32];
+        cipher.apply(0, &mut data);
+        assert_ne!(data, vec![0u8; 32]);
+    }
+
+    #[test]
+    fn onion_stack_round_trip_through_relays() {
+        // Client wraps 3 layers; each relay strips its own; exit sees
+        // plaintext.
+        let keys = [LayerKey(11), LayerKey(22), LayerKey(33)];
+        let mut stack = OnionStack::new();
+        for k in keys {
+            stack.push_layer(k);
+        }
+        assert_eq!(stack.len(), 3);
+
+        let plaintext = b"the quick brown onion".to_vec();
+        let mut cell = RelayCell::data(StreamId(1), plaintext.clone());
+        let nonce = 99;
+        stack.wrap_outbound(nonce, &mut cell);
+        assert_ne!(cell.data, plaintext);
+
+        // Relay 0 (guard) strips the outermost layer, then relay 1, then 2.
+        for k in keys {
+            LayerCipher::new(k).apply(nonce, &mut cell.data);
+        }
+        assert_eq!(cell.data, plaintext);
+        assert!(cell.digest_ok(), "digest computed on plaintext must verify");
+    }
+
+    #[test]
+    fn onion_stack_inbound_round_trip() {
+        let keys = [LayerKey(5), LayerKey(6)];
+        let mut stack = OnionStack::new();
+        for k in keys {
+            stack.push_layer(k);
+        }
+        let plaintext = b"reply data".to_vec();
+        let mut cell = RelayCell::data(StreamId(2), plaintext.clone());
+        let nonce = 7;
+        // Exit → client: each relay adds its layer...
+        for k in keys.iter().rev() {
+            LayerCipher::new(*k).apply(nonce, &mut cell.data);
+        }
+        // ...and the client removes them all.
+        stack.unwrap_inbound(nonce, &mut cell);
+        assert_eq!(cell.data, plaintext);
+    }
+
+    #[test]
+    fn empty_stack_is_identity() {
+        let stack = OnionStack::new();
+        assert!(stack.is_empty());
+        let mut cell = RelayCell::data(StreamId(1), vec![1, 2, 3]);
+        stack.wrap_outbound(0, &mut cell);
+        assert_eq!(cell.data, vec![1, 2, 3]);
+    }
+
+    /// Builds a matched client route + relay states for `n` hops.
+    fn route_of(n: usize) -> (OnionRoute, Vec<RelayCrypt>) {
+        let mut route = OnionRoute::new();
+        let mut relays = Vec::new();
+        for i in 0..n {
+            let key = LayerKey::from_handshake(&[i as u8, 0xAA, 7]);
+            route.push_layer(key);
+            relays.push(RelayCrypt::new(key));
+        }
+        (route, relays)
+    }
+
+    #[test]
+    fn onion_route_full_path_recognition() {
+        let (mut route, mut relays) = route_of(3);
+        let mut cell = RelayCell::data(StreamId(1), b"to the exit".to_vec());
+        route.wrap_for_hop(2, &mut cell);
+        assert!(!relays[0].strip_forward(&mut cell), "guard must not recognize");
+        assert!(!relays[1].strip_forward(&mut cell), "middle must not recognize");
+        assert!(relays[2].strip_forward(&mut cell), "exit recognizes");
+        assert_eq!(cell.data, b"to the exit");
+    }
+
+    #[test]
+    fn leaky_pipe_counters_stay_in_sync() {
+        // Cell 0 targets hop 0 (like an EXTEND), cell 1 targets hop 2.
+        // Hop 2's counter must not advance for cell 0.
+        let (mut route, mut relays) = route_of(3);
+
+        let mut early = RelayCell::data(StreamId(0), b"extend".to_vec());
+        route.wrap_for_hop(0, &mut early);
+        assert!(relays[0].strip_forward(&mut early), "hop 0 consumes cell 0");
+
+        let mut data = RelayCell::data(StreamId(1), b"payload".to_vec());
+        route.wrap_for_hop(2, &mut data);
+        assert!(!relays[0].strip_forward(&mut data));
+        assert!(!relays[1].strip_forward(&mut data));
+        assert!(relays[2].strip_forward(&mut data), "hop 2 still in sync");
+        assert_eq!(data.data, b"payload");
+    }
+
+    #[test]
+    fn backward_origination_from_any_hop() {
+        let (mut route, mut relays) = route_of(3);
+        // Hop 1 originates a backward cell (e.g. EXTENDED); hop 0 adds its
+        // layer in transit; the client unwraps and learns the origin.
+        let mut cell = RelayCell::data(StreamId(0), b"extended".to_vec());
+        relays[1].add_backward(&mut cell);
+        relays[0].add_backward(&mut cell);
+        let origin = route.unwrap_inbound(&mut cell);
+        assert_eq!(origin, Some(1));
+        assert_eq!(cell.data, b"extended");
+
+        // Next backward cell from the exit: all three layers.
+        let mut cell2 = RelayCell::data(StreamId(1), b"connected".to_vec());
+        relays[2].add_backward(&mut cell2);
+        relays[1].add_backward(&mut cell2);
+        relays[0].add_backward(&mut cell2);
+        assert_eq!(route.unwrap_inbound(&mut cell2), Some(2));
+        assert_eq!(cell2.data, b"connected");
+    }
+
+    #[test]
+    fn unwrap_of_garbage_returns_none() {
+        let (mut route, _) = route_of(2);
+        let mut cell = RelayCell {
+            cmd: crate::cell::RelayCommand::Data,
+            stream: StreamId(1),
+            digest: 0xBAD,
+            data: b"garbage".to_vec(),
+        };
+        assert_eq!(route.unwrap_inbound(&mut cell), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn wrap_for_unknown_hop_panics() {
+        let (mut route, _) = route_of(1);
+        let mut cell = RelayCell::data(StreamId(1), vec![]);
+        route.wrap_for_hop(1, &mut cell);
+    }
+
+    #[test]
+    fn many_cells_stay_in_sync_under_mixed_targets() {
+        let (mut route, mut relays) = route_of(3);
+        // Deterministic pseudo-random interleaving of targets.
+        let mut x = 7u64;
+        for round in 0..200u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let hop = (x % 3) as usize;
+            let payload = round.to_be_bytes().to_vec();
+            let mut cell = RelayCell::data(StreamId(1), payload.clone());
+            route.wrap_for_hop(hop, &mut cell);
+            let mut recognized_at = None;
+            for (i, relay) in relays.iter_mut().enumerate().take(hop + 1) {
+                if relay.strip_forward(&mut cell) {
+                    recognized_at = Some(i);
+                    break;
+                }
+            }
+            assert_eq!(recognized_at, Some(hop), "round {round}");
+            assert_eq!(cell.data, payload);
+        }
+    }
+}

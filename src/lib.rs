@@ -1,0 +1,5 @@
+//! Root package: examples and integration tests live here; the library
+//! surface is re-exported from the workspace crates.
+#![forbid(unsafe_code)]
+pub use circuitstart;
+pub use relaynet;

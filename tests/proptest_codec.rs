@@ -1,0 +1,155 @@
+//! Property tests for the wire codec and onion layering: round-trips for
+//! *every* representable cell, and detection of corruption. These
+//! properties license the simulator's structured-cell fast path.
+
+use proptest::prelude::*;
+use torcell::prelude::*;
+
+fn arb_relay_command() -> impl Strategy<Value = RelayCommand> {
+    prop_oneof![
+        Just(RelayCommand::Begin),
+        Just(RelayCommand::Data),
+        Just(RelayCommand::End),
+        Just(RelayCommand::Connected),
+        Just(RelayCommand::Sendme),
+        Just(RelayCommand::Extend),
+        Just(RelayCommand::Extended),
+    ]
+}
+
+fn arb_cell() -> impl Strategy<Value = Cell> {
+    let create = (any::<u32>(), any::<[u8; HANDSHAKE_LEN]>())
+        .prop_map(|(c, hs)| Cell::create(CircuitId(c), hs));
+    let created = (any::<u32>(), any::<[u8; HANDSHAKE_LEN]>())
+        .prop_map(|(c, hs)| Cell::created(CircuitId(c), hs));
+    let destroy =
+        (any::<u32>(), any::<u8>()).prop_map(|(c, r)| Cell::destroy(CircuitId(c), r));
+    let padding = any::<u32>().prop_map(|c| Cell {
+        circ: CircuitId(c),
+        body: CellBody::Padding,
+    });
+    let relay = (
+        any::<u32>(),
+        arb_relay_command(),
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..=RELAY_DATA_MAX),
+    )
+        .prop_map(|(c, cmd, stream, data)| Cell {
+            circ: CircuitId(c),
+            body: CellBody::Relay(RelayCell {
+                cmd,
+                stream: StreamId(stream),
+                digest: payload_digest(&data),
+                data,
+            }),
+        });
+    prop_oneof![create, created, destroy, padding, relay]
+}
+
+proptest! {
+    #[test]
+    fn cell_round_trip(cell in arb_cell()) {
+        let wire = encode_cell(&cell);
+        prop_assert_eq!(wire.len(), CELL_LEN);
+        let decoded = decode_cell(&wire).expect("decode");
+        prop_assert_eq!(decoded, cell);
+    }
+
+    #[test]
+    fn encoding_is_injective_on_distinct_cells(a in arb_cell(), b in arb_cell()) {
+        let ea = encode_cell(&a);
+        let eb = encode_cell(&b);
+        if a == b {
+            prop_assert_eq!(ea, eb);
+        } else {
+            prop_assert_ne!(ea, eb, "distinct cells must encode differently");
+        }
+    }
+
+    #[test]
+    fn feedback_round_trip(circ in any::<u32>(), seq in any::<u64>()) {
+        let fb = Feedback { circ: CircuitId(circ), seq };
+        let wire = encode_feedback(&fb);
+        prop_assert_eq!(wire.len(), FEEDBACK_WIRE_LEN);
+        prop_assert_eq!(decode_feedback(&wire), Ok(fb));
+    }
+
+    #[test]
+    fn feedback_corruption_is_detected(
+        circ in any::<u32>(),
+        seq in any::<u64>(),
+        flip_byte in 0usize..FEEDBACK_WIRE_LEN,
+        flip_bits in 1u8..=255,
+    ) {
+        let mut wire = encode_feedback(&Feedback { circ: CircuitId(circ), seq }).to_vec();
+        wire[flip_byte] ^= flip_bits;
+        // Any single-byte corruption must not decode to the same frame
+        // (magic, checksum, or value changes).
+        match decode_feedback(&wire) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, Feedback { circ: CircuitId(circ), seq }),
+        }
+    }
+
+    #[test]
+    fn truncated_cells_never_decode(
+        cell in arb_cell(),
+        cut in 0usize..CELL_LEN,
+    ) {
+        let wire = encode_cell(&cell);
+        prop_assert!(decode_cell(&wire[..cut]).is_err());
+    }
+
+    #[test]
+    fn layer_cipher_is_involutive(
+        key in any::<u64>(),
+        nonce in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let cipher = LayerCipher::new(LayerKey(key));
+        let mut buf = data.clone();
+        cipher.apply(nonce, &mut buf);
+        cipher.apply(nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn onion_route_recognizes_exactly_the_target_hop(
+        hops in 1usize..=5,
+        target_offset in 0usize..5,
+        payload in proptest::collection::vec(any::<u8>(), 8..=RELAY_DATA_MAX),
+        key_seed in any::<u64>(),
+    ) {
+        let target = target_offset % hops;
+        let mut route = OnionRoute::new();
+        let mut relays: Vec<RelayCrypt> = Vec::new();
+        for i in 0..hops {
+            let key = LayerKey(key_seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1);
+            route.push_layer(key);
+            relays.push(RelayCrypt::new(key));
+        }
+        let mut cell = RelayCell::data(StreamId(1), payload.clone());
+        route.wrap_for_hop(target, &mut cell);
+        let mut recognized_at = None;
+        for (i, relay) in relays.iter_mut().enumerate().take(target + 1) {
+            if relay.strip_forward(&mut cell) {
+                recognized_at = Some(i);
+                break;
+            }
+        }
+        prop_assert_eq!(recognized_at, Some(target));
+        prop_assert_eq!(cell.data, payload);
+    }
+
+    #[test]
+    fn digest_mismatch_detected_after_tamper(
+        payload in proptest::collection::vec(any::<u8>(), 1..=64),
+        idx in 0usize..64,
+        bits in 1u8..=255,
+    ) {
+        let mut cell = RelayCell::data(StreamId(1), payload.clone());
+        let i = idx % cell.data.len();
+        cell.data[i] ^= bits;
+        prop_assert!(!cell.digest_ok());
+    }
+}
