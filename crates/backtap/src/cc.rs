@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn phase_display() {
         assert_eq!(Phase::SlowStart.to_string(), "slow-start");
-        assert_eq!(Phase::CongestionAvoidance.to_string(), "congestion-avoidance");
+        assert_eq!(
+            Phase::CongestionAvoidance.to_string(),
+            "congestion-avoidance"
+        );
     }
 
     #[test]

@@ -330,8 +330,7 @@ impl CongestionControl for DelayCc {
                                 // Backpropagation: the successor forwarded
                                 // cwnd·base/current cells per base RTT —
                                 // adopt that as the window.
-                                let target =
-                                    f64::from(self.cwnd) * base_rtt.ratio(current);
+                                let target = f64::from(self.cwnd) * base_rtt.ratio(current);
                                 self.cfg.clamp_cwnd(target.floor() as u32)
                             } else {
                                 self.cfg.clamp_cwnd(self.cwnd.saturating_sub(1))
@@ -458,6 +457,7 @@ mod tests {
         let mut c = cc();
         let mut seq = 0;
         seq = run_flat_round(&mut c, seq, ms(10)); // 2 → 4
+
         // Train of 4 whose last feedback arrives at exactly the budget
         // boundary (elapsed == 2·base is NOT an overrun: strict >).
         for _ in 0..4 {
@@ -542,7 +542,11 @@ mod tests {
             seq += 1;
         }
         big.on_feedback(seq - 8, ms(25), ms(10), t(125));
-        assert_eq!(big.phase(), Phase::CongestionAvoidance, "2.5·base exits at cwnd 8");
+        assert_eq!(
+            big.phase(),
+            Phase::CongestionAvoidance,
+            "2.5·base exits at cwnd 8"
+        );
     }
 
     #[test]
@@ -629,8 +633,10 @@ mod tests {
 
     #[test]
     fn ca_round_uses_min_rtt() {
-        let mut cfg = CcConfig::default();
-        cfg.alpha = 1.0;
+        let cfg = CcConfig {
+            alpha: 1.0,
+            ..CcConfig::default()
+        };
         let mut c = DelayCc::without_ramp("t", cfg, 10);
         c.on_sent(0, t(0));
         c.on_sent(1, t(0));

@@ -334,7 +334,7 @@ mod tests {
             }
             let sent = h.next_seq() - first;
             assert_eq!(sent, u64::from(expected), "train size == cwnd");
-            now = now + SimDuration::from_millis(10);
+            now += SimDuration::from_millis(10);
             for seq in first..first + sent {
                 h.on_feedback(seq, now).unwrap();
             }

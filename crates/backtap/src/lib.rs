@@ -38,7 +38,9 @@ pub mod rtt;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::cc::{CongestionControl, FixedWindowCc, HalvingExit, Phase, RampExit, UnlimitedCc};
+    pub use crate::cc::{
+        CongestionControl, FixedWindowCc, HalvingExit, Phase, RampExit, UnlimitedCc,
+    };
     pub use crate::config::CcConfig;
     pub use crate::delay_cc::{DelayCc, DelayCcStats};
     pub use crate::hop::{FeedbackError, HopStats, HopTransport};

@@ -1,44 +1,42 @@
-//! Criterion benchmarks for the cell codec and onion layering (P1 in
-//! DESIGN.md §5) — the per-cell costs a real relay implementation would
-//! pay on its fast path.
+//! Benchmarks for the cell codec and onion layering (P1 in DESIGN.md §5)
+//! — the per-cell costs a real relay implementation would pay on its fast
+//! path.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cs_bench::harness::bench_throughput;
 use torcell::prelude::*;
 
-fn bench_cell_codec(c: &mut Criterion) {
+fn bench_cell_codec() {
     let cell = Cell::relay_data(CircuitId(7), StreamId(1), vec![0xAB; RELAY_DATA_MAX]);
     let wire = encode_cell(&cell);
 
-    let mut group = c.benchmark_group("torcell/codec");
-    group.throughput(Throughput::Bytes(CELL_LEN as u64));
-    group.bench_function("encode_data_cell", |b| {
-        b.iter(|| encode_cell(&cell));
+    bench_throughput("torcell/codec/encode_data_cell", CELL_LEN as u64, || {
+        std::hint::black_box(encode_cell(std::hint::black_box(&cell)));
     });
-    group.bench_function("decode_data_cell", |b| {
-        b.iter(|| decode_cell(&wire).expect("valid"));
+    bench_throughput("torcell/codec/decode_data_cell", CELL_LEN as u64, || {
+        std::hint::black_box(decode_cell(std::hint::black_box(&wire)).expect("valid"));
     });
-    group.finish();
 }
 
-fn bench_feedback_codec(c: &mut Criterion) {
+fn bench_feedback_codec() {
     let fb = Feedback {
         circ: CircuitId(9),
         seq: 123_456,
     };
     let wire = encode_feedback(&fb);
-    let mut group = c.benchmark_group("torcell/feedback");
-    group.throughput(Throughput::Bytes(FEEDBACK_WIRE_LEN as u64));
-    group.bench_function("encode", |b| b.iter(|| encode_feedback(&fb)));
-    group.bench_function("decode", |b| b.iter(|| decode_feedback(&wire).expect("valid")));
-    group.finish();
+    bench_throughput("torcell/feedback/encode", FEEDBACK_WIRE_LEN as u64, || {
+        std::hint::black_box(encode_feedback(std::hint::black_box(&fb)));
+    });
+    bench_throughput("torcell/feedback/decode", FEEDBACK_WIRE_LEN as u64, || {
+        std::hint::black_box(decode_feedback(std::hint::black_box(&wire)).expect("valid"));
+    });
 }
 
-fn bench_onion_layers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("torcell/onion");
-    group.throughput(Throughput::Bytes(RELAY_DATA_MAX as u64));
-    group.bench_function("wrap_3_hops_and_strip", |b| {
-        let keys = [LayerKey(11), LayerKey(22), LayerKey(33)];
-        b.iter(|| {
+fn bench_onion_layers() {
+    bench_throughput(
+        "torcell/onion/wrap_3_hops_and_strip",
+        RELAY_DATA_MAX as u64,
+        || {
+            let keys = [LayerKey(11), LayerKey(22), LayerKey(33)];
             let mut route = OnionRoute::new();
             let mut relays: Vec<RelayCrypt> = keys
                 .iter()
@@ -55,10 +53,12 @@ fn bench_onion_layers(c: &mut Criterion) {
                 }
             }
             assert!(cell.digest_ok());
-        });
-    });
-    group.finish();
+        },
+    );
 }
 
-criterion_group!(benches, bench_cell_codec, bench_feedback_codec, bench_onion_layers);
-criterion_main!(benches);
+fn main() {
+    bench_cell_codec();
+    bench_feedback_codec();
+    bench_onion_layers();
+}

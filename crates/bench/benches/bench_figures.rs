@@ -1,53 +1,44 @@
-//! Criterion end-to-end benches over the paper's workloads (groups
-//! `fig1a`, `fig1b`, `fig1c` from DESIGN.md §5): wall-clock cost of
-//! regenerating each figure panel, and a guard against performance
-//! regressions in the full simulation stack.
+//! End-to-end benches over the paper's workloads (groups `fig1a`,
+//! `fig1b`, `fig1c` from DESIGN.md §5): wall-clock cost of regenerating
+//! each figure panel, and a guard against performance regressions in the
+//! full simulation stack.
 //!
 //! The panels run on reduced transfer sizes so a bench sweep stays in
 //! seconds; the figure *binaries* run the full presets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_bench::harness::bench;
 
 use circuitstart::prelude::*;
 
-fn bench_fig1_traces(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures/fig1_traces");
-    group.sample_size(10);
+fn bench_fig1_traces() {
     for distance in [1usize, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("circuitstart_200k", distance),
-            &distance,
-            |b, &distance| {
-                let mut cfg = fig1_trace(distance, Algorithm::CircuitStart);
-                cfg.file_bytes = 200_000;
-                b.iter(|| {
-                    let report = run_trace(&cfg);
-                    assert!(report.result.completed);
-                    report.peak_cwnd_cells()
-                });
+        let mut cfg = fig1_trace(distance, Algorithm::CircuitStart);
+        cfg.file_bytes = 200_000;
+        bench(
+            &format!("figures/fig1_traces/circuitstart_200k/{distance}"),
+            || {
+                let report = run_trace(&cfg);
+                assert!(report.result.completed);
+                std::hint::black_box(report.peak_cwnd_cells());
             },
         );
     }
-    group.finish();
 }
 
-fn bench_fig1_cdf_slice(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures/fig1c_slice");
-    group.sample_size(10);
-    group.bench_function("10_circuits_200k", |b| {
-        let mut cfg = fig1_cdf();
-        cfg.star.circuits = 10;
-        cfg.star.file_bytes = 200_000;
-        cfg.repetitions = 1;
-        cfg.algorithms = vec![Algorithm::CircuitStart];
-        b.iter(|| {
-            let report = run_cdf(&cfg);
-            assert_eq!(report.series[0].incomplete, 0);
-            report.series[0].cdf.median()
-        });
+fn bench_fig1_cdf_slice() {
+    let mut cfg = fig1_cdf();
+    cfg.star.circuits = 10;
+    cfg.star.file_bytes = 200_000;
+    cfg.repetitions = 1;
+    cfg.algorithms = vec![Algorithm::CircuitStart];
+    bench("figures/fig1c_slice/10_circuits_200k", || {
+        let report = run_cdf(&cfg);
+        assert_eq!(report.series[0].incomplete, 0);
+        std::hint::black_box(report.series[0].cdf.median());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_fig1_traces, bench_fig1_cdf_slice);
-criterion_main!(benches);
+fn main() {
+    bench_fig1_traces();
+    bench_fig1_cdf_slice();
+}

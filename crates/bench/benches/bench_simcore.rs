@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the simulation kernel (P1 in
-//! DESIGN.md §5): raw event throughput bounds how large an overlay
-//! experiment the reproduction can run.
+//! Micro-benchmarks for the simulation kernel (P1 in DESIGN.md §5): raw
+//! event throughput bounds how large an overlay experiment the
+//! reproduction can run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_bench::harness::bench;
 use simcore::prelude::*;
 
 /// A world that keeps `fanout` self-rescheduling event chains alive.
@@ -20,59 +20,51 @@ impl World for Churn {
     }
 }
 
-fn bench_event_loop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simcore/event_loop");
-    group.sample_size(20);
+fn bench_event_loop() {
     for &chains in &[1u32, 16, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("events_100k", chains),
-            &chains,
-            |b, &chains| {
-                b.iter(|| {
-                    let mut sim = Simulator::new(Churn { remaining: 100_000 });
-                    for chain in 0..chains {
-                        sim.schedule_at(SimTime::ZERO, chain);
-                    }
-                    sim.run();
-                    assert!(sim.events_processed() >= 100_000);
-                });
-            },
-        );
+        let m = bench(&format!("simcore/event_loop/events_100k/{chains}"), || {
+            let mut sim = Simulator::new(Churn { remaining: 100_000 });
+            for chain in 0..chains {
+                sim.schedule_at(SimTime::ZERO, chain);
+            }
+            sim.run();
+            assert!(sim.events_processed() >= 100_000);
+        });
+        let events_per_sec = 100_000.0 / (m.median_ns / 1e9);
+        println!("{:<44} {events_per_sec:>12.0} events/s", "");
     }
-    group.finish();
 }
 
-fn bench_queue_ops(c: &mut Criterion) {
-    c.bench_function("simcore/queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = simcore::event::EventQueue::with_capacity(10_000);
-            let mut x: u64 = 0x9E3779B97F4A7C15;
-            for i in 0..10_000u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                q.push(SimTime::from_nanos(x % 1_000_000), i);
-            }
-            let mut n = 0;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            assert_eq!(n, 10_000);
-        });
+fn bench_queue_ops() {
+    bench("simcore/queue_push_pop_10k", || {
+        let mut q = simcore::event::EventQueue::with_capacity(10_000);
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push(SimTime::from_nanos(x % 1_000_000), i);
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("simcore/rng_derive_and_draw", |b| {
-        let root = SimRng::seed_from(7);
-        b.iter(|| {
-            let mut r = root.derive_indexed("bench", 3);
-            let mut acc = 0u64;
-            for _ in 0..1_000 {
-                acc = acc.wrapping_add(r.u64());
-            }
-            acc
-        });
+fn bench_rng() {
+    let root = SimRng::seed_from(7);
+    bench("simcore/rng_derive_and_draw", || {
+        let mut r = root.derive_indexed("bench", 3);
+        let mut acc = 0u64;
+        for _ in 0..1_000 {
+            acc = acc.wrapping_add(r.u64());
+        }
+        std::hint::black_box(acc);
     });
 }
 
-criterion_group!(benches, bench_event_loop, bench_queue_ops, bench_rng);
-criterion_main!(benches);
+fn main() {
+    bench_event_loop();
+    bench_queue_ops();
+    bench_rng();
+}

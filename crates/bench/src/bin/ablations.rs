@@ -36,13 +36,21 @@ fn trace_row(x: f64, cfg: &TraceScenarioConfig) -> TraceRow {
         .nth(1)
         .map(|&(_, c)| c)
         .unwrap_or(peak);
-    let t0 = report.result.first_data_at.expect("completed").as_millis_f64();
+    let t0 = report
+        .result
+        .first_data_at
+        .expect("completed")
+        .as_millis_f64();
     TraceRow {
         x,
         peak,
         exit_cwnd,
         settle_ms: report.settling_time_ms(0.35).map(|s| s - t0),
-        ttlb_s: report.result.transfer_time().expect("completed").as_secs_f64(),
+        ttlb_s: report
+            .result
+            .transfer_time()
+            .expect("completed")
+            .as_secs_f64(),
     }
 }
 
@@ -52,7 +60,13 @@ fn print_rows(title: &str, x_name: &str, optimal: f64, rows: &[TraceRow]) -> Tab
         "  {x_name:>12}  {:>6}  {:>9}  {:>11}  {:>8}",
         "peak", "exit→cwnd", "settle [ms]", "ttlb [s]"
     );
-    let mut table = Table::new(vec![x_name, "peak_cells", "exit_cwnd", "settle_ms", "ttlb_s"]);
+    let mut table = Table::new(vec![
+        x_name,
+        "peak_cells",
+        "exit_cwnd",
+        "settle_ms",
+        "ttlb_s",
+    ]);
     for r in rows {
         println!(
             "  {:>12}  {:>6}  {:>9}  {:>11}  {:>8.3}",
@@ -85,7 +99,9 @@ fn sweep_gamma() {
             trace_row(gamma, &cfg)
         })
         .collect();
-    let optimal = fig1_trace(1, Algorithm::CircuitStart).model().optimal_source_cwnd_cells();
+    let optimal = fig1_trace(1, Algorithm::CircuitStart)
+        .model()
+        .optimal_source_cwnd_cells();
     let t = print_rows("A1: γ sweep (fig-1a geometry)", "gamma", optimal, &rows);
     write_figure("ablation_gamma", &t);
 }
@@ -101,7 +117,9 @@ fn sweep_theta() {
             trace_row(theta, &cfg)
         })
         .collect();
-    let optimal = fig1_trace(1, Algorithm::CircuitStart).model().optimal_source_cwnd_cells();
+    let optimal = fig1_trace(1, Algorithm::CircuitStart)
+        .model()
+        .optimal_source_cwnd_cells();
     let t = print_rows("A1b: θ sweep (fig-1a geometry)", "theta", optimal, &rows);
     write_figure("ablation_theta", &t);
 }
@@ -117,7 +135,9 @@ fn sweep_init_cwnd() {
             trace_row(f64::from(w), &cfg)
         })
         .collect();
-    let optimal = fig1_trace(1, Algorithm::CircuitStart).model().optimal_source_cwnd_cells();
+    let optimal = fig1_trace(1, Algorithm::CircuitStart)
+        .model()
+        .optimal_source_cwnd_cells();
     let t = print_rows("A2: initial-window sweep", "init_cwnd", optimal, &rows);
     write_figure("ablation_init_cwnd", &t);
 }
@@ -129,7 +149,13 @@ fn sweep_compensation() {
         "  {:<22}  {:>6}  {:>9}  {:>11}  {:>8}",
         "policy", "peak", "exit→cwnd", "settle [ms]", "ttlb [s]"
     );
-    let mut table = Table::new(vec!["variant", "peak_cells", "exit_cwnd", "settle_ms", "ttlb_s"]);
+    let mut table = Table::new(vec![
+        "variant",
+        "peak_cells",
+        "exit_cwnd",
+        "settle_ms",
+        "ttlb_s",
+    ]);
     for (i, (label, algorithm)) in [
         ("compensation (paper)", Algorithm::CircuitStart),
         ("halving (traditional)", Algorithm::ClassicBacktap),
@@ -166,8 +192,15 @@ fn sweep_distance() {
     let rows: Vec<TraceRow> = (0..=3)
         .map(|d| trace_row(d as f64, &fig1_trace(d, Algorithm::CircuitStart)))
         .collect();
-    let optimal = fig1_trace(1, Algorithm::CircuitStart).model().optimal_source_cwnd_cells();
-    let t = print_rows("A4: bottleneck-distance sweep (CircuitStart)", "distance", optimal, &rows);
+    let optimal = fig1_trace(1, Algorithm::CircuitStart)
+        .model()
+        .optimal_source_cwnd_cells();
+    let t = print_rows(
+        "A4: bottleneck-distance sweep (CircuitStart)",
+        "distance",
+        optimal,
+        &rows,
+    );
     write_figure("ablation_distance", &t);
 }
 
@@ -178,7 +211,13 @@ fn sweep_load() {
         "  {:>8}  {:>22}  {:>22}",
         "circuits", "circuitstart p50/p90", "plain backtap p50/p90"
     );
-    let mut table = Table::new(vec!["circuits", "cs_p50", "cs_p90", "backtap_p50", "backtap_p90"]);
+    let mut table = Table::new(vec![
+        "circuits",
+        "cs_p50",
+        "cs_p90",
+        "backtap_p50",
+        "backtap_p90",
+    ]);
     for circuits in [10usize, 25, 50, 75] {
         let mut cfg = fig1_cdf();
         cfg.star.circuits = circuits;
@@ -208,7 +247,10 @@ fn sweep_load() {
 /// A6: mid-flow bandwidth change — the future-work extension.
 fn sweep_midflow() {
     println!("\n━━━ A6: mid-flow bottleneck upgrade (10 → 40 Mbit/s at 500 ms) ━━━");
-    println!("  {:<24}  {:>9}  {:>16}", "algorithm", "ttlb [s]", "post-change peak");
+    println!(
+        "  {:<24}  {:>9}  {:>16}",
+        "algorithm", "ttlb [s]", "post-change peak"
+    );
     let mut table = Table::new(vec!["variant", "ttlb_s", "post_change_peak"]);
     for (i, (label, algorithm)) in [
         ("adaptive circuitstart", Algorithm::AdaptiveCircuitStart),

@@ -44,7 +44,11 @@ fn main() {
             // Re-base time to transfer start, as the paper's axis does
             // (its traces begin when data starts flowing, not when the
             // circuit build begins).
-            let t0 = report.result.first_data_at.expect("completed").as_millis_f64();
+            let t0 = report
+                .result
+                .first_data_at
+                .expect("completed")
+                .as_millis_f64();
             let rebased: Vec<(f64, f64)> = report
                 .cwnd_kib_series()
                 .into_iter()
@@ -84,8 +88,9 @@ fn main() {
             series.push((label, ts.resample(0.0, end, 150)));
         }
 
-        let optimal_line: Vec<(f64, f64)> =
-            (0..=150).map(|i| (t_max * i as f64 / 150.0, optimal_kib)).collect();
+        let optimal_line: Vec<(f64, f64)> = (0..=150)
+            .map(|i| (t_max * i as f64 / 150.0, optimal_kib))
+            .collect();
         series.push(("optimal (model)", optimal_line));
         let plot = plot_lines(
             &series,

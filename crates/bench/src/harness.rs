@@ -1,0 +1,139 @@
+//! A minimal benchmark harness (the container image carries no criterion,
+//! so the bench targets are plain `harness = false` binaries built on
+//! `std::time::Instant`).
+//!
+//! Protocol per benchmark: calibrate an iteration count that runs for
+//! roughly [`TARGET_SAMPLE`], then take [`SAMPLES`] timed samples and
+//! report the median, minimum, and mean time per iteration (median is the
+//! headline — robust to scheduler noise). `CS_BENCH_FAST=1` cuts the
+//! sample count for smoke runs in CI.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+/// Timed samples per benchmark.
+const SAMPLES: usize = 11;
+
+fn samples() -> usize {
+    if std::env::var_os("CS_BENCH_FAST").is_some() {
+        3
+    } else {
+        SAMPLES
+    }
+}
+
+/// Formats a per-iteration duration with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The measured result of one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+}
+
+/// Runs `f` under the measurement protocol and prints one report line.
+///
+/// Returns the measurement so callers can compute derived figures
+/// (throughput, events/s).
+pub fn bench<F: FnMut()>(name: &str, f: F) -> Measurement {
+    bench_with_samples(name, samples(), f)
+}
+
+/// [`bench`] with an explicit sample count (the env-independent core;
+/// also what the self-test uses so it never mutates process state).
+fn bench_with_samples<F: FnMut()>(name: &str, samples: usize, mut f: F) -> Measurement {
+    // Calibration: double the iteration count until one batch fills the
+    // target sample duration.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break;
+        }
+        // Jump close to the target in one step once we have a signal.
+        if elapsed > Duration::from_micros(100) {
+            let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64();
+            iters = ((iters as f64 * scale).ceil() as u64).clamp(iters + 1, iters * 128);
+        } else {
+            iters *= 16;
+        }
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let m = Measurement {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        iters_per_sample: iters,
+    };
+    println!(
+        "{name:<44} median {:>12}   min {:>12}   ({} iters/sample)",
+        fmt_ns(m.median_ns),
+        fmt_ns(m.min_ns),
+        m.iters_per_sample
+    );
+    m
+}
+
+/// Like [`bench`], additionally reporting throughput for `bytes` of
+/// payload processed per iteration.
+pub fn bench_throughput<F: FnMut()>(name: &str, bytes: u64, f: F) -> Measurement {
+    let m = bench(name, f);
+    let gib_s = bytes as f64 / m.median_ns; // bytes/ns == GB/s
+    println!("{:<44} throughput {gib_s:>10.3} GB/s", "");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5.0e3).ends_with("µs"));
+        assert!(fmt_ns(5.0e6).ends_with("ms"));
+        assert!(fmt_ns(5.0e9).ends_with(" s"));
+    }
+
+    #[test]
+    fn bench_measures_something() {
+        let mut acc = 0u64;
+        let m = bench_with_samples("selftest/noop", 3, || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+    }
+}

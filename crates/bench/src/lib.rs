@@ -12,8 +12,9 @@
 //!   - `ablations` — the A1–A6 sweeps from DESIGN.md §5 (γ/θ, initial
 //!     window, compensation variants, bottleneck distance, load,
 //!     mid-flow bandwidth change).
-//! * **Criterion benches** (`benches/`): simulator event throughput, cell
-//!   codec throughput, and end-to-end figure workloads.
+//! * **Benches** (`benches/`, `harness = false` on the local
+//!   [`harness`] module): simulator event throughput, cell codec
+//!   throughput, and end-to-end figure workloads.
 //!
 //! Everything here is a thin driver over the `circuitstart` harness; the
 //! shared code lives in this library so the binaries and benches cannot
@@ -21,6 +22,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use std::path::PathBuf;
 
@@ -90,7 +93,7 @@ impl Options {
     /// Whether the bare flag `--name` is present.
     pub fn has(&self, name: &str) -> bool {
         let flag = format!("--{name}");
-        self.args.iter().any(|a| *a == flag)
+        self.args.contains(&flag)
     }
 
     /// Positional (non `--`) arguments.

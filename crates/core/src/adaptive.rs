@@ -65,7 +65,10 @@ impl AdaptiveCc {
     /// Wraps a delay-based controller (normally
     /// [`crate::algorithm::circuit_start_cc`]).
     pub fn new(inner: DelayCc, cfg: AdaptiveConfig) -> AdaptiveCc {
-        assert!(cfg.underuse_rounds >= 2, "need at least 2 rounds of evidence");
+        assert!(
+            cfg.underuse_rounds >= 2,
+            "need at least 2 rounds of evidence"
+        );
         let last_cwnd = inner.cwnd();
         let last_rounds = inner.stats().ca_rounds;
         AdaptiveCc {
@@ -357,7 +360,11 @@ mod tests {
         cc.on_feedback(first + 10, ms(25), ms(10), t(125));
         assert_eq!(cc.phase(), Phase::CongestionAvoidance);
         assert_eq!(cc.cwnd(), 11, "compensation = acked in budget");
-        assert_eq!(cc.required_raises(), 2, "successful probe keeps fast trigger");
+        assert_eq!(
+            cc.required_raises(),
+            2,
+            "successful probe keeps fast trigger"
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ mod tests {
         assert_eq!(Algorithm::JumpStart(100).key(), "jumpstart-100");
         assert_eq!(Algorithm::FixedWindow(8).key(), "fixed-8");
         assert_eq!(Algorithm::NoSlowStart.key(), "no-slow-start");
-        assert_eq!(Algorithm::AdaptiveCircuitStart.key(), "adaptive-circuitstart");
+        assert_eq!(
+            Algorithm::AdaptiveCircuitStart.key(),
+            "adaptive-circuitstart"
+        );
     }
 
     #[test]

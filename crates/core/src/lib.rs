@@ -11,8 +11,8 @@
 //! In a Tor-like overlay running a hop-by-hop windowed transport, each
 //! relay doubles its per-circuit window once per RTT, driven by per-hop
 //! *feedback* messages ("your cell is moving") rather than end-to-end
-//! ACKs. A Vegas-style delay test (`diff = cwnd·(currentRtt/baseRtt − 1)
-//! > γ`) ends the ramp; instead of halving, CircuitStart sets the window
+//! ACKs. A Vegas-style delay test (`diff = cwnd·(currentRtt/baseRtt − 1) > γ`)
+//! ends the ramp; instead of halving, CircuitStart sets the window
 //! to **the number of cells of the current round already fed back** —
 //! the packet train the successor sustained without queueing, i.e. a
 //! direct measurement of the optimal window. Because a bottleneck relay's

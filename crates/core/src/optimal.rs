@@ -286,7 +286,10 @@ mod tests {
     fn max_goodput_accounts_for_header_overhead() {
         let m = model(&[100, 20, 100], 5);
         let g = m.max_goodput_bps();
-        assert!((19.3e6..19.4e6).contains(&g), "20 Mbit · 496/512 ≈ 19.375 Mbit, got {g}");
+        assert!(
+            (19.3e6..19.4e6).contains(&g),
+            "20 Mbit · 496/512 ≈ 19.375 Mbit, got {g}"
+        );
     }
 
     #[test]

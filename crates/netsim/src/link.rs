@@ -187,8 +187,14 @@ mod tests {
             queue: QueueLimit::Frames(2),
         });
         assert!(st.queue_has_room(100));
-        st.queue.push_back(Queued { frame: 1, enqueued_at: SimTime::ZERO });
-        st.queue.push_back(Queued { frame: 2, enqueued_at: SimTime::ZERO });
+        st.queue.push_back(Queued {
+            frame: 1,
+            enqueued_at: SimTime::ZERO,
+        });
+        st.queue.push_back(Queued {
+            frame: 2,
+            enqueued_at: SimTime::ZERO,
+        });
         assert!(!st.queue_has_room(100));
     }
 
@@ -206,10 +212,8 @@ mod tests {
 
     #[test]
     fn unbounded_always_has_room() {
-        let st: LinkState<u8> = LinkState::new(LinkConfig::new(
-            Bandwidth::from_mbps(1),
-            SimDuration::ZERO,
-        ));
+        let st: LinkState<u8> =
+            LinkState::new(LinkConfig::new(Bandwidth::from_mbps(1), SimDuration::ZERO));
         assert!(st.queue_has_room(u32::MAX));
     }
 

@@ -130,7 +130,10 @@ impl<F: Frame> Net<F> {
     /// Adds a directed link `from → to`.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> LinkId {
         assert!(from.index() < self.node_names.len(), "unknown source node");
-        assert!(to.index() < self.node_names.len(), "unknown destination node");
+        assert!(
+            to.index() < self.node_names.len(),
+            "unknown destination node"
+        );
         assert_ne!(from, to, "self-loop links are not supported");
         let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
         self.links.push(LinkState::new(cfg));
@@ -221,7 +224,10 @@ impl<F: Frame> Net<F> {
         let state = &mut self.links[link.index()];
         let size = frame.wire_size();
         if state.transmitting.is_none() {
-            debug_assert!(state.queue.is_empty(), "idle transmitter with non-empty queue");
+            debug_assert!(
+                state.queue.is_empty(),
+                "idle transmitter with non-empty queue"
+            );
             Self::begin_tx(state, link, frame, now, ctx);
             state.stats.frames_accepted += 1;
             return SendOutcome::Accepted;
@@ -396,8 +402,7 @@ mod tests {
     fn single_frame_timing() {
         // 1000 B at 8 Mbit/s = 1 ms serialization, +2 ms propagation.
         let cfg = LinkConfig::new(Bandwidth::from_mbps(8), SimDuration::from_millis(2));
-        let (delivered, outcomes, net) =
-            run_world(cfg, vec![(SimTime::ZERO, frame(1000, 1))]);
+        let (delivered, outcomes, net) = run_world(cfg, vec![(SimTime::ZERO, frame(1000, 1))]);
         assert_eq!(outcomes, vec![SendOutcome::Accepted]);
         assert_eq!(delivered, vec![(SimTime::from_millis(3), 1)]);
         let link = LinkId(0);
@@ -413,14 +418,14 @@ mod tests {
         let cfg = LinkConfig::new(Bandwidth::from_mbps(8), SimDuration::from_millis(5));
         let (delivered, _, _) = run_world(
             cfg,
-            vec![(SimTime::ZERO, frame(1000, 1)), (SimTime::ZERO, frame(1000, 2))],
+            vec![
+                (SimTime::ZERO, frame(1000, 1)),
+                (SimTime::ZERO, frame(1000, 2)),
+            ],
         );
         assert_eq!(
             delivered,
-            vec![
-                (SimTime::from_millis(6), 1),
-                (SimTime::from_millis(7), 2)
-            ]
+            vec![(SimTime::from_millis(6), 1), (SimTime::from_millis(7), 2)]
         );
     }
 
@@ -441,16 +446,13 @@ mod tests {
         let (delivered, _, _) = run_world(
             cfg,
             vec![
-                (SimTime::ZERO, frame(1000, 1)),          // 0..1ms
+                (SimTime::ZERO, frame(1000, 1)),            // 0..1ms
                 (SimTime::from_millis(10), frame(1000, 2)), // 10..11ms
             ],
         );
         assert_eq!(
             delivered,
-            vec![
-                (SimTime::from_millis(1), 1),
-                (SimTime::from_millis(11), 2)
-            ]
+            vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(11), 2)]
         );
     }
 
@@ -472,7 +474,11 @@ mod tests {
         );
         assert_eq!(
             outcomes,
-            vec![SendOutcome::Accepted, SendOutcome::Accepted, SendOutcome::Dropped]
+            vec![
+                SendOutcome::Accepted,
+                SendOutcome::Accepted,
+                SendOutcome::Dropped
+            ]
         );
         let tags: Vec<u64> = delivered.iter().map(|&(_, t)| t).collect();
         assert_eq!(tags, vec![1, 2]);
@@ -514,7 +520,10 @@ mod tests {
         // Frame 2 waits exactly 1 ms (while frame 1 serializes).
         let (_, _, net) = run_world(
             cfg,
-            vec![(SimTime::ZERO, frame(1000, 1)), (SimTime::ZERO, frame(1000, 2))],
+            vec![
+                (SimTime::ZERO, frame(1000, 1)),
+                (SimTime::ZERO, frame(1000, 2)),
+            ],
         );
         let s = net.stats(LinkId(0));
         assert_eq!(s.queue_wait_max, SimDuration::from_millis(1));
@@ -529,7 +538,10 @@ mod tests {
         let cfg = LinkConfig::new(Bandwidth::from_mbps(8), SimDuration::ZERO);
         let (_, _, net) = run_world(
             cfg,
-            vec![(SimTime::ZERO, frame(1000, 1)), (SimTime::from_millis(3), frame(1000, 2))],
+            vec![
+                (SimTime::ZERO, frame(1000, 1)),
+                (SimTime::from_millis(3), frame(1000, 2)),
+            ],
         );
         let s = net.stats(LinkId(0));
         assert_eq!(s.busy_time, SimDuration::from_millis(2));
@@ -541,7 +553,11 @@ mod tests {
         let mut net: Net<RawFrame> = Net::new();
         let a = net.add_node("alpha");
         let b = net.add_node("beta");
-        let (ab, ba) = net.add_duplex(a, b, LinkConfig::new(Bandwidth::from_mbps(1), SimDuration::ZERO));
+        let (ab, ba) = net.add_duplex(
+            a,
+            b,
+            LinkConfig::new(Bandwidth::from_mbps(1), SimDuration::ZERO),
+        );
         assert_eq!(net.node_count(), 2);
         assert_eq!(net.link_count(), 2);
         assert_eq!(net.node_name(a), "alpha");
@@ -556,7 +572,11 @@ mod tests {
     fn self_loop_rejected() {
         let mut net: Net<RawFrame> = Net::new();
         let a = net.add_node("a");
-        net.add_link(a, a, LinkConfig::new(Bandwidth::from_mbps(1), SimDuration::ZERO));
+        net.add_link(
+            a,
+            a,
+            LinkConfig::new(Bandwidth::from_mbps(1), SimDuration::ZERO),
+        );
     }
 
     #[test]
@@ -565,7 +585,11 @@ mod tests {
         let mut net: Net<RawFrame> = Net::new();
         let a = net.add_node("a");
         let b = net.add_node("b");
-        let l = net.add_link(a, b, LinkConfig::new(Bandwidth::from_mbps(1), SimDuration::ZERO));
+        let l = net.add_link(
+            a,
+            b,
+            LinkConfig::new(Bandwidth::from_mbps(1), SimDuration::ZERO),
+        );
         let _ = net.take_delivered(l);
     }
 
@@ -606,18 +630,22 @@ mod tests {
         let mut net = Net::new();
         let a = net.add_node("a");
         let b = net.add_node("b");
-        net.add_link(a, b, LinkConfig::new(Bandwidth::from_mbps(8), SimDuration::ZERO));
-        let mut sim = Simulator::new(W2 { net, delivered: vec![] });
+        net.add_link(
+            a,
+            b,
+            LinkConfig::new(Bandwidth::from_mbps(8), SimDuration::ZERO),
+        );
+        let mut sim = Simulator::new(W2 {
+            net,
+            delivered: vec![],
+        });
         sim.schedule_at(SimTime::ZERO, Ev2::Send(1));
         sim.schedule_at(SimTime::from_millis(5), Ev2::Slow);
         sim.schedule_at(SimTime::from_millis(10), Ev2::Send(2));
         sim.run();
         assert_eq!(
             sim.world().delivered,
-            vec![
-                (SimTime::from_millis(1), 1),
-                (SimTime::from_millis(12), 2)
-            ]
+            vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(12), 2)]
         );
     }
 

@@ -122,7 +122,12 @@ impl Star {
             down.push(net.add_link(hub, leaf, cfg));
             leaves.push(leaf);
         }
-        Star { hub, leaves, up, down }
+        Star {
+            hub,
+            leaves,
+            up,
+            down,
+        }
     }
 
     /// Number of leaves.
@@ -141,7 +146,9 @@ impl Star {
     ///
     /// Panics if `node` is not a leaf of this star.
     pub fn uplink_of(&self, node: NodeId) -> LinkId {
-        self.up[self.leaf_index(node).expect("node is not a leaf of this star")]
+        self.up[self
+            .leaf_index(node)
+            .expect("node is not a leaf of this star")]
     }
 
     /// The downlink (`hub → leaf`) of a leaf node.
@@ -150,7 +157,9 @@ impl Star {
     ///
     /// Panics if `node` is not a leaf of this star.
     pub fn downlink_of(&self, node: NodeId) -> LinkId {
-        self.down[self.leaf_index(node).expect("node is not a leaf of this star")]
+        self.down[self
+            .leaf_index(node)
+            .expect("node is not a leaf of this star")]
     }
 }
 
@@ -191,7 +200,8 @@ impl Dumbbell {
         assert!(n > 0, "a dumbbell needs at least one flow");
         let left_router = net.add_node("left-router");
         let right_router = net.add_node("right-router");
-        let (bottleneck_fwd, bottleneck_rev) = net.add_duplex(left_router, right_router, bottleneck);
+        let (bottleneck_fwd, bottleneck_rev) =
+            net.add_duplex(left_router, right_router, bottleneck);
         let mut sources = Vec::with_capacity(n);
         let mut sinks = Vec::with_capacity(n);
         let mut source_links = Vec::with_capacity(n);
@@ -223,7 +233,10 @@ mod tests {
     use crate::frame::RawFrame;
 
     fn cfg(mbps: u64, delay_ms: u64) -> LinkConfig {
-        LinkConfig::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis(delay_ms))
+        LinkConfig::new(
+            Bandwidth::from_mbps(mbps),
+            SimDuration::from_millis(delay_ms),
+        )
     }
 
     #[test]
@@ -322,9 +335,18 @@ mod tests {
             net.link_ends(d.bottleneck_fwd),
             (d.left_router, d.right_router)
         );
-        assert_eq!(net.link_config(d.bottleneck_fwd).rate, Bandwidth::from_mbps(10));
-        assert_eq!(net.link_ends(d.source_links[0].0), (d.sources[0], d.left_router));
-        assert_eq!(net.link_ends(d.sink_links[1].0), (d.right_router, d.sinks[1]));
+        assert_eq!(
+            net.link_config(d.bottleneck_fwd).rate,
+            Bandwidth::from_mbps(10)
+        );
+        assert_eq!(
+            net.link_ends(d.source_links[0].0),
+            (d.sources[0], d.left_router)
+        );
+        assert_eq!(
+            net.link_ends(d.sink_links[1].0),
+            (d.right_router, d.sinks[1])
+        );
     }
 
     #[test]

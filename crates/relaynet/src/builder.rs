@@ -11,7 +11,7 @@
 //!   circuits run concurrently over randomly selected relays (Figure 1
 //!   lower panel).
 
-use backtap::cc::{UnlimitedCc};
+use backtap::cc::UnlimitedCc;
 use backtap::config::CcConfig;
 use backtap::delay_cc::DelayCc;
 use netsim::bandwidth::Bandwidth;
@@ -283,7 +283,10 @@ mod tests {
     use simcore::sim::StopReason;
 
     fn hop(mbps: u64, delay_ms: u64) -> LinkConfig {
-        LinkConfig::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis(delay_ms))
+        LinkConfig::new(
+            Bandwidth::from_mbps(mbps),
+            SimDuration::from_millis(delay_ms),
+        )
     }
 
     /// Full-stack smoke test: 2-relay circuit, fixed windows, small file.
@@ -379,7 +382,9 @@ mod tests {
         let r = world.result_of(circ);
         assert!(r.completed);
         let relay1 = world.circuit_info(circ).path[1];
-        let hwm = world.fwd_queue_hwm(relay1, circ).expect("relay forward queue");
+        let hwm = world
+            .fwd_queue_hwm(relay1, circ)
+            .expect("relay forward queue");
         assert!(
             hwm <= 10,
             "queue high-water {hwm} must be bounded by the 10-cell window"
@@ -444,7 +449,7 @@ mod tests {
         };
         let run = |seed| {
             let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), seed);
-        let circ = h.circ;
+            let circ = h.circ;
             sim.run();
             let w = sim.world();
             (
@@ -477,7 +482,10 @@ mod tests {
         // warns about. Queueing lives in the link's round-robin scheduler
         // (links take one frame at a time).
         let hwm = world.sched_backlog_hwm(h.fwd_links[1]);
-        assert!(hwm > 30, "jumpstart should pile up a large queue, got {hwm}");
+        assert!(
+            hwm > 30,
+            "jumpstart should pile up a large queue, got {hwm}"
+        );
     }
 
     #[test]

@@ -98,7 +98,10 @@ mod tests {
     fn goodput() {
         let r = result();
         let g = r.goodput_bps().unwrap();
-        assert!((g - 16_000_000.0).abs() < 1.0, "8 Mbit / 0.5 s = 16 Mbit/s, got {g}");
+        assert!(
+            (g - 16_000_000.0).abs() < 1.0,
+            "8 Mbit / 0.5 s = 16 Mbit/s, got {g}"
+        );
     }
 
     #[test]

@@ -36,8 +36,7 @@ pub mod wire;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::builder::{
-        PathHandles,
-        baseline_factory, fixed_window_factory, jumpstart_factory, unlimited_factory,
+        baseline_factory, fixed_window_factory, jumpstart_factory, unlimited_factory, PathHandles,
         PathScenario, StarScenario,
     };
     pub use crate::circuit::{CircuitInfo, CircuitResult};
@@ -52,9 +51,8 @@ pub mod prelude {
 }
 
 pub use builder::{
-    PathHandles,
-    baseline_factory, fixed_window_factory, jumpstart_factory, unlimited_factory, PathScenario,
-    StarScenario,
+    baseline_factory, fixed_window_factory, jumpstart_factory, unlimited_factory, PathHandles,
+    PathScenario, StarScenario,
 };
 pub use circuit::{CircuitInfo, CircuitResult};
 pub use directory::{Directory, DirectoryConfig, RelaySpec};

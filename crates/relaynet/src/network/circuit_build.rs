@@ -1,0 +1,499 @@
+//! Pipeline stage — the circuit control plane.
+//!
+//! Tor's telescoping build, executed hop by hop: the client CREATEs the
+//! first relay, then sends EXTEND relay cells that the current last relay
+//! converts into CREATEs toward the next node (answered with CREATED /
+//! EXTENDED). Link-local circuit ids are negotiated per connection; onion
+//! layers are derived from the CREATE handshakes. Teardown (DESTROY) also
+//! lives here: it marks circuit state closed and propagates away from the
+//! sender.
+
+use simcore::sim::Context;
+
+use torcell::cell::{Cell, CellBody, RelayCell, RelayCommand, HANDSHAKE_LEN};
+use torcell::crypto::{payload_digest, LayerKey, RelayCrypt};
+use torcell::ids::{CircuitId, StreamId};
+
+use crate::event::TorEvent;
+use crate::ids::{CircId, Direction, OverlayId};
+use crate::node::{
+    ClientApp, ClientStage, HopCtx, HopDir, NodeCircuit, NodeRole, PendingConfirm, QueuedCell,
+    ServerApp,
+};
+
+use backtap::hop::HopTransport;
+
+use super::{TorNetwork, DESTROY_REASON_FINISHED};
+
+impl TorNetwork {
+    /// Handshake blob: global circuit id (instrumentation channel for the
+    /// responder's registry — documented in DESIGN.md §4) plus fresh
+    /// random key material.
+    pub(super) fn make_handshake(&mut self, circ: CircId) -> [u8; HANDSHAKE_LEN] {
+        let mut hs = [0u8; HANDSHAKE_LEN];
+        hs[0..4].copy_from_slice(&circ.0.to_be_bytes());
+        self.rng.fill_bytes(&mut hs[4..]);
+        hs
+    }
+
+    /// Launches a circuit (from a [`TorEvent::StartCircuit`]): the client
+    /// CREATEs its first hop and the telescope begins.
+    pub(super) fn start_circuit(&mut self, ctx: &mut Context<'_, TorEvent>, circ: CircId) {
+        let info = &mut self.circuits[circ.index()];
+        assert!(info.started_at.is_none(), "circuit started twice");
+        info.started_at = Some(ctx.now());
+        let path = info.path.clone();
+        let file_bytes = info.file_bytes;
+        let client_id = path[0];
+        let first_hop = path[1];
+        let link_id = self.alloc_link_circ_id();
+        let hs = self.make_handshake(circ);
+
+        let hop_ctx = HopCtx {
+            circuit: circ,
+            position: 0,
+            direction: Direction::Forward,
+        };
+        let mut transport = HopTransport::new((self.factory)(&hop_ctx));
+        if self.cfg.trace_client_cwnd {
+            transport.enable_cwnd_trace(ctx.now());
+            transport.enable_rtt_trace();
+        }
+
+        let node = &mut self.nodes[client_id.index()];
+        debug_assert_eq!(
+            node.role,
+            NodeRole::Client,
+            "circuit must start at a client"
+        );
+        node.routes
+            .insert((first_hop, link_id), (circ, Direction::Backward));
+        let mut nc = NodeCircuit::new(circ, 0);
+        nc.client = Some(ClientApp::new(path, file_bytes, ctx.now()));
+        let mut hopdir = HopDir::new(first_hop, link_id, transport);
+        hopdir.enqueue(QueuedCell {
+            cell: Cell::create(CircuitId::CONTROL, hs),
+            confirm: None,
+            wrap_for_hop: None,
+        });
+        nc.fwd = Some(hopdir);
+        node.circuits.insert(circ, nc);
+
+        let my_net = node.net_node;
+        let nc = self.nodes[client_id.index()]
+            .circuits
+            .get_mut(&circ)
+            .expect("just inserted");
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            Direction::Forward,
+        );
+    }
+
+    /// CREATE: become part of the circuit; answer CREATED.
+    pub(super) fn handle_create(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        link_id: CircuitId,
+        handshake: [u8; HANDSHAKE_LEN],
+        hop_seq: u64,
+    ) {
+        let global = CircId(u32::from_be_bytes(
+            handshake[0..4].try_into().expect("4 bytes"),
+        ));
+        let Some(info) = self.circuits.get(global.index()) else {
+            Self::protocol_error(&mut self.stats, "CREATE for unregistered circuit");
+            return;
+        };
+        let Some(position) = info.path.iter().position(|&n| n == to) else {
+            Self::protocol_error(&mut self.stats, "CREATE at node not on the path");
+            return;
+        };
+        let is_server = position == info.path.len() - 1;
+
+        let hop_ctx = HopCtx {
+            circuit: global,
+            position,
+            direction: Direction::Backward,
+        };
+        let transport = HopTransport::new((self.factory)(&hop_ctx));
+
+        let node = &mut self.nodes[to.index()];
+        let my_net = node.net_node;
+        node.routes
+            .insert((from, link_id), (global, Direction::Forward));
+        let mut nc = NodeCircuit::new(global, position);
+        nc.pred = Some(from);
+        nc.pred_circ_id = Some(link_id);
+        nc.crypt = Some(RelayCrypt::new(LayerKey::from_handshake(&handshake)));
+        if is_server {
+            nc.server = Some(ServerApp::default());
+        }
+        let mut bwd = HopDir::new(from, link_id, transport);
+        bwd.enqueue(QueuedCell {
+            cell: Cell::created(CircuitId::CONTROL, handshake),
+            confirm: None,
+            wrap_for_hop: None,
+        });
+        nc.bwd = Some(bwd);
+        node.circuits.insert(global, nc);
+
+        // Confirm the consumed CREATE, then answer.
+        Self::send_feedback(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            PendingConfirm {
+                neighbor: from,
+                circ_id: link_id,
+                seq: hop_seq,
+            },
+        );
+        let nc = self.nodes[to.index()]
+            .circuits
+            .get_mut(&global)
+            .expect("just inserted");
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            Direction::Backward,
+        );
+    }
+
+    /// CREATED: the hop we asked for exists. At the client this advances
+    /// the build; at a relay it answers a pending EXTEND with EXTENDED.
+    pub(super) fn handle_created(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        link_id: CircuitId,
+        handshake: [u8; HANDSHAKE_LEN],
+        hop_seq: u64,
+    ) {
+        let node = &mut self.nodes[to.index()];
+        let my_net = node.net_node;
+        let Some(&(global, _)) = node.routes.get(&(from, link_id)) else {
+            Self::protocol_error(&mut self.stats, "CREATED on unknown route");
+            return;
+        };
+        Self::send_feedback(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            PendingConfirm {
+                neighbor: from,
+                circ_id: link_id,
+                seq: hop_seq,
+            },
+        );
+        let node = &mut self.nodes[to.index()];
+        let Some(nc) = node.circuits.get_mut(&global) else {
+            Self::protocol_error(&mut self.stats, "CREATED for unknown circuit");
+            return;
+        };
+        if nc.client.is_some() {
+            self.client_advance_build(ctx, to, global, handshake);
+        } else {
+            // A relay completed an EXTEND: report EXTENDED to the client.
+            let Some(echo) = nc.pending_extend.take() else {
+                Self::protocol_error(&mut self.stats, "CREATED without pending EXTEND");
+                return;
+            };
+            debug_assert_eq!(echo, handshake, "CREATED must echo the extend handshake");
+            let mut rc = RelayCell {
+                cmd: RelayCommand::Extended,
+                stream: StreamId::CIRCUIT,
+                digest: payload_digest(&echo),
+                data: echo.to_vec(),
+            };
+            nc.crypt
+                .as_mut()
+                .expect("relay has crypt state")
+                .add_backward(&mut rc);
+            let Some(bwd) = nc.bwd.as_mut() else {
+                Self::protocol_error(&mut self.stats, "relay without backward hop");
+                return;
+            };
+            bwd.enqueue(QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL,
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: None,
+            });
+            Self::pump_dir(
+                &mut self.net,
+                &mut self.link_sched,
+                &self.router,
+                &self.net_node_of,
+                &mut self.stats,
+                ctx,
+                my_net,
+                nc,
+                Direction::Backward,
+            );
+        }
+    }
+
+    /// The client gained a key for one more hop: extend further, or open
+    /// the stream if the circuit is complete.
+    pub(super) fn client_advance_build(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        client: OverlayId,
+        circ: CircId,
+        handshake: [u8; HANDSHAKE_LEN],
+    ) {
+        // Pre-generate randomness before borrowing node state.
+        let next_handshake = self.make_handshake(circ);
+        let node = &mut self.nodes[client.index()];
+        let my_net = node.net_node;
+        let nc = node.circuits.get_mut(&circ).expect("client circuit exists");
+        let app = nc.client.as_mut().expect("client app exists");
+        app.route.push_layer(LayerKey::from_handshake(&handshake));
+        let built = app.route.len();
+        let needed = app.path.len() - 1;
+        let qc = if built < needed {
+            let target = app.path[built + 1];
+            app.stage = ClientStage::Building { next: built + 1 };
+            let mut data = Vec::with_capacity(4 + HANDSHAKE_LEN);
+            data.extend_from_slice(&target.0.to_be_bytes());
+            data.extend_from_slice(&next_handshake);
+            let rc = RelayCell {
+                cmd: RelayCommand::Extend,
+                stream: StreamId::CIRCUIT,
+                digest: payload_digest(&data),
+                data,
+            };
+            QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL,
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: Some(built - 1),
+            }
+        } else {
+            app.stage = ClientStage::Opening;
+            let data = b"server:443".to_vec();
+            let rc = RelayCell {
+                cmd: RelayCommand::Begin,
+                stream: StreamId(1),
+                digest: payload_digest(&data),
+                data,
+            };
+            QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL,
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: Some(needed - 1),
+            }
+        };
+        nc.fwd.as_mut().expect("client forward hop").enqueue(qc);
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            Direction::Forward,
+        );
+    }
+
+    /// A relay recognized a forward cell: only EXTEND is valid here —
+    /// convert it into a CREATE toward the next node.
+    pub(super) fn relay_consume(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        relay: OverlayId,
+        circ: CircId,
+        rc: RelayCell,
+    ) {
+        if rc.cmd != RelayCommand::Extend {
+            Self::protocol_error(&mut self.stats, "relay consumed a non-EXTEND cell");
+            return;
+        }
+        if rc.data.len() != 4 + HANDSHAKE_LEN {
+            Self::protocol_error(&mut self.stats, "malformed EXTEND payload");
+            return;
+        }
+        let target = OverlayId(u32::from_be_bytes(
+            rc.data[0..4].try_into().expect("4 bytes"),
+        ));
+        if target.index() >= self.nodes.len() {
+            Self::protocol_error(&mut self.stats, "EXTEND to unknown node");
+            return;
+        }
+        let mut hs = [0u8; HANDSHAKE_LEN];
+        hs.copy_from_slice(&rc.data[4..]);
+        let new_id = self.alloc_link_circ_id();
+
+        let node = &mut self.nodes[relay.index()];
+        let my_net = node.net_node;
+        let position = node
+            .circuits
+            .get(&circ)
+            .expect("circuit exists at relay")
+            .position;
+        node.routes
+            .insert((target, new_id), (circ, Direction::Backward));
+        let hop_ctx = HopCtx {
+            circuit: circ,
+            position,
+            direction: Direction::Forward,
+        };
+        let transport = HopTransport::new((self.factory)(&hop_ctx));
+        let nc = node.circuits.get_mut(&circ).expect("circuit exists");
+        nc.pending_extend = Some(hs);
+        let mut fwd = HopDir::new(target, new_id, transport);
+        fwd.enqueue(QueuedCell {
+            cell: Cell::create(CircuitId::CONTROL, hs),
+            confirm: None,
+            wrap_for_hop: None,
+        });
+        nc.fwd = Some(fwd);
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            Direction::Forward,
+        );
+    }
+
+    /// DESTROY: mark the circuit closed and propagate.
+    pub(super) fn handle_destroy(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        link_id: CircuitId,
+        reason: u8,
+        hop_seq: u64,
+    ) {
+        let node = &mut self.nodes[to.index()];
+        let my_net = node.net_node;
+        let Some(&(global, _)) = node.routes.get(&(from, link_id)) else {
+            Self::protocol_error(&mut self.stats, "DESTROY on unknown route");
+            return;
+        };
+        Self::send_feedback(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            PendingConfirm {
+                neighbor: from,
+                circ_id: link_id,
+                seq: hop_seq,
+            },
+        );
+        let node = &mut self.nodes[to.index()];
+        let Some(nc) = node.circuits.get_mut(&global) else {
+            return; // already gone
+        };
+        if nc.closed {
+            return;
+        }
+        nc.closed = true;
+        // Propagate away from the sender.
+        let propagate_dir = match nc.direction_toward(from) {
+            // The hop *toward* the sender is where it came from; continue
+            // in the other direction.
+            Some(Direction::Forward) => Direction::Backward,
+            Some(Direction::Backward) => Direction::Forward,
+            None => return,
+        };
+        let hopdir = match propagate_dir {
+            Direction::Forward => nc.fwd.as_mut(),
+            Direction::Backward => nc.bwd.as_mut(),
+        };
+        if let Some(hd) = hopdir {
+            hd.enqueue(QueuedCell {
+                cell: Cell::destroy(CircuitId::CONTROL, reason),
+                confirm: None,
+                wrap_for_hop: None,
+            });
+            Self::pump_dir(
+                &mut self.net,
+                &mut self.link_sched,
+                &self.router,
+                &self.net_node_of,
+                &mut self.stats,
+                ctx,
+                my_net,
+                nc,
+                propagate_dir,
+            );
+        }
+    }
+
+    /// Client-initiated teardown (from a [`TorEvent::Teardown`]).
+    pub(super) fn teardown(&mut self, ctx: &mut Context<'_, TorEvent>, circ: CircId) {
+        let client_id = self.circuits[circ.index()].path[0];
+        let node = &mut self.nodes[client_id.index()];
+        let my_net = node.net_node;
+        let Some(nc) = node.circuits.get_mut(&circ) else {
+            return;
+        };
+        if nc.closed {
+            return;
+        }
+        nc.closed = true;
+        if let Some(fwd) = nc.fwd.as_mut() {
+            fwd.enqueue(QueuedCell {
+                cell: Cell::destroy(CircuitId::CONTROL, DESTROY_REASON_FINISHED),
+                confirm: None,
+                wrap_for_hop: None,
+            });
+            Self::pump_dir(
+                &mut self.net,
+                &mut self.link_sched,
+                &self.router,
+                &self.net_node_of,
+                &mut self.stats,
+                ctx,
+                my_net,
+                nc,
+                Direction::Forward,
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Pipeline stage — endpoint applications (the data plane's two ends).
+//!
+//! The client side generates the transfer workload: once CONNECTED
+//! arrives it pumps DATA cells (wrapped for the server's onion layer,
+//! window permitting) and finishes with a single END. The server side
+//! consumes recognized forward cells — answering BEGIN with CONNECTED,
+//! counting and verifying DATA, and timestamping completion. Cells are
+//! *generated lazily* inside the egress pump so that onion-layer counters
+//! advance in exact send order.
+
+use simcore::sim::Context;
+use simcore::time::SimTime;
+
+use torcell::cell::{Cell, CellBody, RelayCell, RelayCommand};
+use torcell::crypto::payload_digest;
+use torcell::ids::{CircuitId, StreamId};
+
+use crate::event::TorEvent;
+use crate::ids::{CircId, Direction, OverlayId};
+use crate::node::{ClientApp, ClientStage, QueuedCell};
+
+use super::{fill_pattern, TorNetwork, END_REASON_DONE};
+
+impl TorNetwork {
+    /// Produces the next client-originated cell (DATA, then one END), or
+    /// `None` if the client has nothing to send.
+    pub(super) fn generate_client_cell(
+        client: Option<&mut ClientApp>,
+        circ: CircId,
+        now: SimTime,
+    ) -> Option<QueuedCell> {
+        let app = client?;
+        if app.stage != ClientStage::Transferring {
+            return None;
+        }
+        let server_hop = app.server_hop();
+        if app.sent_cells < app.total_cells {
+            let idx = app.sent_cells;
+            let len = app.cell_len(idx);
+            let payload = fill_pattern(circ, idx, len);
+            let rc = RelayCell::data(StreamId(1), payload);
+            app.sent_cells += 1;
+            if app.first_data_at.is_none() {
+                app.first_data_at = Some(now);
+            }
+            Some(QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL, // restamped at send
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: Some(server_hop),
+            })
+        } else if !app.end_sent {
+            app.end_sent = true;
+            app.stage = ClientStage::Finished;
+            // ≥ 8 payload bytes so leaky-pipe recognition stays sound (a
+            // near-empty payload could spuriously "recognize" early).
+            let data = vec![END_REASON_DONE; 8];
+            let rc = RelayCell {
+                cmd: RelayCommand::End,
+                stream: StreamId(1),
+                digest: payload_digest(&data),
+                data,
+            };
+            Some(QueuedCell {
+                cell: Cell {
+                    circ: CircuitId::CONTROL,
+                    body: CellBody::Relay(rc),
+                },
+                confirm: None,
+                wrap_for_hop: Some(server_hop),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The server recognized a forward cell.
+    pub(super) fn server_consume(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        server: OverlayId,
+        circ: CircId,
+        rc: RelayCell,
+    ) {
+        let verify = self.cfg.verify_payload;
+        let node = &mut self.nodes[server.index()];
+        let my_net = node.net_node;
+        let nc = node.circuits.get_mut(&circ).expect("server circuit exists");
+        let app = nc.server.as_mut().expect("server app exists");
+        match rc.cmd {
+            RelayCommand::Begin => {
+                app.stream_open = true;
+                let data = vec![0xC0u8; 8];
+                let mut reply = RelayCell {
+                    cmd: RelayCommand::Connected,
+                    stream: rc.stream,
+                    digest: payload_digest(&data),
+                    data,
+                };
+                nc.crypt
+                    .as_mut()
+                    .expect("server has crypt state")
+                    .add_backward(&mut reply);
+                nc.bwd
+                    .as_mut()
+                    .expect("server backward hop")
+                    .enqueue(QueuedCell {
+                        cell: Cell {
+                            circ: CircuitId::CONTROL,
+                            body: CellBody::Relay(reply),
+                        },
+                        confirm: None,
+                        wrap_for_hop: None,
+                    });
+                Self::pump_dir(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    ctx,
+                    my_net,
+                    nc,
+                    Direction::Backward,
+                );
+            }
+            RelayCommand::Data => {
+                if !app.stream_open {
+                    Self::protocol_error(&mut self.stats, "DATA before BEGIN");
+                    return;
+                }
+                if verify {
+                    let expected = fill_pattern(circ, app.cells_received, rc.data.len());
+                    if rc.data != expected {
+                        app.payload_errors += 1;
+                        debug_assert!(false, "payload verification failed");
+                    }
+                }
+                app.cells_received += 1;
+                app.bytes_received += rc.data.len() as u64;
+                if app.first_byte_at.is_none() {
+                    app.first_byte_at = Some(ctx.now());
+                }
+                app.last_byte_at = Some(ctx.now());
+            }
+            RelayCommand::End => {
+                app.ended = true;
+            }
+            _ => {
+                Self::protocol_error(&mut self.stats, "unexpected relay command at server");
+            }
+        }
+    }
+
+    /// The client recognized a backward cell originated by hop `origin`.
+    pub(super) fn client_consume_backward(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        client: OverlayId,
+        circ: CircId,
+        origin: usize,
+        rc: RelayCell,
+    ) {
+        match rc.cmd {
+            RelayCommand::Extended => {
+                if rc.data.len() != torcell::cell::HANDSHAKE_LEN {
+                    Self::protocol_error(&mut self.stats, "malformed EXTENDED payload");
+                    return;
+                }
+                let node = &self.nodes[client.index()];
+                let nc = node.circuits.get(&circ).expect("client circuit");
+                let app = nc.client.as_ref().expect("client app");
+                debug_assert_eq!(
+                    origin,
+                    app.route.len() - 1,
+                    "EXTENDED must originate from the current last hop"
+                );
+                let mut hs = [0u8; torcell::cell::HANDSHAKE_LEN];
+                hs.copy_from_slice(&rc.data);
+                self.client_advance_build(ctx, client, circ, hs);
+            }
+            RelayCommand::Connected => {
+                let node = &mut self.nodes[client.index()];
+                let my_net = node.net_node;
+                let nc = node.circuits.get_mut(&circ).expect("client circuit");
+                let app = nc.client.as_mut().expect("client app");
+                if app.stage != ClientStage::Opening {
+                    Self::protocol_error(&mut self.stats, "CONNECTED in wrong stage");
+                    return;
+                }
+                app.stage = ClientStage::Transferring;
+                app.connected_at = Some(ctx.now());
+                Self::pump_dir(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    ctx,
+                    my_net,
+                    nc,
+                    Direction::Forward,
+                );
+            }
+            RelayCommand::End => {
+                // Server-initiated close; nothing to do for bulk transfers.
+            }
+            _ => {
+                Self::protocol_error(&mut self.stats, "unexpected backward relay command");
+            }
+        }
+    }
+}

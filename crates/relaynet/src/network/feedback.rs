@@ -1,0 +1,102 @@
+//! Pipeline stage — per-hop feedback (the BackTap/CircuitStart control
+//! plane).
+//!
+//! A node owes its upstream neighbour a 20-byte feedback frame the moment
+//! it takes one of that neighbour's cells *out* of a per-circuit queue —
+//! by physically forwarding it (paid at `TxComplete`) or by consuming it
+//! locally (paid immediately). Arriving feedback credits the matching hop
+//! transport's window and re-runs the egress pump, which is the only way
+//! windows grow: there are no end-to-end ACKs anywhere in the overlay.
+
+use netsim::net::{Net, NodeId};
+use simcore::sim::Context;
+
+use torcell::cell::Feedback;
+
+use crate::event::TorEvent;
+use crate::ids::OverlayId;
+use crate::node::PendingConfirm;
+use crate::router::Router;
+use crate::scheduler::LinkScheduler;
+use crate::wire::{FramePayload, WireFrame};
+
+use super::{TorNetwork, WorldStats};
+
+impl TorNetwork {
+    /// Emits a feedback frame to `cf.neighbor`, echoing that neighbour's
+    /// per-hop sequence number for the cell being confirmed.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn send_feedback(
+        net: &mut Net<WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        router: &Router,
+        net_node_of: &[NodeId],
+        stats: &mut WorldStats,
+        ctx: &mut Context<'_, TorEvent>,
+        my_net: NodeId,
+        cf: PendingConfirm,
+    ) {
+        let dst = net_node_of[cf.neighbor.index()];
+        let frame = WireFrame {
+            src: my_net,
+            dst,
+            payload: FramePayload::Feedback(Feedback {
+                circ: cf.circ_id,
+                seq: cf.seq,
+            }),
+            confirm: None,
+        };
+        Self::sched_send(
+            net,
+            link_sched,
+            ctx,
+            router.next_link(my_net, dst),
+            frame,
+            None,
+        );
+        stats.feedback_sent += 1;
+    }
+
+    /// A feedback frame arrived: credit the hop transport that sent the
+    /// confirmed cell and pump that direction again.
+    pub(super) fn on_feedback(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        to: OverlayId,
+        from: OverlayId,
+        fb: Feedback,
+    ) {
+        let node = &mut self.nodes[to.index()];
+        let Some(&(circ, _)) = node.routes.get(&(from, fb.circ)) else {
+            Self::protocol_error(&mut self.stats, "feedback on unknown route");
+            return;
+        };
+        let my_net = node.net_node;
+        let Some(nc) = node.circuits.get_mut(&circ) else {
+            Self::protocol_error(&mut self.stats, "feedback for unknown circuit");
+            return;
+        };
+        let Some(dir) = nc.direction_toward(from) else {
+            Self::protocol_error(&mut self.stats, "feedback from non-neighbour");
+            return;
+        };
+        {
+            let hopdir = nc.hopdir_toward_mut(from).expect("direction just resolved");
+            if hopdir.transport.on_feedback(fb.seq, ctx.now()).is_err() {
+                Self::protocol_error(&mut self.stats, "feedback with unknown sequence");
+                return;
+            }
+        }
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            ctx,
+            my_net,
+            nc,
+            dir,
+        );
+    }
+}

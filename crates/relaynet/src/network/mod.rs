@@ -1,0 +1,350 @@
+//! The overlay engine: a [`simcore::World`] tying relays, circuits,
+//! transports, and the packet network together.
+//!
+//! # Protocol summary (all rules are local; see DESIGN.md §4)
+//!
+//! * **Circuit build** is Tor's telescope: the client CREATEs the first
+//!   hop, then sends EXTEND relay cells that the current last relay
+//!   converts into CREATEs toward the next node. Link-local circuit ids
+//!   are negotiated per connection; onion layers are derived from the
+//!   CREATE handshakes.
+//! * **Recognition** is leaky-pipe, as in Tor: a relay strips its layer
+//!   from every forward relay cell; if the digest then verifies, the cell
+//!   is for this hop and is consumed, otherwise it is forwarded.
+//! * **Feedback** (the BackTap/CircuitStart mechanism): whenever a node
+//!   takes a cell *out* of a per-circuit queue — forwarding it toward the
+//!   successor or consuming it locally — it sends a 20-byte feedback frame
+//!   to the neighbour the cell came from, echoing that neighbour's per-hop
+//!   sequence number. Windows grow on feedback, never on end-to-end ACKs.
+//! * **Transfer**: after the build, the client opens a stream (BEGIN /
+//!   CONNECTED) and pumps DATA cells, each wrapped in onion layers and
+//!   subject to the per-hop window; the server verifies, counts, and
+//!   timestamps them, and the END cell completes the transfer.
+//!
+//! # Module layout: the cell-processing pipeline
+//!
+//! Every arriving frame flows through an explicit sequence of stages, one
+//! submodule per stage (DESIGN.md §4 documents the contracts):
+//!
+//! ```text
+//!           ┌───────────┐   ┌─────────────┐   ┌───────────────────────┐
+//!  frame ──▶│ conn      │──▶│ recognition │──▶│ circuit_build (ctrl)  │
+//!           │ (ingress, │   │ (route +    │   │ client_xfer  (data)   │
+//!           │  egress,  │   │  leaky-pipe)│   └──────────┬────────────┘
+//!           │  pumping) │   └──────┬──────┘              │
+//!           └─────▲─────┘          │ forward             │ consume
+//!                 │                ▼                     ▼
+//!                 │         conn::pump_dir ◀──── feedback (window credit)
+//! ```
+//!
+//! * [`conn`] — the connection layer: link-local frame ingress/egress,
+//!   per-link round-robin scheduling, and the window-gated egress pump.
+//! * [`recognition`] — per-cell routing: resolves `(neighbour, link id)`
+//!   to circuit state and applies leaky-pipe recognition to relay cells,
+//!   deciding *consume here* vs *forward onward*.
+//! * [`circuit_build`] — the control plane: CREATE/CREATED/EXTEND/
+//!   EXTENDED telescoping, DESTROY propagation, teardown.
+//! * [`client_xfer`] — the endpoint applications: the client transfer
+//!   loop (BEGIN → DATA → END) and the server's consume path.
+//! * [`feedback`] — per-hop feedback frames: emission when a cell leaves
+//!   a queue and window-credit application when one arrives.
+
+pub(crate) mod circuit_build;
+pub(crate) mod client_xfer;
+pub(crate) mod conn;
+pub(crate) mod feedback;
+pub(crate) mod recognition;
+
+use netsim::net::{Net, NetEvent, NodeId, SendOutcome};
+use simcore::rng::SimRng;
+use simcore::sim::{Context, World};
+use simcore::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+use backtap::hop::HopTransport;
+
+use crate::circuit::{CircuitInfo, CircuitResult};
+use crate::event::TorEvent;
+use crate::ids::{CircId, OverlayId};
+use crate::node::{CcFactory, NodeRole, OverlayNode};
+use crate::router::Router;
+use crate::scheduler::LinkScheduler;
+use crate::wire::WireFrame;
+
+/// Reason code carried by the END cell when a transfer finishes normally.
+pub const END_REASON_DONE: u8 = 1;
+/// Reason code carried by DESTROY cells on explicit teardown.
+pub const DESTROY_REASON_FINISHED: u8 = 9;
+
+/// Global behaviour switches.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// Verify DATA payload bytes at the server against the deterministic
+    /// fill pattern (cheap; catches crypto/ordering bugs).
+    pub verify_payload: bool,
+    /// Record the client's forward congestion window over time (the
+    /// Figure 1 trace).
+    pub trace_client_cwnd: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            verify_payload: true,
+            trace_client_cwnd: true,
+        }
+    }
+}
+
+/// Global protocol counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldStats {
+    /// Cell frames handed to the link layer.
+    pub cells_sent: u64,
+    /// Feedback frames handed to the link layer.
+    pub feedback_sent: u64,
+    /// Protocol violations observed (must stay 0 in healthy runs).
+    pub protocol_errors: u64,
+    /// Relay cells dropped because their circuit was torn down.
+    pub cells_dropped_closed: u64,
+}
+
+/// The deterministic fill pattern for DATA payloads: byte `i` of cell
+/// `idx` on circuit `circ`.
+pub fn fill_pattern(circ: CircId, idx: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((u64::from(circ.0) * 131 + idx * 31 + i as u64) & 0xFF) as u8)
+        .collect()
+}
+
+/// The overlay world. Construct with [`TorNetwork::new`], add nodes and
+/// circuits, then drive with a [`simcore::Simulator`](simcore::sim::Simulator)
+/// after scheduling [`TorEvent::StartCircuit`] events.
+pub struct TorNetwork {
+    pub(super) net: Net<WireFrame>,
+    pub(super) router: Router,
+    pub(super) nodes: Vec<OverlayNode>,
+    /// Overlay index → backing network node (read-only after setup; kept
+    /// separate so hot paths can use it while a node is borrowed mutably).
+    pub(super) net_node_of: Vec<NodeId>,
+    pub(super) overlay_by_net: BTreeMap<NodeId, OverlayId>,
+    pub(super) circuits: Vec<CircuitInfo>,
+    pub(super) factory: CcFactory,
+    pub(super) cfg: WorldConfig,
+    pub(super) rng: SimRng,
+    pub(super) next_link_circ_id: u32,
+    /// Per-link round-robin circuit schedulers (overlay egress links; the
+    /// hub's links stay FIFO — the backbone is not ours to schedule).
+    pub(super) link_sched: Vec<LinkScheduler>,
+    pub(super) stats: WorldStats,
+}
+
+impl TorNetwork {
+    /// Creates an overlay over an already-built network and routing table.
+    pub fn new(
+        net: Net<WireFrame>,
+        router: Router,
+        cfg: WorldConfig,
+        factory: CcFactory,
+        rng: SimRng,
+    ) -> TorNetwork {
+        let link_sched = (0..net.link_count())
+            .map(|_| LinkScheduler::new())
+            .collect();
+        TorNetwork {
+            net,
+            router,
+            nodes: Vec::new(),
+            net_node_of: Vec::new(),
+            overlay_by_net: BTreeMap::new(),
+            circuits: Vec::new(),
+            factory,
+            cfg,
+            rng,
+            next_link_circ_id: 1,
+            link_sched,
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Registers an overlay participant backed by network node `net_node`.
+    pub fn add_overlay(&mut self, net_node: NodeId, role: NodeRole, name: &str) -> OverlayId {
+        let id = OverlayId(u32::try_from(self.nodes.len()).expect("too many overlay nodes"));
+        assert!(
+            self.overlay_by_net.insert(net_node, id).is_none(),
+            "network node already hosts an overlay node"
+        );
+        self.nodes
+            .push(OverlayNode::new(id, net_node, role, name.to_string()));
+        self.net_node_of.push(net_node);
+        id
+    }
+
+    /// Registers a circuit over `path` transferring `file_bytes`; start it
+    /// by scheduling [`TorEvent::StartCircuit`].
+    pub fn add_circuit(&mut self, path: Vec<OverlayId>, file_bytes: u64) -> CircId {
+        assert!(
+            path.len() >= 2,
+            "a circuit needs at least client and server"
+        );
+        for &n in &path {
+            assert!(n.index() < self.nodes.len(), "unknown overlay node on path");
+        }
+        let id = CircId(u32::try_from(self.circuits.len()).expect("too many circuits"));
+        self.circuits.push(CircuitInfo {
+            path,
+            file_bytes,
+            started_at: None,
+        });
+        id
+    }
+
+    /// The underlying packet network (for link telemetry).
+    pub fn net(&self) -> &Net<WireFrame> {
+        &self.net
+    }
+
+    /// Global counters.
+    pub fn stats(&self) -> &WorldStats {
+        &self.stats
+    }
+
+    /// The static record of a circuit.
+    pub fn circuit_info(&self, circ: CircId) -> &CircuitInfo {
+        &self.circuits[circ.index()]
+    }
+
+    /// Number of registered circuits.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// An overlay node.
+    pub fn node(&self, id: OverlayId) -> &OverlayNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The client's forward hop transport of a circuit, if built.
+    pub fn client_transport(&self, circ: CircId) -> Option<&HopTransport> {
+        let client = *self.circuits[circ.index()].path.first()?;
+        let nc = self.nodes[client.index()].circuits.get(&circ)?;
+        Some(&nc.fwd.as_ref()?.transport)
+    }
+
+    /// The recorded source congestion-window trace of a circuit (requires
+    /// [`WorldConfig::trace_client_cwnd`]).
+    pub fn source_cwnd_trace(&self, circ: CircId) -> Option<&[(SimTime, u32)]> {
+        self.client_transport(circ)?.cwnd_trace()
+    }
+
+    /// The recorded per-cell RTT samples at the source (requires
+    /// [`WorldConfig::trace_client_cwnd`]).
+    pub fn source_rtt_trace(&self, circ: CircId) -> Option<&[(SimTime, u64, SimDuration)]> {
+        self.client_transport(circ)?.rtt_trace()
+    }
+
+    /// The forward-queue high-water mark at `node` for `circ` — the
+    /// backpressure bound tests assert on.
+    pub fn fwd_queue_hwm(&self, node: OverlayId, circ: CircId) -> Option<usize> {
+        let nc = self.nodes[node.index()].circuits.get(&circ)?;
+        Some(nc.fwd.as_ref()?.queue_hwm)
+    }
+
+    /// The round-robin scheduler backlog high-water mark of an egress
+    /// link — where queueing shows up now that links take one frame at a
+    /// time.
+    pub fn sched_backlog_hwm(&self, link: netsim::link::LinkId) -> usize {
+        self.link_sched[link.index()].high_water_mark()
+    }
+
+    /// Collects the measured outcome of every circuit.
+    pub fn results(&self) -> Vec<CircuitResult> {
+        (0..self.circuits.len())
+            .map(|i| self.result_of(CircId(i as u32)))
+            .collect()
+    }
+
+    /// The measured outcome of one circuit.
+    pub fn result_of(&self, circ: CircId) -> CircuitResult {
+        let info = &self.circuits[circ.index()];
+        let client_node = info.path[0];
+        let server_node = *info.path.last().expect("non-empty path");
+        let client = self.nodes[client_node.index()]
+            .circuits
+            .get(&circ)
+            .and_then(|nc| nc.client.as_ref());
+        let server = self.nodes[server_node.index()]
+            .circuits
+            .get(&circ)
+            .and_then(|nc| nc.server.as_ref());
+        CircuitResult {
+            circ,
+            started_at: info.started_at,
+            connected_at: client.and_then(|c| c.connected_at),
+            first_data_at: client.and_then(|c| c.first_data_at),
+            last_byte_at: server.and_then(|s| s.last_byte_at),
+            completed: server.is_some_and(|s| s.ended),
+            bytes_delivered: server.map_or(0, |s| s.bytes_received),
+            cells_delivered: server.map_or(0, |s| s.cells_received),
+            payload_errors: server.map_or(0, |s| s.payload_errors),
+        }
+    }
+
+    /// Records a protocol violation (debug builds abort; release builds
+    /// count and continue).
+    pub(super) fn protocol_error(stats: &mut WorldStats, what: &str) {
+        stats.protocol_errors += 1;
+        debug_assert!(false, "protocol error: {what}");
+    }
+}
+
+impl World for TorNetwork {
+    type Event = TorEvent;
+
+    fn handle(&mut self, ctx: &mut Context<'_, TorEvent>, event: TorEvent) {
+        match event {
+            TorEvent::Net(NetEvent::TxComplete { link }) => {
+                // A cell that just finished serializing is now physically
+                // forwarded: pay the feedback owed to the upstream
+                // neighbour. `take()` ensures intermediate switches (the
+                // star hub) do not pay it a second time.
+                let confirm = self
+                    .net
+                    .transmitting_mut(link)
+                    .and_then(|f| f.confirm.take());
+                self.net.on_tx_complete(ctx, link);
+                // Serve the next scheduled frame before anything else so
+                // the link never idles while work is waiting.
+                Self::refill_link(&mut self.net, &mut self.link_sched, ctx, link);
+                if let Some(cf) = confirm {
+                    let my_net = self.net.link_src(link);
+                    Self::send_feedback(
+                        &mut self.net,
+                        &mut self.link_sched,
+                        &self.router,
+                        &self.net_node_of,
+                        &mut self.stats,
+                        ctx,
+                        my_net,
+                        cf,
+                    );
+                }
+            }
+            TorEvent::Net(NetEvent::Deliver { link }) => {
+                let frame = self.net.take_delivered(link);
+                let here = self.net.link_dst(link);
+                if here != frame.dst {
+                    // An intermediate switch (the star hub): forward.
+                    let next = self.router.next_link(here, frame.dst);
+                    let outcome = self.net.send(ctx, next, frame);
+                    debug_assert_eq!(outcome, SendOutcome::Accepted, "switch dropped a frame");
+                } else {
+                    self.deliver(ctx, frame);
+                }
+            }
+            TorEvent::StartCircuit(circ) => self.start_circuit(ctx, circ),
+            TorEvent::Teardown(circ) => self.teardown(ctx, circ),
+            TorEvent::SetLinkRate { link, rate } => self.net.set_link_rate(link, rate),
+        }
+    }
+}

@@ -157,7 +157,10 @@ impl ClientApp {
     /// Panics if the path is shorter than client + server or the file is
     /// empty.
     pub fn new(path: Vec<OverlayId>, file_bytes: u64, started_at: SimTime) -> ClientApp {
-        assert!(path.len() >= 2, "a circuit needs at least client and server");
+        assert!(
+            path.len() >= 2,
+            "a circuit needs at least client and server"
+        );
         assert!(file_bytes > 0, "cannot transfer an empty file");
         let payload = torcell::cell::RELAY_DATA_MAX as u64;
         ClientApp {

@@ -77,7 +77,10 @@ mod tests {
         let fb_frame = WireFrame {
             src: b,
             dst: a,
-            payload: FramePayload::Feedback(Feedback { circ: CircuitId(1), seq: 0 }),
+            payload: FramePayload::Feedback(Feedback {
+                circ: CircuitId(1),
+                seq: 0,
+            }),
             confirm: None,
         };
         assert_eq!(fb_frame.wire_size(), 20);

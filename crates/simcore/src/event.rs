@@ -251,7 +251,9 @@ mod tests {
         let mut q = EventQueue::new();
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             q.push(SimTime::from_nanos(x % 10_000), x);
         }
         let mut last = SimTime::ZERO;

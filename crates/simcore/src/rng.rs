@@ -2,15 +2,13 @@
 //!
 //! Reproducibility rule: every random choice in an experiment must be
 //! derived from the experiment's single master seed. [`SimRng`] wraps a
-//! fast non-cryptographic generator ([`rand::rngs::SmallRng`]) and adds
-//! **labelled stream derivation**: `rng.derive("relay-bandwidths")` yields
-//! an independent child generator whose seed depends only on the parent
-//! seed and the label. Components can therefore draw randomness in any
-//! order — adding a new consumer never perturbs the streams of existing
-//! ones, which keeps results comparable across code revisions.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! fast non-cryptographic generator (xoshiro256++, implemented locally so
+//! the kernel stays dependency-free) and adds **labelled stream
+//! derivation**: `rng.derive("relay-bandwidths")` yields an independent
+//! child generator whose seed depends only on the parent seed and the
+//! label. Components can therefore draw randomness in any order — adding
+//! a new consumer never perturbs the streams of existing ones, which
+//! keeps results comparable across code revisions.
 
 /// FNV-1a, 64-bit. Tiny, stable, and good enough for seed derivation —
 /// this is *not* used for anything security-relevant.
@@ -32,29 +30,62 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// xoshiro256++ core (Blackman & Vigna). Public-domain algorithm,
+/// implemented here so `simcore` carries no external dependencies.
+#[derive(Clone, Debug)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands a 64-bit seed through SplitMix64, as the xoshiro authors
+    /// recommend, guaranteeing a non-zero state.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(sm.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+        };
+        Xoshiro256PlusPlus {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
 /// A deterministic random stream tied to a seed.
-///
-/// Implements [`rand::RngCore`], so all `rand` adapters (`gen_range`,
-/// `shuffle`, distributions) work on it directly.
 ///
 /// # Examples
 ///
 /// ```
 /// use simcore::rng::SimRng;
-/// use rand::Rng;
 ///
 /// let mut a = SimRng::seed_from(42);
 /// let mut b = SimRng::seed_from(42);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>()); // same seed, same stream
+/// assert_eq!(a.u64(), b.u64()); // same seed, same stream
 ///
 /// let mut child = a.derive("relay-bandwidths");
-/// let x: f64 = child.gen_range(10.0..100.0);
+/// let x = child.range_f64(10.0, 100.0);
 /// assert!((10.0..100.0).contains(&x));
 /// ```
 #[derive(Clone, Debug)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
 }
 
 impl SimRng {
@@ -62,7 +93,7 @@ impl SimRng {
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
             seed,
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            inner: Xoshiro256PlusPlus::seed_from_u64(splitmix64(seed)),
         }
     }
 
@@ -87,9 +118,9 @@ impl SimRng {
         SimRng::seed_from(child_seed)
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `u64` over the full range.
@@ -97,13 +128,47 @@ impl SimRng {
         self.inner.next_u64()
     }
 
-    /// Uniform integer in `[low, high)`.
+    /// Uniform `u32` over the full range.
+    pub fn u32(&mut self) -> u32 {
+        (self.inner.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.inner.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform integer in `[low, high)`, free of modulo bias.
     ///
     /// # Panics
     ///
     /// Panics if `low >= high`.
     pub fn range_u64(&mut self, low: u64, high: u64) -> u64 {
-        self.inner.gen_range(low..high)
+        assert!(
+            low < high,
+            "range_u64 requires low < high, got [{low}, {high})"
+        );
+        let span = high - low;
+        // Reject the top 2^64 mod span values so every residue is
+        // equally likely. span.wrapping_neg() % span == 2^64 mod span.
+        let rem = span.wrapping_neg() % span;
+        let mut v = self.inner.next_u64();
+        while v > u64::MAX - rem {
+            v = self.inner.next_u64();
+        }
+        low + v % span
+    }
+
+    /// Uniform integer in `[low, high)` for indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn range_usize(&mut self, low: usize, high: usize) -> usize {
+        usize::try_from(self.range_u64(low as u64, high as u64)).expect("usize range")
     }
 
     /// Uniform float in `[low, high)`.
@@ -112,7 +177,18 @@ impl SimRng {
     ///
     /// Panics if `low >= high` or either bound is not finite.
     pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
-        self.inner.gen_range(low..high)
+        assert!(
+            low < high && low.is_finite() && high.is_finite(),
+            "range_f64 requires finite low < high, got [{low}, {high})"
+        );
+        let v = low + self.f64() * (high - low);
+        // Floating-point rounding can land exactly on `high`; keep the
+        // half-open contract.
+        if v >= high {
+            high.next_down().max(low)
+        } else {
+            v
+        }
     }
 
     /// Log-uniform float in `[low, high)`: the base-10 logarithm of the
@@ -130,10 +206,8 @@ impl SimRng {
     /// Fisher–Yates shuffle of a slice, deterministic given the stream
     /// state.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        // Manual implementation to avoid depending on rand's `seq` feature
-        // details; classic downward Fisher–Yates.
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.range_usize(0, i + 1);
             slice.swap(i, j);
         }
     }
@@ -149,26 +223,11 @@ impl SimRng {
         let mut all: Vec<usize> = (0..n).collect();
         // Partial Fisher–Yates: shuffle only the first k positions.
         for i in 0..k {
-            let j = self.inner.gen_range(i..n);
+            let j = self.range_usize(i, n);
             all.swap(i, j);
         }
         all.truncate(k);
         all
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -238,6 +297,23 @@ mod tests {
     }
 
     #[test]
+    fn range_u64_covers_whole_range() {
+        let mut rng = SimRng::seed_from(6);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.range_u64(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "range_u64 requires")]
+    fn range_u64_rejects_empty() {
+        let mut rng = SimRng::seed_from(1);
+        let _ = rng.range_u64(5, 5);
+    }
+
+    #[test]
     fn log_uniform_in_bounds_and_spans_decades() {
         let mut rng = SimRng::seed_from(2);
         let mut low_decade = 0;
@@ -278,7 +354,10 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(a, sorted, "a 50-element shuffle is virtually never the identity");
+        assert_ne!(
+            a, sorted,
+            "a 50-element shuffle is virtually never the identity"
+        );
     }
 
     #[test]
@@ -311,13 +390,27 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_interface_works_with_rand_adapters() {
-        use rand::Rng;
-        let mut rng = SimRng::seed_from(11);
-        let v: f64 = rng.gen_range(0.5..0.6);
-        assert!((0.5..0.6).contains(&v));
-        let mut buf = [0u8; 16];
-        rng.fill_bytes(&mut buf);
-        assert_ne!(buf, [0u8; 16]);
+    fn fill_bytes_deterministic_and_nonzero() {
+        let mut a = SimRng::seed_from(11);
+        let mut b = SimRng::seed_from(11);
+        let mut buf_a = [0u8; 23];
+        let mut buf_b = [0u8; 23];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+        assert_ne!(buf_a, [0u8; 23]);
+    }
+
+    #[test]
+    fn f64_has_53_bit_resolution() {
+        // Many draws should produce values with long mantissas — a crude
+        // check that we are not truncating to a coarse grid.
+        let mut rng = SimRng::seed_from(12);
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..1000).map(|_| rng.f64().to_bits()).collect();
+        assert!(
+            distinct.len() > 990,
+            "draws should essentially never repeat"
+        );
     }
 }

@@ -162,6 +162,9 @@ pub struct RunLimits {
     pub max_events: Option<u64>,
 }
 
+/// A tracing probe: called with every event just before it is handled.
+pub type Probe<E> = Box<dyn FnMut(SimTime, &E)>;
+
 /// The event loop: owns the world, the clock, and the pending-event queue.
 pub struct Simulator<W: World> {
     world: W,
@@ -170,7 +173,7 @@ pub struct Simulator<W: World> {
     now: SimTime,
     processed_total: u64,
     stop_requested: bool,
-    probe: Option<Box<dyn FnMut(SimTime, &W::Event)>>,
+    probe: Option<Probe<W::Event>>,
 }
 
 impl<W: World> Simulator<W> {
@@ -222,7 +225,7 @@ impl<W: World> Simulator<W> {
 
     /// Installs a probe called with every event just before it is handled.
     /// Intended for tracing and debugging; must not mutate model state.
-    pub fn set_probe(&mut self, probe: Box<dyn FnMut(SimTime, &W::Event)>) {
+    pub fn set_probe(&mut self, probe: Probe<W::Event>) {
         self.probe = Some(probe);
     }
 
@@ -267,7 +270,10 @@ impl<W: World> Simulator<W> {
             if self.cancelled.remove(&id) {
                 continue; // skip tombstoned event, try the next one
             }
-            debug_assert!(time >= self.now, "event queue produced an out-of-order event");
+            debug_assert!(
+                time >= self.now,
+                "event queue produced an out-of-order event"
+            );
             self.now = time;
             if let Some(probe) = &mut self.probe {
                 probe(time, &event);
@@ -327,7 +333,8 @@ impl<W: World> Simulator<W> {
                 break StopReason::Requested;
             }
         };
-        if reason == StopReason::TimeLimit || (reason == StopReason::QueueEmpty && limits.until.is_some())
+        if reason == StopReason::TimeLimit
+            || (reason == StopReason::QueueEmpty && limits.until.is_some())
         {
             // Advance the clock to the horizon so back-to-back bounded runs
             // observe continuous time.
@@ -396,10 +403,7 @@ mod tests {
         sim.schedule_at(ms(9), 3);
         let r = sim.run();
         assert_eq!(r.events_processed, 3);
-        assert_eq!(
-            sim.world().seen,
-            vec![(ms(1), 1), (ms(5), 2), (ms(9), 3)]
-        );
+        assert_eq!(sim.world().seen, vec![(ms(1), 1), (ms(5), 2), (ms(9), 3)]);
         assert_eq!(sim.now(), ms(9));
     }
 

@@ -483,7 +483,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2 * NANOS_PER_SEC));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2 * NANOS_PER_SEC)
+        );
     }
 
     #[test]
@@ -519,7 +522,10 @@ mod tests {
     fn checked_duration_since() {
         let a = SimTime::from_nanos(5);
         let b = SimTime::from_nanos(9);
-        assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_nanos(4)));
+        assert_eq!(
+            b.checked_duration_since(a),
+            Some(SimDuration::from_nanos(4))
+        );
         assert_eq!(a.checked_duration_since(b), None);
     }
 
@@ -585,9 +591,20 @@ mod tests {
 
     #[test]
     fn ordering_is_by_instant() {
-        let mut v = vec![SimTime::from_millis(5), SimTime::ZERO, SimTime::from_micros(1)];
+        let mut v = vec![
+            SimTime::from_millis(5),
+            SimTime::ZERO,
+            SimTime::from_micros(1),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_micros(1), SimTime::from_millis(5)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_micros(1),
+                SimTime::from_millis(5)
+            ]
+        );
     }
 
     #[test]
@@ -603,14 +620,23 @@ mod tests {
     #[test]
     fn debug_wraps_display() {
         assert_eq!(format!("{:?}", SimTime::from_millis(1)), "SimTime(1.000ms)");
-        assert_eq!(format!("{:?}", SimDuration::from_nanos(7)), "SimDuration(7ns)");
+        assert_eq!(
+            format!("{:?}", SimDuration::from_nanos(7)),
+            "SimDuration(7ns)"
+        );
     }
 
     #[test]
     fn checked_add_overflow() {
         assert_eq!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)), None);
-        assert_eq!(SimDuration::MAX.checked_add(SimDuration::from_nanos(1)), None);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(5)), SimTime::MAX);
+        assert_eq!(
+            SimDuration::MAX.checked_add(SimDuration::from_nanos(1)),
+            None
+        );
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(5)),
+            SimTime::MAX
+        );
     }
 
     #[test]

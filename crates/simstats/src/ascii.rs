@@ -58,7 +58,10 @@ const MARKERS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
 /// assert!(out.contains("ramp"));
 /// ```
 pub fn plot_lines(series: &[(&str, Vec<(f64, f64)>)], cfg: &PlotConfig) -> String {
-    assert!(cfg.width >= 2 && cfg.height >= 2, "plot dimensions too small");
+    assert!(
+        cfg.width >= 2 && cfg.height >= 2,
+        "plot dimensions too small"
+    );
     let finite: Vec<(f64, f64)> = series
         .iter()
         .flat_map(|(_, pts)| pts.iter().copied())
@@ -120,16 +123,16 @@ pub fn plot_lines(series: &[(&str, Vec<(f64, f64)>)], cfg: &PlotConfig) -> Strin
         };
         let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "{} +{}",
-        " ".repeat(label_w),
-        "-".repeat(cfg.width)
-    );
+    let _ = writeln!(out, "{} +{}", " ".repeat(label_w), "-".repeat(cfg.width));
     let x_lo = format!("{x_min:.3}");
     let x_hi = format!("{x_max:.3}");
     let pad = cfg.width.saturating_sub(x_lo.len() + x_hi.len());
-    let _ = writeln!(out, "{} {x_lo}{}{x_hi}", " ".repeat(label_w), " ".repeat(pad));
+    let _ = writeln!(
+        out,
+        "{} {x_lo}{}{x_hi}",
+        " ".repeat(label_w),
+        " ".repeat(pad)
+    );
     let _ = writeln!(
         out,
         "{}  [{} vs {}]",
@@ -138,7 +141,13 @@ pub fn plot_lines(series: &[(&str, Vec<(f64, f64)>)], cfg: &PlotConfig) -> Strin
         cfg.x_label
     );
     for (si, (name, _)) in series.iter().enumerate() {
-        let _ = writeln!(out, "{}   {} {}", " ".repeat(label_w), MARKERS[si % MARKERS.len()], name);
+        let _ = writeln!(
+            out,
+            "{}   {} {}",
+            " ".repeat(label_w),
+            MARKERS[si % MARKERS.len()],
+            name
+        );
     }
     out
 }
@@ -210,7 +219,15 @@ mod tests {
     #[test]
     fn nonfinite_points_are_skipped() {
         let out = plot_lines(
-            &[("s", vec![(0.0, 1.0), (f64::NAN, 2.0), (1.0, f64::INFINITY), (1.0, 2.0)])],
+            &[(
+                "s",
+                vec![
+                    (0.0, 1.0),
+                    (f64::NAN, 2.0),
+                    (1.0, f64::INFINITY),
+                    (1.0, 2.0),
+                ],
+            )],
             &cfg(),
         );
         assert!(out.contains('*'));

@@ -70,7 +70,10 @@ impl Cdf {
     ///
     /// Panics unless `0.0 <= q <= 1.0`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile requires q in [0,1], got {q}"
+        );
         if q == 0.0 {
             return self.min();
         }

@@ -40,7 +40,10 @@ impl Histogram {
     ///
     /// Panics if `lo >= hi`, either bound is not finite, or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         assert!(bins > 0, "histogram needs at least one bin");
         Histogram {
             lo,
@@ -89,7 +92,10 @@ impl Histogram {
     pub fn bin_range(&self, idx: usize) -> (f64, f64) {
         assert!(idx < self.bins.len(), "bin index {idx} out of range");
         let width = (self.hi - self.lo) / self.bins.len() as f64;
-        (self.lo + width * idx as f64, self.lo + width * (idx + 1) as f64)
+        (
+            self.lo + width * idx as f64,
+            self.lo + width * (idx + 1) as f64,
+        )
     }
 
     /// Samples below the range.

@@ -355,9 +355,16 @@ mod tests {
             Cell::relay_data(CircuitId(1), StreamId(0), vec![]).command(),
             CellCommand::Relay
         );
-        assert_eq!(Cell::destroy(CircuitId(1), 2).command(), CellCommand::Destroy);
         assert_eq!(
-            Cell { circ: CircuitId(1), body: CellBody::Padding }.command(),
+            Cell::destroy(CircuitId(1), 2).command(),
+            CellCommand::Destroy
+        );
+        assert_eq!(
+            Cell {
+                circ: CircuitId(1),
+                body: CellBody::Padding
+            }
+            .command(),
             CellCommand::Padding
         );
     }
@@ -368,7 +375,14 @@ mod tests {
         let big = Cell::relay_data(CircuitId(1), StreamId(0), vec![1; RELAY_DATA_MAX]);
         assert_eq!(small.wire_size(), CELL_LEN);
         assert_eq!(big.wire_size(), CELL_LEN);
-        assert_eq!(Feedback { circ: CircuitId(1), seq: 0 }.wire_size(), FEEDBACK_WIRE_LEN);
+        assert_eq!(
+            Feedback {
+                circ: CircuitId(1),
+                seq: 0
+            }
+            .wire_size(),
+            FEEDBACK_WIRE_LEN
+        );
     }
 
     #[test]

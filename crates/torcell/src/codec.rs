@@ -29,19 +29,57 @@
 //! property tests (round-trip for every representable cell), and in the
 //! codec throughput bench, guaranteeing the structured shortcut is
 //! equivalence-preserving.
+//!
+//! Encoding writes into plain `Vec<u8>` buffers; the crate carries no
+//! external byte-buffer dependency.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
+#[cfg(test)]
+use crate::cell::RELAY_HEADER_LEN;
 use crate::cell::{
     Cell, CellBody, CellCommand, Feedback, RelayCell, RelayCommand, CELL_LEN, CELL_PAYLOAD_LEN,
     FEEDBACK_WIRE_LEN, HANDSHAKE_LEN, RELAY_DATA_MAX,
 };
-#[cfg(test)]
-use crate::cell::RELAY_HEADER_LEN;
 use crate::ids::{CircuitId, StreamId};
 
 /// Feedback frame magic bytes ("FBCK").
 pub const FEEDBACK_MAGIC: u32 = 0x4642_434B;
+
+/// A big-endian cursor over an immutable byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        head
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
 
 /// Decoding failures.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,7 +126,10 @@ impl std::fmt::Display for CodecError {
             CodecError::BadRelayLength(l) => write!(f, "relay length {l} exceeds maximum"),
             CodecError::BadMagic(m) => write!(f, "bad feedback magic {m:#010x}"),
             CodecError::BadChecksum { stored, computed } => {
-                write!(f, "feedback checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "feedback checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
         }
     }
@@ -97,31 +138,31 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Encodes a cell to its exact 512-byte wire form.
-pub fn encode_cell(cell: &Cell) -> Bytes {
-    let mut buf = BytesMut::with_capacity(CELL_LEN);
-    buf.put_u32(cell.circ.0);
-    buf.put_u8(cell.command().to_wire());
+pub fn encode_cell(cell: &Cell) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(CELL_LEN);
+    buf.extend_from_slice(&cell.circ.0.to_be_bytes());
+    buf.push(cell.command().to_wire());
     match &cell.body {
         CellBody::Create { handshake } | CellBody::Created { handshake } => {
-            buf.put_slice(handshake);
+            buf.extend_from_slice(handshake);
         }
         CellBody::Destroy { reason } => {
-            buf.put_u8(*reason);
+            buf.push(*reason);
         }
         CellBody::Padding => {}
         CellBody::Relay(rc) => {
             debug_assert!(rc.data.len() <= RELAY_DATA_MAX);
-            buf.put_u8(rc.cmd.to_wire());
-            buf.put_u16(0); // recognized
-            buf.put_u16(rc.stream.0);
-            buf.put_u32(rc.digest);
-            buf.put_u16(rc.data.len() as u16);
-            buf.put_slice(&rc.data);
+            buf.push(rc.cmd.to_wire());
+            buf.extend_from_slice(&0u16.to_be_bytes()); // recognized
+            buf.extend_from_slice(&rc.stream.0.to_be_bytes());
+            buf.extend_from_slice(&rc.digest.to_be_bytes());
+            buf.extend_from_slice(&(rc.data.len() as u16).to_be_bytes());
+            buf.extend_from_slice(&rc.data);
         }
     }
     // Zero-pad to the fixed cell size.
     buf.resize(CELL_LEN, 0);
-    buf.freeze()
+    buf
 }
 
 /// Decodes a 512-byte wire cell.
@@ -135,22 +176,24 @@ pub fn decode_cell(wire: &[u8]) -> Result<Cell, CodecError> {
             got: wire.len(),
         });
     }
-    let mut buf = wire;
+    let mut buf = Reader::new(wire);
     let circ = CircuitId(buf.get_u32());
     let cmd_byte = buf.get_u8();
     let cmd = CellCommand::from_wire(cmd_byte).ok_or(CodecError::UnknownCommand(cmd_byte))?;
-    debug_assert_eq!(buf.len(), CELL_PAYLOAD_LEN);
+    debug_assert_eq!(buf.remaining(), CELL_PAYLOAD_LEN);
     let body = match cmd {
         CellCommand::Create | CellCommand::Created => {
             let mut handshake = [0u8; HANDSHAKE_LEN];
-            handshake.copy_from_slice(&buf[..HANDSHAKE_LEN]);
+            handshake.copy_from_slice(buf.take(HANDSHAKE_LEN));
             if cmd == CellCommand::Create {
                 CellBody::Create { handshake }
             } else {
                 CellBody::Created { handshake }
             }
         }
-        CellCommand::Destroy => CellBody::Destroy { reason: buf.get_u8() },
+        CellCommand::Destroy => CellBody::Destroy {
+            reason: buf.get_u8(),
+        },
         CellCommand::Padding => CellBody::Padding,
         CellCommand::Relay => {
             let relay_cmd_byte = buf.get_u8();
@@ -166,7 +209,7 @@ pub fn decode_cell(wire: &[u8]) -> Result<Cell, CodecError> {
             if usize::from(len) > RELAY_DATA_MAX {
                 return Err(CodecError::BadRelayLength(len));
             }
-            let data = buf[..usize::from(len)].to_vec();
+            let data = buf.take(usize::from(len)).to_vec();
             CellBody::Relay(RelayCell {
                 cmd: relay_cmd,
                 stream,
@@ -179,15 +222,15 @@ pub fn decode_cell(wire: &[u8]) -> Result<Cell, CodecError> {
 }
 
 /// Encodes a feedback frame to its exact 20-byte wire form.
-pub fn encode_feedback(fb: &Feedback) -> Bytes {
-    let mut buf = BytesMut::with_capacity(FEEDBACK_WIRE_LEN);
-    buf.put_u32(FEEDBACK_MAGIC);
-    buf.put_u32(fb.circ.0);
-    buf.put_u64(fb.seq);
+pub fn encode_feedback(fb: &Feedback) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FEEDBACK_WIRE_LEN);
+    buf.extend_from_slice(&FEEDBACK_MAGIC.to_be_bytes());
+    buf.extend_from_slice(&fb.circ.0.to_be_bytes());
+    buf.extend_from_slice(&fb.seq.to_be_bytes());
     let checksum = crate::crypto::payload_digest(&buf[..16]);
-    buf.put_u32(checksum);
+    buf.extend_from_slice(&checksum.to_be_bytes());
     debug_assert_eq!(buf.len(), FEEDBACK_WIRE_LEN);
-    buf.freeze()
+    buf
 }
 
 /// Decodes a 20-byte feedback frame, verifying magic and checksum.
@@ -198,7 +241,7 @@ pub fn decode_feedback(wire: &[u8]) -> Result<Feedback, CodecError> {
             got: wire.len(),
         });
     }
-    let mut buf = wire;
+    let mut buf = Reader::new(wire);
     let magic = buf.get_u32();
     if magic != FEEDBACK_MAGIC {
         return Err(CodecError::BadMagic(magic));
@@ -249,7 +292,11 @@ mod tests {
 
     #[test]
     fn relay_data_round_trip() {
-        round_trip(Cell::relay_data(CircuitId(9), StreamId(4), vec![1, 2, 3, 4, 5]));
+        round_trip(Cell::relay_data(
+            CircuitId(9),
+            StreamId(4),
+            vec![1, 2, 3, 4, 5],
+        ));
         round_trip(Cell::relay_data(CircuitId(9), StreamId(4), vec![]));
         round_trip(Cell::relay_data(
             CircuitId(u32::MAX),
@@ -273,6 +320,63 @@ mod tests {
         }
     }
 
+    /// Exhaustive variant coverage: encode→decode identity for *every*
+    /// `RelayCommand` and every `CellBody` variant, at representative
+    /// payload sizes (empty, single byte, mid, maximal). The match on
+    /// `CellBody` has no wildcard arm, so adding a variant without
+    /// extending this test fails to compile.
+    #[test]
+    fn every_variant_round_trips() {
+        const ALL_RELAY: [RelayCommand; 7] = [
+            RelayCommand::Begin,
+            RelayCommand::Data,
+            RelayCommand::End,
+            RelayCommand::Connected,
+            RelayCommand::Sendme,
+            RelayCommand::Extend,
+            RelayCommand::Extended,
+        ];
+        let mut hs = [0u8; HANDSHAKE_LEN];
+        for (i, b) in hs.iter_mut().enumerate() {
+            *b = (i * 17) as u8;
+        }
+        let mut bodies: Vec<CellBody> = vec![
+            CellBody::Create { handshake: hs },
+            CellBody::Created { handshake: hs },
+            CellBody::Destroy { reason: 0 },
+            CellBody::Destroy { reason: u8::MAX },
+            CellBody::Padding,
+        ];
+        for cmd in ALL_RELAY {
+            for len in [0usize, 1, 100, RELAY_DATA_MAX] {
+                let data: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+                bodies.push(CellBody::Relay(RelayCell {
+                    cmd,
+                    stream: StreamId(if len == 0 { 0 } else { u16::MAX }),
+                    digest: crate::crypto::payload_digest(&data),
+                    data,
+                }));
+            }
+        }
+        for body in bodies {
+            // Compile-time exhaustiveness guard: every variant must be
+            // listed here.
+            match &body {
+                CellBody::Create { .. }
+                | CellBody::Created { .. }
+                | CellBody::Destroy { .. }
+                | CellBody::Padding
+                | CellBody::Relay(_) => {}
+            }
+            for circ in [0u32, 1, u32::MAX] {
+                round_trip(Cell {
+                    circ: CircuitId(circ),
+                    body: body.clone(),
+                });
+            }
+        }
+    }
+
     #[test]
     fn wire_is_exactly_512_bytes_and_padded() {
         let wire = encode_cell(&Cell::relay_data(CircuitId(1), StreamId(1), vec![0xFF; 3]));
@@ -286,38 +390,47 @@ mod tests {
     fn decode_rejects_wrong_length() {
         assert_eq!(
             decode_cell(&[0u8; 100]),
-            Err(CodecError::WrongLength { expected: CELL_LEN, got: 100 })
+            Err(CodecError::WrongLength {
+                expected: CELL_LEN,
+                got: 100
+            })
         );
         assert_eq!(
             decode_cell(&[0u8; CELL_LEN + 1]),
-            Err(CodecError::WrongLength { expected: CELL_LEN, got: CELL_LEN + 1 })
+            Err(CodecError::WrongLength {
+                expected: CELL_LEN,
+                got: CELL_LEN + 1
+            })
         );
     }
 
     #[test]
     fn decode_rejects_unknown_command() {
-        let mut wire = encode_cell(&Cell::destroy(CircuitId(1), 0)).to_vec();
+        let mut wire = encode_cell(&Cell::destroy(CircuitId(1), 0));
         wire[4] = 0xEE;
         assert_eq!(decode_cell(&wire), Err(CodecError::UnknownCommand(0xEE)));
     }
 
     #[test]
     fn decode_rejects_unknown_relay_command() {
-        let mut wire = encode_cell(&Cell::relay_data(CircuitId(1), StreamId(1), vec![])).to_vec();
+        let mut wire = encode_cell(&Cell::relay_data(CircuitId(1), StreamId(1), vec![]));
         wire[5] = 0x77;
-        assert_eq!(decode_cell(&wire), Err(CodecError::UnknownRelayCommand(0x77)));
+        assert_eq!(
+            decode_cell(&wire),
+            Err(CodecError::UnknownRelayCommand(0x77))
+        );
     }
 
     #[test]
     fn decode_rejects_unrecognized_relay() {
-        let mut wire = encode_cell(&Cell::relay_data(CircuitId(1), StreamId(1), vec![])).to_vec();
+        let mut wire = encode_cell(&Cell::relay_data(CircuitId(1), StreamId(1), vec![]));
         wire[6] = 0x01; // poke the 'recognized' field
         assert_eq!(decode_cell(&wire), Err(CodecError::NotRecognized(0x0100)));
     }
 
     #[test]
     fn decode_rejects_oversize_relay_length() {
-        let mut wire = encode_cell(&Cell::relay_data(CircuitId(1), StreamId(1), vec![])).to_vec();
+        let mut wire = encode_cell(&Cell::relay_data(CircuitId(1), StreamId(1), vec![]));
         let bad = (RELAY_DATA_MAX as u16 + 1).to_be_bytes();
         wire[14] = bad[0];
         wire[15] = bad[1];
@@ -340,7 +453,10 @@ mod tests {
 
     #[test]
     fn feedback_round_trip() {
-        let fb = Feedback { circ: CircuitId(0xABCD), seq: u64::MAX - 3 };
+        let fb = Feedback {
+            circ: CircuitId(0xABCD),
+            seq: u64::MAX - 3,
+        };
         let wire = encode_feedback(&fb);
         assert_eq!(wire.len(), FEEDBACK_WIRE_LEN);
         assert_eq!(decode_feedback(&wire), Ok(fb));
@@ -350,20 +466,32 @@ mod tests {
     fn feedback_rejects_wrong_length() {
         assert_eq!(
             decode_feedback(&[0u8; 19]),
-            Err(CodecError::WrongLength { expected: 20, got: 19 })
+            Err(CodecError::WrongLength {
+                expected: 20,
+                got: 19
+            })
         );
     }
 
     #[test]
     fn feedback_rejects_bad_magic() {
-        let mut wire = encode_feedback(&Feedback { circ: CircuitId(1), seq: 2 }).to_vec();
+        let mut wire = encode_feedback(&Feedback {
+            circ: CircuitId(1),
+            seq: 2,
+        });
         wire[0] = 0;
-        assert!(matches!(decode_feedback(&wire), Err(CodecError::BadMagic(_))));
+        assert!(matches!(
+            decode_feedback(&wire),
+            Err(CodecError::BadMagic(_))
+        ));
     }
 
     #[test]
     fn feedback_rejects_corrupted_body() {
-        let mut wire = encode_feedback(&Feedback { circ: CircuitId(1), seq: 2 }).to_vec();
+        let mut wire = encode_feedback(&Feedback {
+            circ: CircuitId(1),
+            seq: 2,
+        });
         wire[9] ^= 0xFF; // corrupt the sequence field
         assert!(matches!(
             decode_feedback(&wire),
@@ -373,9 +501,14 @@ mod tests {
 
     #[test]
     fn error_display_strings() {
-        let e = CodecError::WrongLength { expected: 512, got: 3 };
+        let e = CodecError::WrongLength {
+            expected: 512,
+            got: 3,
+        };
         assert!(e.to_string().contains("512"));
         assert!(CodecError::UnknownCommand(9).to_string().contains('9'));
-        assert!(CodecError::NotRecognized(1).to_string().contains("recognized"));
+        assert!(CodecError::NotRecognized(1)
+            .to_string()
+            .contains("recognized"));
     }
 }

@@ -161,7 +161,10 @@ impl OnionRoute {
     ///
     /// Panics if `hop` is out of range.
     pub fn wrap_for_hop(&mut self, hop: usize, cell: &mut RelayCell) {
-        assert!(hop < self.layers.len(), "wrap_for_hop: hop {hop} out of range");
+        assert!(
+            hop < self.layers.len(),
+            "wrap_for_hop: hop {hop} out of range"
+        );
         for i in (0..=hop).rev() {
             self.layers[i].apply(self.fwd_counters[i], &mut cell.data);
             self.fwd_counters[i] += 1;
@@ -356,8 +359,14 @@ mod tests {
         let (mut route, mut relays) = route_of(3);
         let mut cell = RelayCell::data(StreamId(1), b"to the exit".to_vec());
         route.wrap_for_hop(2, &mut cell);
-        assert!(!relays[0].strip_forward(&mut cell), "guard must not recognize");
-        assert!(!relays[1].strip_forward(&mut cell), "middle must not recognize");
+        assert!(
+            !relays[0].strip_forward(&mut cell),
+            "guard must not recognize"
+        );
+        assert!(
+            !relays[1].strip_forward(&mut cell),
+            "middle must not recognize"
+        );
         assert!(relays[2].strip_forward(&mut cell), "exit recognizes");
         assert_eq!(cell.data, b"to the exit");
     }
@@ -427,7 +436,9 @@ mod tests {
         // Deterministic pseudo-random interleaving of targets.
         let mut x = 7u64;
         for round in 0..200u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let hop = (x % 3) as usize;
             let payload = round.to_be_bytes().to_vec();
             let mut cell = RelayCell::data(StreamId(1), payload.clone());

@@ -7,7 +7,7 @@
 //! * [`ids`] — [`CircuitId`](ids::CircuitId) (link-local, as in Tor),
 //!   [`StreamId`](ids::StreamId), [`CellSeq`](ids::CellSeq).
 //! * [`cell`] — structures and size constants.
-//! * [`codec`] — byte-exact, error-checked wire encoding on [`bytes`].
+//! * [`codec`] — byte-exact, error-checked wire encoding (dependency-free).
 //! * [`crypto`] — onion layering *stand-in* (size-preserving keyed
 //!   keystream; **not secure**, see module docs and DESIGN.md §2).
 //!
@@ -27,11 +27,15 @@ pub mod ids;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::cell::{
-        Cell, CellBody, CellCommand, Feedback, RelayCell, RelayCommand, CELL_LEN,
-        CELL_PAYLOAD_LEN, FEEDBACK_WIRE_LEN, HANDSHAKE_LEN, RELAY_DATA_MAX,
+        Cell, CellBody, CellCommand, Feedback, RelayCell, RelayCommand, CELL_LEN, CELL_PAYLOAD_LEN,
+        FEEDBACK_WIRE_LEN, HANDSHAKE_LEN, RELAY_DATA_MAX,
     };
-    pub use crate::codec::{decode_cell, decode_feedback, encode_cell, encode_feedback, CodecError};
-    pub use crate::crypto::{payload_digest, LayerCipher, LayerKey, OnionRoute, OnionStack, RelayCrypt};
+    pub use crate::codec::{
+        decode_cell, decode_feedback, encode_cell, encode_feedback, CodecError,
+    };
+    pub use crate::crypto::{
+        payload_digest, LayerCipher, LayerKey, OnionRoute, OnionStack, RelayCrypt,
+    };
     pub use crate::ids::{CellSeq, CircuitId, StreamId};
 }
 

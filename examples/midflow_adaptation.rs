@@ -71,7 +71,9 @@ fn main() {
             .filter(|&&(t, _)| t > 500.0)
             .map(|&(_, c)| c)
             .fold(0.0f64, f64::max);
-        println!("{label:>22}: transfer {ttlb:.3} s, max window after upgrade {peak_after:.0} cells");
+        println!(
+            "{label:>22}: transfer {ttlb:.3} s, max window after upgrade {peak_after:.0} cells"
+        );
         series.push((label, trace));
     }
 

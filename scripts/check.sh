@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI-style gate: formatting, lints, tests, and an end-to-end smoke run.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> smoke: cargo run --example quickstart"
+cargo run -q --release --example quickstart
+
+echo "==> all checks passed"

@@ -9,7 +9,10 @@ use relaynet::{PathScenario, StarScenario, WorldConfig};
 use simcore::time::SimDuration;
 
 fn hop(mbps: u64, delay_ms: u64) -> LinkConfig {
-    LinkConfig::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis(delay_ms))
+    LinkConfig::new(
+        Bandwidth::from_mbps(mbps),
+        SimDuration::from_millis(delay_ms),
+    )
 }
 
 /// Runs one path transfer and applies the universal health checks.
@@ -28,7 +31,11 @@ fn run_path(
     run_to_completion(&mut sim);
     let world = sim.world();
     assert_eq!(world.stats().protocol_errors, 0, "protocol errors");
-    assert_eq!(world.net().total_drops(), 0, "backpressure must prevent drops");
+    assert_eq!(
+        world.net().total_drops(),
+        0,
+        "backpressure must prevent drops"
+    );
     let result = world.result_of(handles.circ);
     assert!(result.completed, "transfer must complete");
     assert_eq!(result.bytes_delivered, file_bytes);
@@ -167,7 +174,8 @@ fn weighted_path_selection_also_runs() {
         },
         ..Default::default()
     };
-    let (mut sim, circuits) = scenario.build(Algorithm::CircuitStart.factory(CcConfig::default()), 31);
+    let (mut sim, circuits) =
+        scenario.build(Algorithm::CircuitStart.factory(CcConfig::default()), 31);
     run_to_completion(&mut sim);
     for c in circuits {
         assert!(sim.world().result_of(c).completed);

@@ -10,7 +10,10 @@ use relaynet::{PathScenario, WorldConfig};
 use simcore::time::SimDuration;
 
 fn hop(mbps: u64, delay_ms: u64) -> LinkConfig {
-    LinkConfig::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis(delay_ms))
+    LinkConfig::new(
+        Bandwidth::from_mbps(mbps),
+        SimDuration::from_millis(delay_ms),
+    )
 }
 
 /// Measured goodput of a transfer with a fixed per-hop window.
@@ -92,11 +95,7 @@ fn ideal_transfer_time_is_a_tight_lower_bound_at_w_star() {
         7,
     );
     run_to_completion(&mut sim);
-    let measured = sim
-        .world()
-        .result_of(handles.circ)
-        .transfer_time()
-        .unwrap();
+    let measured = sim.world().result_of(handles.circ).transfer_time().unwrap();
     let ideal = model.ideal_transfer_time(file);
     assert!(measured >= ideal, "{measured} < ideal {ideal}");
     assert!(

@@ -1,130 +1,172 @@
 //! Property tests for the wire codec and onion layering: round-trips for
 //! *every* representable cell, and detection of corruption. These
 //! properties license the simulator's structured-cell fast path.
+//!
+//! Generation is driven by [`simcore::rng::SimRng`] from fixed seeds —
+//! the same randomized coverage as a proptest suite, but reproducible
+//! bit-for-bit and free of external dependencies.
 
-use proptest::prelude::*;
+use simcore::rng::SimRng;
 use torcell::prelude::*;
 
-fn arb_relay_command() -> impl Strategy<Value = RelayCommand> {
-    prop_oneof![
-        Just(RelayCommand::Begin),
-        Just(RelayCommand::Data),
-        Just(RelayCommand::End),
-        Just(RelayCommand::Connected),
-        Just(RelayCommand::Sendme),
-        Just(RelayCommand::Extend),
-        Just(RelayCommand::Extended),
-    ]
+const CASES: usize = 256;
+
+fn arb_relay_command(rng: &mut SimRng) -> RelayCommand {
+    const ALL: [RelayCommand; 7] = [
+        RelayCommand::Begin,
+        RelayCommand::Data,
+        RelayCommand::End,
+        RelayCommand::Connected,
+        RelayCommand::Sendme,
+        RelayCommand::Extend,
+        RelayCommand::Extended,
+    ];
+    ALL[rng.range_usize(0, ALL.len())]
 }
 
-fn arb_cell() -> impl Strategy<Value = Cell> {
-    let create = (any::<u32>(), any::<[u8; HANDSHAKE_LEN]>())
-        .prop_map(|(c, hs)| Cell::create(CircuitId(c), hs));
-    let created = (any::<u32>(), any::<[u8; HANDSHAKE_LEN]>())
-        .prop_map(|(c, hs)| Cell::created(CircuitId(c), hs));
-    let destroy =
-        (any::<u32>(), any::<u8>()).prop_map(|(c, r)| Cell::destroy(CircuitId(c), r));
-    let padding = any::<u32>().prop_map(|c| Cell {
-        circ: CircuitId(c),
-        body: CellBody::Padding,
-    });
-    let relay = (
-        any::<u32>(),
-        arb_relay_command(),
-        any::<u16>(),
-        proptest::collection::vec(any::<u8>(), 0..=RELAY_DATA_MAX),
-    )
-        .prop_map(|(c, cmd, stream, data)| Cell {
-            circ: CircuitId(c),
-            body: CellBody::Relay(RelayCell {
-                cmd,
-                stream: StreamId(stream),
-                digest: payload_digest(&data),
-                data,
-            }),
-        });
-    prop_oneof![create, created, destroy, padding, relay]
+fn arb_bytes(rng: &mut SimRng, min: usize, max_inclusive: usize) -> Vec<u8> {
+    let len = rng.range_usize(min, max_inclusive + 1);
+    let mut data = vec![0u8; len];
+    rng.fill_bytes(&mut data);
+    data
 }
 
-proptest! {
-    #[test]
-    fn cell_round_trip(cell in arb_cell()) {
-        let wire = encode_cell(&cell);
-        prop_assert_eq!(wire.len(), CELL_LEN);
-        let decoded = decode_cell(&wire).expect("decode");
-        prop_assert_eq!(decoded, cell);
+fn arb_handshake(rng: &mut SimRng) -> [u8; HANDSHAKE_LEN] {
+    let mut hs = [0u8; HANDSHAKE_LEN];
+    rng.fill_bytes(&mut hs);
+    hs
+}
+
+fn arb_cell(rng: &mut SimRng) -> Cell {
+    let circ = CircuitId(rng.u32());
+    match rng.range_usize(0, 5) {
+        0 => Cell::create(circ, arb_handshake(rng)),
+        1 => Cell::created(circ, arb_handshake(rng)),
+        2 => Cell::destroy(circ, (rng.u32() & 0xFF) as u8),
+        3 => Cell {
+            circ,
+            body: CellBody::Padding,
+        },
+        _ => {
+            let data = arb_bytes(rng, 0, RELAY_DATA_MAX);
+            Cell {
+                circ,
+                body: CellBody::Relay(RelayCell {
+                    cmd: arb_relay_command(rng),
+                    stream: StreamId((rng.u32() & 0xFFFF) as u16),
+                    digest: payload_digest(&data),
+                    data,
+                }),
+            }
+        }
     }
+}
 
-    #[test]
-    fn encoding_is_injective_on_distinct_cells(a in arb_cell(), b in arb_cell()) {
+#[test]
+fn cell_round_trip() {
+    let mut rng = SimRng::seed_from(0xC0DEC);
+    for _ in 0..CASES {
+        let cell = arb_cell(&mut rng);
+        let wire = encode_cell(&cell);
+        assert_eq!(wire.len(), CELL_LEN);
+        let decoded = decode_cell(&wire).expect("decode");
+        assert_eq!(decoded, cell);
+    }
+}
+
+#[test]
+fn encoding_is_injective_on_distinct_cells() {
+    let mut rng = SimRng::seed_from(0x1A1A);
+    for _ in 0..CASES {
+        let a = arb_cell(&mut rng);
+        let b = arb_cell(&mut rng);
         let ea = encode_cell(&a);
         let eb = encode_cell(&b);
         if a == b {
-            prop_assert_eq!(ea, eb);
+            assert_eq!(ea, eb);
         } else {
-            prop_assert_ne!(ea, eb, "distinct cells must encode differently");
+            assert_ne!(ea, eb, "distinct cells must encode differently");
         }
     }
+}
 
-    #[test]
-    fn feedback_round_trip(circ in any::<u32>(), seq in any::<u64>()) {
-        let fb = Feedback { circ: CircuitId(circ), seq };
+#[test]
+fn feedback_round_trip() {
+    let mut rng = SimRng::seed_from(0xFB);
+    for _ in 0..CASES {
+        let fb = Feedback {
+            circ: CircuitId(rng.u32()),
+            seq: rng.u64(),
+        };
         let wire = encode_feedback(&fb);
-        prop_assert_eq!(wire.len(), FEEDBACK_WIRE_LEN);
-        prop_assert_eq!(decode_feedback(&wire), Ok(fb));
+        assert_eq!(wire.len(), FEEDBACK_WIRE_LEN);
+        assert_eq!(decode_feedback(&wire), Ok(fb));
     }
+}
 
-    #[test]
-    fn feedback_corruption_is_detected(
-        circ in any::<u32>(),
-        seq in any::<u64>(),
-        flip_byte in 0usize..FEEDBACK_WIRE_LEN,
-        flip_bits in 1u8..=255,
-    ) {
-        let mut wire = encode_feedback(&Feedback { circ: CircuitId(circ), seq }).to_vec();
+#[test]
+fn feedback_corruption_is_detected() {
+    let mut rng = SimRng::seed_from(0xBADF);
+    for _ in 0..CASES {
+        let fb = Feedback {
+            circ: CircuitId(rng.u32()),
+            seq: rng.u64(),
+        };
+        let flip_byte = rng.range_usize(0, FEEDBACK_WIRE_LEN);
+        let flip_bits = rng.range_u64(1, 256) as u8;
+        let mut wire = encode_feedback(&fb);
         wire[flip_byte] ^= flip_bits;
         // Any single-byte corruption must not decode to the same frame
         // (magic, checksum, or value changes).
         match decode_feedback(&wire) {
             Err(_) => {}
-            Ok(decoded) => prop_assert_ne!(decoded, Feedback { circ: CircuitId(circ), seq }),
+            Ok(decoded) => assert_ne!(decoded, fb),
         }
     }
+}
 
-    #[test]
-    fn truncated_cells_never_decode(
-        cell in arb_cell(),
-        cut in 0usize..CELL_LEN,
-    ) {
+#[test]
+fn truncated_cells_never_decode() {
+    let mut rng = SimRng::seed_from(0x7271);
+    for _ in 0..CASES {
+        let cell = arb_cell(&mut rng);
+        let cut = rng.range_usize(0, CELL_LEN);
         let wire = encode_cell(&cell);
-        prop_assert!(decode_cell(&wire[..cut]).is_err());
+        assert!(decode_cell(&wire[..cut]).is_err());
     }
+}
 
-    #[test]
-    fn layer_cipher_is_involutive(
-        key in any::<u64>(),
-        nonce in any::<u64>(),
-        data in proptest::collection::vec(any::<u8>(), 0..600),
-    ) {
-        let cipher = LayerCipher::new(LayerKey(key));
+#[test]
+fn layer_cipher_is_involutive() {
+    let mut rng = SimRng::seed_from(0x1417);
+    for _ in 0..CASES {
+        let cipher = LayerCipher::new(LayerKey(rng.u64()));
+        let nonce = rng.u64();
+        let data = arb_bytes(&mut rng, 0, 599);
         let mut buf = data.clone();
         cipher.apply(nonce, &mut buf);
         cipher.apply(nonce, &mut buf);
-        prop_assert_eq!(buf, data);
+        assert_eq!(buf, data);
     }
+}
 
-    #[test]
-    fn onion_route_recognizes_exactly_the_target_hop(
-        hops in 1usize..=5,
-        target_offset in 0usize..5,
-        payload in proptest::collection::vec(any::<u8>(), 8..=RELAY_DATA_MAX),
-        key_seed in any::<u64>(),
-    ) {
-        let target = target_offset % hops;
+#[test]
+fn onion_route_recognizes_exactly_the_target_hop() {
+    let mut rng = SimRng::seed_from(0x0111);
+    for _ in 0..CASES {
+        let hops = rng.range_usize(1, 6);
+        let target = rng.range_usize(0, 5) % hops;
+        let payload = arb_bytes(&mut rng, 8, RELAY_DATA_MAX);
+        let key_seed = rng.u64();
         let mut route = OnionRoute::new();
         let mut relays: Vec<RelayCrypt> = Vec::new();
         for i in 0..hops {
-            let key = LayerKey(key_seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1);
+            let key = LayerKey(
+                key_seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    | 1,
+            );
             route.push_layer(key);
             relays.push(RelayCrypt::new(key));
         }
@@ -137,19 +179,21 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(recognized_at, Some(target));
-        prop_assert_eq!(cell.data, payload);
+        assert_eq!(recognized_at, Some(target));
+        assert_eq!(cell.data, payload);
     }
+}
 
-    #[test]
-    fn digest_mismatch_detected_after_tamper(
-        payload in proptest::collection::vec(any::<u8>(), 1..=64),
-        idx in 0usize..64,
-        bits in 1u8..=255,
-    ) {
-        let mut cell = RelayCell::data(StreamId(1), payload.clone());
+#[test]
+fn digest_mismatch_detected_after_tamper() {
+    let mut rng = SimRng::seed_from(0xD163);
+    for _ in 0..CASES {
+        let payload = arb_bytes(&mut rng, 1, 64);
+        let idx = rng.range_usize(0, 64);
+        let bits = rng.range_u64(1, 256) as u8;
+        let mut cell = RelayCell::data(StreamId(1), payload);
         let i = idx % cell.data.len();
         cell.data[i] ^= bits;
-        prop_assert!(!cell.digest_ok());
+        assert!(!cell.digest_ok());
     }
 }

@@ -1,24 +1,29 @@
 //! System-level property tests: conservation, window invariants, and
 //! monotonicity over randomly drawn topologies, file sizes, and seeds.
 //! Case counts are tuned so the suite stays responsive in debug builds.
+//!
+//! Randomized configurations are drawn from [`simcore::rng::SimRng`]
+//! streams with fixed master seeds — proptest-style coverage with
+//! bit-for-bit reproducibility and no external dependencies.
 
 use circuitstart::prelude::*;
 use netsim::bandwidth::Bandwidth;
 use netsim::link::LinkConfig;
-use proptest::prelude::*;
 use relaynet::{PathScenario, WorldConfig};
+use simcore::rng::SimRng;
 use simcore::time::SimDuration;
 
 /// Arbitrary small path geometry: 1–4 relays, 5–80 Mbit/s links,
 /// 1–12 ms delays.
-fn arb_hops() -> impl Strategy<Value = Vec<LinkConfig>> {
-    proptest::collection::vec((5u64..=80, 1u64..=12), 2..=5).prop_map(|raw| {
-        raw.into_iter()
-            .map(|(mbps, ms)| {
-                LinkConfig::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis(ms))
-            })
-            .collect()
-    })
+fn arb_hops(rng: &mut SimRng) -> Vec<LinkConfig> {
+    let n = rng.range_usize(2, 6);
+    (0..n)
+        .map(|_| {
+            let mbps = rng.range_u64(5, 81);
+            let ms = rng.range_u64(1, 13);
+            LinkConfig::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis(ms))
+        })
+        .collect()
 }
 
 fn run(
@@ -42,82 +47,81 @@ fn run(
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Cells are conserved: every payload byte the client offers arrives
-    /// exactly once, unharmed, in order — for arbitrary geometry.
-    #[test]
-    fn conservation_over_random_paths(
-        hops in arb_hops(),
-        file_kb in 1u64..=120,
-        seed in any::<u64>(),
-    ) {
-        let file = file_kb * 1000;
+/// Cells are conserved: every payload byte the client offers arrives
+/// exactly once, unharmed, in order — for arbitrary geometry.
+#[test]
+fn conservation_over_random_paths() {
+    let mut gen = SimRng::seed_from(0x5EED_0001);
+    for _ in 0..24 {
+        let hops = arb_hops(&mut gen);
+        let file = gen.range_u64(1, 121) * 1000;
+        let seed = gen.u64();
         let (result, stats, drops) = run(hops, file, Algorithm::CircuitStart, seed);
-        prop_assert!(result.completed);
-        prop_assert_eq!(result.bytes_delivered, file);
-        prop_assert_eq!(result.cells_delivered, file.div_ceil(496));
-        prop_assert_eq!(result.payload_errors, 0);
-        prop_assert_eq!(stats.protocol_errors, 0);
-        prop_assert_eq!(drops, 0);
+        assert!(result.completed);
+        assert_eq!(result.bytes_delivered, file);
+        assert_eq!(result.cells_delivered, file.div_ceil(496));
+        assert_eq!(result.payload_errors, 0);
+        assert_eq!(stats.protocol_errors, 0);
+        assert_eq!(drops, 0);
     }
+}
 
-    /// Transfer time is monotone (within tolerance) in file size on a
-    /// fixed path: more data never finishes faster.
-    #[test]
-    fn ttlb_monotone_in_file_size(
-        hops in arb_hops(),
-        small_kb in 5u64..=40,
-        extra_kb in 10u64..=100,
-        seed in any::<u64>(),
-    ) {
-        let small = small_kb * 1000;
-        let big = small + extra_kb * 1000;
+/// Transfer time is monotone (within tolerance) in file size on a
+/// fixed path: more data never finishes faster.
+#[test]
+fn ttlb_monotone_in_file_size() {
+    let mut gen = SimRng::seed_from(0x5EED_0002);
+    for _ in 0..24 {
+        let hops = arb_hops(&mut gen);
+        let small = gen.range_u64(5, 41) * 1000;
+        let big = small + gen.range_u64(10, 101) * 1000;
+        let seed = gen.u64();
         let (r_small, _, _) = run(hops.clone(), small, Algorithm::CircuitStart, seed);
         let (r_big, _, _) = run(hops, big, Algorithm::CircuitStart, seed);
-        prop_assert!(
+        assert!(
             r_big.transfer_time().unwrap() >= r_small.transfer_time().unwrap(),
             "bigger file finished faster: {:?} vs {:?}",
             r_big.transfer_time(),
             r_small.transfer_time()
         );
     }
+}
 
-    /// The transfer never beats the analytical lower bound, regardless of
-    /// geometry or algorithm.
-    #[test]
-    fn never_faster_than_the_ideal_pipeline(
-        hops in arb_hops(),
-        file_kb in 5u64..=80,
-        algo_pick in 0usize..3,
-        seed in any::<u64>(),
-    ) {
+/// The transfer never beats the analytical lower bound, regardless of
+/// geometry or algorithm.
+#[test]
+fn never_faster_than_the_ideal_pipeline() {
+    let mut gen = SimRng::seed_from(0x5EED_0003);
+    for _ in 0..24 {
+        let hops = arb_hops(&mut gen);
+        let file = gen.range_u64(5, 81) * 1000;
         let algorithm = [
             Algorithm::CircuitStart,
             Algorithm::ClassicBacktap,
             Algorithm::JumpStart(64),
-        ][algo_pick];
-        let file = file_kb * 1000;
+        ][gen.range_usize(0, 3)];
+        let seed = gen.u64();
         let model = PathModel::from_hops(&hops);
         let (result, _, _) = run(hops, file, algorithm, seed);
-        prop_assert!(
+        assert!(
             result.transfer_time().unwrap() >= model.ideal_transfer_time(file),
             "{algorithm:?} beat physics"
         );
     }
+}
 
-    /// The source window never leaves its configured bounds, for any
-    /// geometry and any point in time.
-    #[test]
-    fn cwnd_respects_bounds_throughout(
-        hops in arb_hops(),
-        file_kb in 5u64..=60,
-        seed in any::<u64>(),
-    ) {
+/// The source window never leaves its configured bounds, for any
+/// geometry and any point in time.
+#[test]
+fn cwnd_respects_bounds_throughout() {
+    let mut gen = SimRng::seed_from(0x5EED_0004);
+    for _ in 0..24 {
+        let hops = arb_hops(&mut gen);
+        let file = gen.range_u64(5, 61) * 1000;
+        let seed = gen.u64();
         let scenario = PathScenario {
             hops,
-            file_bytes: file_kb * 1000,
+            file_bytes: file,
             world: WorldConfig::default(),
         };
         let cc = CcConfig::default();
@@ -125,26 +129,23 @@ proptest! {
         run_to_completion(&mut sim);
         let trace = sim.world().source_cwnd_trace(handles.circ).unwrap();
         for &(_, cwnd) in trace {
-            prop_assert!(cwnd >= cc.min_cwnd && cwnd <= cc.max_cwnd);
+            assert!(cwnd >= cc.min_cwnd && cwnd <= cc.max_cwnd);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Determinism as a property: any configuration replayed with the
-    /// same seed produces the identical transfer time.
-    #[test]
-    fn determinism_over_random_configs(
-        hops in arb_hops(),
-        file_kb in 5u64..=50,
-        seed in any::<u64>(),
-    ) {
-        let file = file_kb * 1000;
+/// Determinism as a property: any configuration replayed with the
+/// same seed produces the identical transfer time.
+#[test]
+fn determinism_over_random_configs() {
+    let mut gen = SimRng::seed_from(0x5EED_0005);
+    for _ in 0..12 {
+        let hops = arb_hops(&mut gen);
+        let file = gen.range_u64(5, 51) * 1000;
+        let seed = gen.u64();
         let (a, _, _) = run(hops.clone(), file, Algorithm::CircuitStart, seed);
         let (b, _, _) = run(hops, file, Algorithm::CircuitStart, seed);
-        prop_assert_eq!(a.transfer_time(), b.transfer_time());
-        prop_assert_eq!(a.last_byte_at, b.last_byte_at);
+        assert_eq!(a.transfer_time(), b.transfer_time());
+        assert_eq!(a.last_byte_at, b.last_byte_at);
     }
 }
