@@ -14,7 +14,7 @@
 //! * [`HopTransport::on_feedback`] when the successor's feedback frame for
 //!   a cell arrives.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use simcore::time::{SimDuration, SimTime};
 
@@ -54,7 +54,11 @@ pub struct HopStats {
 pub struct HopTransport {
     cc: Box<dyn CongestionControl + Send>,
     next_seq: u64,
-    in_flight: HashMap<u64, SimTime>,
+    /// Cells sent but not yet fed back, ordered by sequence number
+    /// (sends are monotone). Feedback almost always arrives in order, so
+    /// the front is a hit and the map stays an O(1) ring — no hashing on
+    /// the per-cell path.
+    in_flight: VecDeque<(u64, SimTime)>,
     rtt: RttEstimator,
     stats: HopStats,
     cwnd_trace: Option<Vec<(SimTime, u32)>>,
@@ -67,7 +71,7 @@ impl HopTransport {
         HopTransport {
             cc,
             next_seq: 0,
-            in_flight: HashMap::new(),
+            in_flight: VecDeque::new(),
             rtt: RttEstimator::new(),
             stats: HopStats::default(),
             cwnd_trace: None,
@@ -120,7 +124,7 @@ impl HopTransport {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.in_flight.insert(seq, now);
+        self.in_flight.push_back((seq, now));
         self.stats.cells_sent += 1;
         self.cc.on_sent(seq, now);
         self.trace_cwnd(now);
@@ -130,9 +134,18 @@ impl HopTransport {
     /// Processes the successor's feedback for cell `seq`, returning the
     /// RTT sample on success.
     pub fn on_feedback(&mut self, seq: u64, now: SimTime) -> Result<SimDuration, FeedbackError> {
-        let Some(sent_at) = self.in_flight.remove(&seq) else {
-            self.stats.bad_feedback += 1;
-            return Err(FeedbackError::UnknownSeq(seq));
+        let sent_at = match self.in_flight.front() {
+            Some(&(s, t)) if s == seq => {
+                self.in_flight.pop_front();
+                t
+            }
+            _ => match self.in_flight.binary_search_by_key(&seq, |&(s, _)| s) {
+                Ok(idx) => self.in_flight.remove(idx).expect("index in range").1,
+                Err(_) => {
+                    self.stats.bad_feedback += 1;
+                    return Err(FeedbackError::UnknownSeq(seq));
+                }
+            },
         };
         let rtt = now.saturating_duration_since(sent_at);
         self.rtt.record(rtt);

@@ -1,0 +1,68 @@
+//! End-to-end overlay benchmark: cells per second through a full 3-hop
+//! circuit (client → 3 relays → server), the workload every layer of the
+//! stack sits under — simcore's event loop, netsim's links, relaynet's
+//! cell pipeline, torcell's crypto stand-in, and the congestion
+//! controller under test.
+//!
+//! This is the headline number of the performance trajectory
+//! (`BENCH_*.json`): a change that speeds up any hot layer moves it, and
+//! a regression anywhere shows up here even if the micro-benches stay
+//! flat. One iteration builds the scenario from scratch and runs the
+//! transfer to quiescence, so setup cost is included — as it is in real
+//! experiment sweeps, which construct thousands of short-lived worlds.
+
+use backtap::config::CcConfig;
+use circuitstart::Algorithm;
+use cs_bench::harness::Report;
+use netsim::bandwidth::Bandwidth;
+use netsim::link::LinkConfig;
+use relaynet::builder::{fixed_window_factory, PathScenario};
+use relaynet::{CcFactory, WorldConfig};
+use simcore::time::SimDuration;
+
+/// Transfer size per iteration; 512 KiB = 1058 DATA cells through 4 links.
+const FILE_BYTES: u64 = 512 * 1024;
+
+fn scenario() -> PathScenario {
+    let hop = LinkConfig::new(Bandwidth::from_mbps(100), SimDuration::from_millis(2));
+    PathScenario {
+        hops: vec![hop; 4], // 3 relays
+        file_bytes: FILE_BYTES,
+        world: WorldConfig::default(),
+    }
+}
+
+/// Runs one full transfer and returns the DATA cells delivered.
+fn run_once(factory: CcFactory) -> u64 {
+    let (mut sim, h) = scenario().build(factory, 1);
+    sim.run();
+    let r = sim.world().result_of(h.circ);
+    assert!(r.completed, "bench transfer must complete");
+    assert_eq!(r.payload_errors, 0);
+    assert_eq!(sim.world().stats().protocol_errors, 0);
+    r.cells_delivered
+}
+
+fn bench_algorithm(report: &mut Report, key: &str, factory: impl Fn() -> CcFactory) {
+    let cells = run_once(factory());
+    report.bench_with_rate(
+        &format!("overlay/3hop_512k/{key}"),
+        cells as f64,
+        "cells/s",
+        || {
+            std::hint::black_box(run_once(factory()));
+        },
+    );
+}
+
+fn main() {
+    let mut report = Report::new();
+    bench_algorithm(&mut report, "circuitstart", || {
+        Algorithm::CircuitStart.factory(CcConfig::default())
+    });
+    bench_algorithm(&mut report, "backtap_classic", || {
+        Algorithm::ClassicBacktap.factory(CcConfig::default())
+    });
+    bench_algorithm(&mut report, "fixed_window_64", || fixed_window_factory(64));
+    report.finish("bench_overlay");
+}

@@ -2,7 +2,8 @@
 //! event throughput bounds how large an overlay experiment the
 //! reproduction can run.
 
-use cs_bench::harness::bench;
+use cs_bench::harness::Report;
+use simcore::event::{EventQueue, QueueKind};
 use simcore::prelude::*;
 
 /// A world that keeps `fanout` self-rescheduling event chains alive.
@@ -20,40 +21,64 @@ impl World for Churn {
     }
 }
 
-fn bench_event_loop() {
+fn bench_event_loop(report: &mut Report) {
     for &chains in &[1u32, 16, 256] {
-        let m = bench(&format!("simcore/event_loop/events_100k/{chains}"), || {
-            let mut sim = Simulator::new(Churn { remaining: 100_000 });
-            for chain in 0..chains {
+        report.bench_with_rate(
+            &format!("simcore/event_loop/events_100k/{chains}"),
+            100_000.0,
+            "events/s",
+            || {
+                let mut sim = Simulator::new(Churn { remaining: 100_000 });
+                for chain in 0..chains {
+                    sim.schedule_at(SimTime::ZERO, chain);
+                }
+                sim.run();
+                assert!(sim.events_processed() >= 100_000);
+            },
+        );
+    }
+    // The legacy binary-heap queue, kept as the differential oracle: its
+    // trajectory documents what the calendar queue buys.
+    report.bench_with_rate(
+        "simcore/event_loop/events_100k/256/heap_oracle",
+        100_000.0,
+        "events/s",
+        || {
+            let mut sim =
+                Simulator::with_queue(Churn { remaining: 100_000 }, QueueKind::BinaryHeap);
+            for chain in 0..256u32 {
                 sim.schedule_at(SimTime::ZERO, chain);
             }
             sim.run();
             assert!(sim.events_processed() >= 100_000);
+        },
+    );
+}
+
+fn bench_queue_ops(report: &mut Report) {
+    for (kind, label) in [
+        (QueueKind::Calendar, "calendar"),
+        (QueueKind::BinaryHeap, "heap"),
+    ] {
+        report.bench(&format!("simcore/queue_push_pop_10k/{label}"), || {
+            let mut q = EventQueue::with_capacity_and_kind(10_000, kind);
+            let mut x: u64 = 0x9E3779B97F4A7C15;
+            for i in 0..10_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                q.push(SimTime::from_nanos(x % 1_000_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 10_000);
         });
-        let events_per_sec = 100_000.0 / (m.median_ns / 1e9);
-        println!("{:<44} {events_per_sec:>12.0} events/s", "");
     }
 }
 
-fn bench_queue_ops() {
-    bench("simcore/queue_push_pop_10k", || {
-        let mut q = simcore::event::EventQueue::with_capacity(10_000);
-        let mut x: u64 = 0x9E3779B97F4A7C15;
-        for i in 0..10_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            q.push(SimTime::from_nanos(x % 1_000_000), i);
-        }
-        let mut n = 0;
-        while q.pop().is_some() {
-            n += 1;
-        }
-        assert_eq!(n, 10_000);
-    });
-}
-
-fn bench_rng() {
+fn bench_rng(report: &mut Report) {
     let root = SimRng::seed_from(7);
-    bench("simcore/rng_derive_and_draw", || {
+    report.bench("simcore/rng_derive_and_draw", || {
         let mut r = root.derive_indexed("bench", 3);
         let mut acc = 0u64;
         for _ in 0..1_000 {
@@ -64,7 +89,9 @@ fn bench_rng() {
 }
 
 fn main() {
-    bench_event_loop();
-    bench_queue_ops();
-    bench_rng();
+    let mut report = Report::new();
+    bench_event_loop(&mut report);
+    bench_queue_ops(&mut report);
+    bench_rng(&mut report);
+    report.finish("bench_simcore");
 }

@@ -75,6 +75,19 @@ impl Options {
     where
         T::Err: std::fmt::Display,
     {
+        self.get_opt(name).unwrap_or(default)
+    }
+
+    /// The value following `--name`, parsed, or `None` when the flag is
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message if the value does not parse.
+    pub fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Option<T>
+    where
+        T::Err: std::fmt::Display,
+    {
         let flag = format!("--{name}");
         let mut it = self.args.iter();
         while let Some(a) = it.next() {
@@ -82,12 +95,13 @@ impl Options {
                 let v = it
                     .next()
                     .unwrap_or_else(|| panic!("missing value for {flag}"));
-                return v
-                    .parse()
-                    .unwrap_or_else(|e| panic!("bad value for {flag}: {e}"));
+                return Some(
+                    v.parse()
+                        .unwrap_or_else(|e| panic!("bad value for {flag}: {e}")),
+                );
             }
         }
-        default
+        None
     }
 
     /// Whether the bare flag `--name` is present.
@@ -131,6 +145,13 @@ mod tests {
         assert_eq!(o.get("distance", 1usize), 3);
         assert_eq!(o.get("seed", 1u64), 42);
         assert_eq!(o.get("other", 7u32), 7);
+    }
+
+    #[test]
+    fn get_opt_is_optional() {
+        let o = opts(&["--json", "/tmp/x.json"]);
+        assert_eq!(o.get_opt::<String>("json").as_deref(), Some("/tmp/x.json"));
+        assert_eq!(o.get_opt::<u64>("seed"), None);
     }
 
     #[test]

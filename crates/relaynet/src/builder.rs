@@ -18,6 +18,7 @@ use netsim::bandwidth::Bandwidth;
 use netsim::link::LinkConfig;
 use netsim::net::Net;
 use netsim::topology::{AccessConfig, Path, Star};
+use simcore::event::QueueKind;
 use simcore::rng::SimRng;
 use simcore::sim::Simulator;
 use simcore::time::{SimDuration, SimTime};
@@ -59,6 +60,18 @@ impl PathScenario {
     /// Builds the network and returns the simulator plus handles.
     /// The circuit starts at `t = 0`.
     pub fn build(&self, factory: CcFactory, seed: u64) -> (Simulator<TorNetwork>, PathHandles) {
+        self.build_with_queue(factory, seed, QueueKind::default())
+    }
+
+    /// [`PathScenario::build`] with an explicit event-queue implementation
+    /// — the seam the differential determinism tests drive (calendar vs
+    /// legacy heap must produce bit-identical experiments).
+    pub fn build_with_queue(
+        &self,
+        factory: CcFactory,
+        seed: u64,
+        queue: QueueKind,
+    ) -> (Simulator<TorNetwork>, PathHandles) {
         assert!(
             self.hops.len() >= 2,
             "a path circuit needs at least client↔relay↔server"
@@ -89,7 +102,7 @@ impl PathScenario {
             })
             .collect();
         let circ = world.add_circuit(overlay_path.clone(), self.file_bytes);
-        let mut sim = Simulator::new(world);
+        let mut sim = Simulator::with_queue(world, queue);
         sim.schedule_at(SimTime::ZERO, TorEvent::StartCircuit(circ));
         let handles = PathHandles {
             circ,
@@ -146,6 +159,17 @@ impl Default for StarScenario {
 impl StarScenario {
     /// Builds the network and returns the simulator plus all circuit ids.
     pub fn build(&self, factory: CcFactory, seed: u64) -> (Simulator<TorNetwork>, Vec<CircId>) {
+        self.build_with_queue(factory, seed, QueueKind::default())
+    }
+
+    /// [`StarScenario::build`] with an explicit event-queue implementation
+    /// (see [`PathScenario::build_with_queue`]).
+    pub fn build_with_queue(
+        &self,
+        factory: CcFactory,
+        seed: u64,
+        queue: QueueKind,
+    ) -> (Simulator<TorNetwork>, Vec<CircId>) {
         assert!(self.circuits > 0, "need at least one circuit");
         assert!(
             self.relays_per_circuit >= 1,
@@ -184,13 +208,10 @@ impl StarScenario {
         let star = Star::build(&mut net, &accesses);
         let mut router = Router::new();
         for (i, &leaf) in star.leaves.iter().enumerate() {
-            // Frames leaving a leaf always take its uplink; the hub picks
+            // Frames leaving a leaf always take its uplink (a uniform
+            // route — O(1) instead of O(leaves) per leaf); the hub picks
             // the destination's downlink.
-            for (j, &other) in star.leaves.iter().enumerate() {
-                if i != j {
-                    router.install(leaf, other, star.up[i]);
-                }
-            }
+            router.install_uniform(leaf, star.up[i]);
             router.install(star.hub, leaf, star.down[i]);
         }
 
@@ -231,7 +252,7 @@ impl StarScenario {
             circuits.push(circ);
         }
 
-        let mut sim = Simulator::new(world);
+        let mut sim = Simulator::with_queue(world, queue);
         for (t, circ) in sim_events {
             sim.schedule_at(t, TorEvent::StartCircuit(circ));
         }
@@ -364,6 +385,39 @@ mod tests {
         assert!(r.completed);
         assert_eq!(r.bytes_delivered, 50_000);
         assert_eq!(sim.world().stats().protocol_errors, 0);
+    }
+
+    #[test]
+    fn data_path_reuses_payload_buffers() {
+        // The zero-alloc steady state: across a multi-thousand-cell
+        // transfer, fresh payload allocations stay bounded by the cells
+        // in flight (window-sized), with everything else served by pool
+        // reuse. Guards the pool plumbing against a silent revert to
+        // one-allocation-per-cell.
+        let scenario = PathScenario {
+            hops: vec![hop(50, 2), hop(50, 2), hop(50, 2)],
+            file_bytes: 1 << 20, // 2115 DATA cells
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(fixed_window_factory(32), 4);
+        sim.run();
+        let world = sim.world();
+        let r = world.result_of(h.circ);
+        assert!(r.completed);
+        let (allocated, reused) = world.payload_pool().stats();
+        assert_eq!(
+            allocated + reused,
+            r.cells_delivered,
+            "one acquire per DATA cell"
+        );
+        assert!(
+            allocated <= 64,
+            "fresh allocations ({allocated}) must stay window-bounded, not per-cell"
+        );
+        assert!(
+            reused > r.cells_delivered / 2,
+            "most payloads must come from pool reuse (got {reused})"
+        );
     }
 
     #[test]
@@ -519,7 +573,7 @@ mod tests {
         assert_eq!(world.stats().protocol_errors, 0);
         let server = *world.circuit_info(circ).path.last().unwrap();
         assert!(
-            world.node(server).circuits.get(&circ).unwrap().closed,
+            world.node(server).circuit(circ).unwrap().closed,
             "server side must see the DESTROY"
         );
     }

@@ -29,6 +29,7 @@ pub mod event;
 pub mod ids;
 pub mod network;
 pub mod node;
+pub mod pool;
 pub mod router;
 pub mod scheduler;
 pub mod wire;
@@ -43,8 +44,12 @@ pub mod prelude {
     pub use crate::directory::{Directory, DirectoryConfig, RelaySpec};
     pub use crate::event::TorEvent;
     pub use crate::ids::{CircId, Direction, OverlayId};
-    pub use crate::network::{fill_pattern, TorNetwork, WorldConfig, WorldStats};
+    pub use crate::network::{
+        fill_pattern, fill_pattern_extend, fill_pattern_into, verify_fill_pattern, TorNetwork,
+        WorldConfig, WorldStats,
+    };
     pub use crate::node::{CcFactory, HopCtx, NodeRole};
+    pub use crate::pool::PayloadPool;
     pub use crate::router::Router;
     pub use crate::scheduler::LinkScheduler;
     pub use crate::wire::{FramePayload, WireFrame};
@@ -58,8 +63,11 @@ pub use circuit::{CircuitInfo, CircuitResult};
 pub use directory::{Directory, DirectoryConfig, RelaySpec};
 pub use event::TorEvent;
 pub use ids::{CircId, Direction, OverlayId};
-pub use network::{fill_pattern, TorNetwork, WorldConfig, WorldStats};
+pub use network::{
+    fill_pattern, fill_pattern_into, verify_fill_pattern, TorNetwork, WorldConfig, WorldStats,
+};
 pub use node::{CcFactory, HopCtx, NodeRole};
+pub use pool::PayloadPool;
 pub use router::Router;
 pub use scheduler::LinkScheduler;
 pub use wire::{FramePayload, WireFrame};

@@ -66,8 +66,6 @@ impl TorNetwork {
             NodeRole::Client,
             "circuit must start at a client"
         );
-        node.routes
-            .insert((first_hop, link_id), (circ, Direction::Backward));
         let mut nc = NodeCircuit::new(circ, 0);
         nc.client = Some(ClientApp::new(path, file_bytes, ctx.now()));
         let mut hopdir = HopDir::new(first_hop, link_id, transport);
@@ -77,19 +75,24 @@ impl TorNetwork {
             wrap_for_hop: None,
         });
         nc.fwd = Some(hopdir);
-        node.circuits.insert(circ, nc);
-
         let my_net = node.net_node;
-        let nc = self.nodes[client_id.index()]
-            .circuits
-            .get_mut(&circ)
-            .expect("just inserted");
+        let local = node.add_circuit(nc);
+        self.register_route(
+            link_id,
+            client_id,
+            first_hop,
+            circ,
+            local,
+            Direction::Backward,
+        );
+        let nc = self.nodes[client_id.index()].circuit_at_mut(local);
         Self::pump_dir(
             &mut self.net,
             &mut self.link_sched,
             &self.router,
             &self.net_node_of,
             &mut self.stats,
+            &mut self.payload_pool,
             ctx,
             my_net,
             nc,
@@ -129,8 +132,6 @@ impl TorNetwork {
 
         let node = &mut self.nodes[to.index()];
         let my_net = node.net_node;
-        node.routes
-            .insert((from, link_id), (global, Direction::Forward));
         let mut nc = NodeCircuit::new(global, position);
         nc.pred = Some(from);
         nc.pred_circ_id = Some(link_id);
@@ -145,7 +146,8 @@ impl TorNetwork {
             wrap_for_hop: None,
         });
         nc.bwd = Some(bwd);
-        node.circuits.insert(global, nc);
+        let local = node.add_circuit(nc);
+        self.register_route(link_id, to, from, global, local, Direction::Forward);
 
         // Confirm the consumed CREATE, then answer.
         Self::send_feedback(
@@ -162,16 +164,14 @@ impl TorNetwork {
                 seq: hop_seq,
             },
         );
-        let nc = self.nodes[to.index()]
-            .circuits
-            .get_mut(&global)
-            .expect("just inserted");
+        let nc = self.nodes[to.index()].circuit_at_mut(local);
         Self::pump_dir(
             &mut self.net,
             &mut self.link_sched,
             &self.router,
             &self.net_node_of,
             &mut self.stats,
+            &mut self.payload_pool,
             ctx,
             my_net,
             nc,
@@ -190,12 +190,11 @@ impl TorNetwork {
         handshake: [u8; HANDSHAKE_LEN],
         hop_seq: u64,
     ) {
-        let node = &mut self.nodes[to.index()];
-        let my_net = node.net_node;
-        let Some(&(global, _)) = node.routes.get(&(from, link_id)) else {
+        let Some((global, local, _)) = self.route_of(to, from, link_id) else {
             Self::protocol_error(&mut self.stats, "CREATED on unknown route");
             return;
         };
+        let my_net = self.nodes[to.index()].net_node;
         Self::send_feedback(
             &mut self.net,
             &mut self.link_sched,
@@ -211,12 +210,9 @@ impl TorNetwork {
             },
         );
         let node = &mut self.nodes[to.index()];
-        let Some(nc) = node.circuits.get_mut(&global) else {
-            Self::protocol_error(&mut self.stats, "CREATED for unknown circuit");
-            return;
-        };
+        let nc = node.circuit_at_mut(local);
         if nc.client.is_some() {
-            self.client_advance_build(ctx, to, global, handshake);
+            self.client_advance_build(ctx, to, global, local, handshake);
         } else {
             // A relay completed an EXTEND: report EXTENDED to the client.
             let Some(echo) = nc.pending_extend.take() else {
@@ -252,6 +248,7 @@ impl TorNetwork {
                 &self.router,
                 &self.net_node_of,
                 &mut self.stats,
+                &mut self.payload_pool,
                 ctx,
                 my_net,
                 nc,
@@ -267,13 +264,14 @@ impl TorNetwork {
         ctx: &mut Context<'_, TorEvent>,
         client: OverlayId,
         circ: CircId,
+        local: u32,
         handshake: [u8; HANDSHAKE_LEN],
     ) {
         // Pre-generate randomness before borrowing node state.
         let next_handshake = self.make_handshake(circ);
         let node = &mut self.nodes[client.index()];
         let my_net = node.net_node;
-        let nc = node.circuits.get_mut(&circ).expect("client circuit exists");
+        let nc = node.circuit_at_mut(local);
         let app = nc.client.as_mut().expect("client app exists");
         app.route.push_layer(LayerKey::from_handshake(&handshake));
         let built = app.route.len();
@@ -323,6 +321,7 @@ impl TorNetwork {
             &self.router,
             &self.net_node_of,
             &mut self.stats,
+            &mut self.payload_pool,
             ctx,
             my_net,
             nc,
@@ -337,6 +336,7 @@ impl TorNetwork {
         ctx: &mut Context<'_, TorEvent>,
         relay: OverlayId,
         circ: CircId,
+        local: u32,
         rc: RelayCell,
     ) {
         if rc.cmd != RelayCommand::Extend {
@@ -360,20 +360,15 @@ impl TorNetwork {
 
         let node = &mut self.nodes[relay.index()];
         let my_net = node.net_node;
-        let position = node
-            .circuits
-            .get(&circ)
-            .expect("circuit exists at relay")
-            .position;
-        node.routes
-            .insert((target, new_id), (circ, Direction::Backward));
+        let position = node.circuit_at(local).position;
+        self.register_route(new_id, relay, target, circ, local, Direction::Backward);
         let hop_ctx = HopCtx {
             circuit: circ,
             position,
             direction: Direction::Forward,
         };
         let transport = HopTransport::new((self.factory)(&hop_ctx));
-        let nc = node.circuits.get_mut(&circ).expect("circuit exists");
+        let nc = self.nodes[relay.index()].circuit_at_mut(local);
         nc.pending_extend = Some(hs);
         let mut fwd = HopDir::new(target, new_id, transport);
         fwd.enqueue(QueuedCell {
@@ -388,6 +383,7 @@ impl TorNetwork {
             &self.router,
             &self.net_node_of,
             &mut self.stats,
+            &mut self.payload_pool,
             ctx,
             my_net,
             nc,
@@ -405,12 +401,11 @@ impl TorNetwork {
         reason: u8,
         hop_seq: u64,
     ) {
-        let node = &mut self.nodes[to.index()];
-        let my_net = node.net_node;
-        let Some(&(global, _)) = node.routes.get(&(from, link_id)) else {
+        let Some((_global, local, _)) = self.route_of(to, from, link_id) else {
             Self::protocol_error(&mut self.stats, "DESTROY on unknown route");
             return;
         };
+        let my_net = self.nodes[to.index()].net_node;
         Self::send_feedback(
             &mut self.net,
             &mut self.link_sched,
@@ -426,9 +421,7 @@ impl TorNetwork {
             },
         );
         let node = &mut self.nodes[to.index()];
-        let Some(nc) = node.circuits.get_mut(&global) else {
-            return; // already gone
-        };
+        let nc = node.circuit_at_mut(local);
         if nc.closed {
             return;
         }
@@ -457,6 +450,7 @@ impl TorNetwork {
                 &self.router,
                 &self.net_node_of,
                 &mut self.stats,
+                &mut self.payload_pool,
                 ctx,
                 my_net,
                 nc,
@@ -470,7 +464,7 @@ impl TorNetwork {
         let client_id = self.circuits[circ.index()].path[0];
         let node = &mut self.nodes[client_id.index()];
         let my_net = node.net_node;
-        let Some(nc) = node.circuits.get_mut(&circ) else {
+        let Some(nc) = node.circuit_mut(circ) else {
             return;
         };
         if nc.closed {
@@ -489,6 +483,7 @@ impl TorNetwork {
                 &self.router,
                 &self.net_node_of,
                 &mut self.stats,
+                &mut self.payload_pool,
                 ctx,
                 my_net,
                 nc,

@@ -18,14 +18,18 @@ use torcell::ids::{CircuitId, StreamId};
 use crate::event::TorEvent;
 use crate::ids::{CircId, Direction, OverlayId};
 use crate::node::{ClientApp, ClientStage, QueuedCell};
+use crate::pool::PayloadPool;
 
-use super::{fill_pattern, TorNetwork, END_REASON_DONE};
+use super::{fill_pattern_extend, verify_fill_pattern, TorNetwork, END_REASON_DONE};
 
 impl TorNetwork {
     /// Produces the next client-originated cell (DATA, then one END), or
-    /// `None` if the client has nothing to send.
+    /// `None` if the client has nothing to send. DATA payload buffers
+    /// come from `pool` (zero-allocation steady state: the server
+    /// reclaims every consumed payload into the same pool).
     pub(super) fn generate_client_cell(
         client: Option<&mut ClientApp>,
+        pool: &mut PayloadPool,
         circ: CircId,
         now: SimTime,
     ) -> Option<QueuedCell> {
@@ -37,7 +41,8 @@ impl TorNetwork {
         if app.sent_cells < app.total_cells {
             let idx = app.sent_cells;
             let len = app.cell_len(idx);
-            let payload = fill_pattern(circ, idx, len);
+            let mut payload = pool.acquire();
+            fill_pattern_extend(circ, idx, len, &mut payload);
             let rc = RelayCell::data(StreamId(1), payload);
             app.sent_cells += 1;
             if app.first_data_at.is_none() {
@@ -82,12 +87,13 @@ impl TorNetwork {
         ctx: &mut Context<'_, TorEvent>,
         server: OverlayId,
         circ: CircId,
+        local: u32,
         rc: RelayCell,
     ) {
         let verify = self.cfg.verify_payload;
         let node = &mut self.nodes[server.index()];
         let my_net = node.net_node;
-        let nc = node.circuits.get_mut(&circ).expect("server circuit exists");
+        let nc = node.circuit_at_mut(local);
         let app = nc.server.as_mut().expect("server app exists");
         match rc.cmd {
             RelayCommand::Begin => {
@@ -120,6 +126,7 @@ impl TorNetwork {
                     &self.router,
                     &self.net_node_of,
                     &mut self.stats,
+                    &mut self.payload_pool,
                     ctx,
                     my_net,
                     nc,
@@ -131,12 +138,9 @@ impl TorNetwork {
                     Self::protocol_error(&mut self.stats, "DATA before BEGIN");
                     return;
                 }
-                if verify {
-                    let expected = fill_pattern(circ, app.cells_received, rc.data.len());
-                    if rc.data != expected {
-                        app.payload_errors += 1;
-                        debug_assert!(false, "payload verification failed");
-                    }
+                if verify && !verify_fill_pattern(circ, app.cells_received, &rc.data) {
+                    app.payload_errors += 1;
+                    debug_assert!(false, "payload verification failed");
                 }
                 app.cells_received += 1;
                 app.bytes_received += rc.data.len() as u64;
@@ -144,6 +148,9 @@ impl TorNetwork {
                     app.first_byte_at = Some(ctx.now());
                 }
                 app.last_byte_at = Some(ctx.now());
+                // The payload dies here; recycle its buffer into the pool
+                // the client side draws from.
+                self.payload_pool.reclaim(rc.data);
             }
             RelayCommand::End => {
                 app.ended = true;
@@ -160,6 +167,7 @@ impl TorNetwork {
         ctx: &mut Context<'_, TorEvent>,
         client: OverlayId,
         circ: CircId,
+        local: u32,
         origin: usize,
         rc: RelayCell,
     ) {
@@ -170,7 +178,7 @@ impl TorNetwork {
                     return;
                 }
                 let node = &self.nodes[client.index()];
-                let nc = node.circuits.get(&circ).expect("client circuit");
+                let nc = node.circuit_at(local);
                 let app = nc.client.as_ref().expect("client app");
                 debug_assert_eq!(
                     origin,
@@ -179,12 +187,12 @@ impl TorNetwork {
                 );
                 let mut hs = [0u8; torcell::cell::HANDSHAKE_LEN];
                 hs.copy_from_slice(&rc.data);
-                self.client_advance_build(ctx, client, circ, hs);
+                self.client_advance_build(ctx, client, circ, local, hs);
             }
             RelayCommand::Connected => {
                 let node = &mut self.nodes[client.index()];
                 let my_net = node.net_node;
-                let nc = node.circuits.get_mut(&circ).expect("client circuit");
+                let nc = node.circuit_at_mut(local);
                 let app = nc.client.as_mut().expect("client app");
                 if app.stage != ClientStage::Opening {
                     Self::protocol_error(&mut self.stats, "CONNECTED in wrong stage");
@@ -198,6 +206,7 @@ impl TorNetwork {
                     &self.router,
                     &self.net_node_of,
                     &mut self.stats,
+                    &mut self.payload_pool,
                     ctx,
                     my_net,
                     nc,

@@ -20,19 +20,20 @@ use torcell::ids::CircuitId;
 use crate::event::TorEvent;
 use crate::ids::{CircId, Direction};
 use crate::node::NodeCircuit;
+use crate::pool::PayloadPool;
 use crate::router::Router;
 use crate::scheduler::LinkScheduler;
 use crate::wire::{FramePayload, WireFrame};
 
-use super::{TorNetwork, WorldStats};
+use super::{LinkRoute, TorNetwork, WorldStats};
 use netsim::net::NodeId;
 
 impl TorNetwork {
     /// Allocates a fresh link-local circuit id (negotiated per
-    /// connection, as in Tor).
+    /// connection, as in Tor) and its slot in the route table.
     pub(super) fn alloc_link_circ_id(&mut self) -> CircuitId {
-        let id = CircuitId(self.next_link_circ_id);
-        self.next_link_circ_id += 1;
+        let id = CircuitId(u32::try_from(self.link_routes.len()).expect("too many circuit ids"));
+        self.link_routes.push(LinkRoute::default());
         id
     }
 
@@ -80,14 +81,13 @@ impl TorNetwork {
     /// Classifies it and hands it to the next pipeline stage — feedback to
     /// the window layer, cells to recognition.
     pub(super) fn deliver(&mut self, ctx: &mut Context<'_, TorEvent>, frame: WireFrame) {
-        let to = *self
-            .overlay_by_net
-            .get(&frame.dst)
-            .expect("frame delivered to a node with no overlay participant");
-        let from = *self
-            .overlay_by_net
-            .get(&frame.src)
-            .expect("frame from a node with no overlay participant");
+        let to = self.overlay_of_net[frame.dst.index()];
+        let from = self.overlay_of_net[frame.src.index()];
+        debug_assert!(
+            to != u32::MAX && from != u32::MAX,
+            "frame endpoints must host overlay participants"
+        );
+        let (to, from) = (crate::ids::OverlayId(to), crate::ids::OverlayId(from));
         match frame.payload {
             FramePayload::Feedback(fb) => self.on_feedback(ctx, to, from, fb),
             FramePayload::Cell { cell, hop_seq } => self.on_cell(ctx, to, from, cell, hop_seq),
@@ -104,6 +104,7 @@ impl TorNetwork {
         router: &Router,
         net_node_of: &[NodeId],
         stats: &mut WorldStats,
+        pool: &mut PayloadPool,
         ctx: &mut Context<'_, TorEvent>,
         my_net: NodeId,
         nc: &mut NodeCircuit,
@@ -126,7 +127,7 @@ impl TorNetwork {
             let qc = if let Some(qc) = hopdir.queue.pop_front() {
                 qc
             } else if dir == Direction::Forward {
-                match Self::generate_client_cell(client.as_mut(), circ, ctx.now()) {
+                match Self::generate_client_cell(client.as_mut(), pool, circ, ctx.now()) {
                     Some(qc) => qc,
                     None => break,
                 }

@@ -66,16 +66,13 @@ impl TorNetwork {
         from: OverlayId,
         fb: Feedback,
     ) {
-        let node = &mut self.nodes[to.index()];
-        let Some(&(circ, _)) = node.routes.get(&(from, fb.circ)) else {
+        let Some((_circ, local, _)) = self.route_of(to, from, fb.circ) else {
             Self::protocol_error(&mut self.stats, "feedback on unknown route");
             return;
         };
+        let node = &mut self.nodes[to.index()];
         let my_net = node.net_node;
-        let Some(nc) = node.circuits.get_mut(&circ) else {
-            Self::protocol_error(&mut self.stats, "feedback for unknown circuit");
-            return;
-        };
+        let nc = node.circuit_at_mut(local);
         let Some(dir) = nc.direction_toward(from) else {
             Self::protocol_error(&mut self.stats, "feedback from non-neighbour");
             return;
@@ -93,6 +90,7 @@ impl TorNetwork {
             &self.router,
             &self.net_node_of,
             &mut self.stats,
+            &mut self.payload_pool,
             ctx,
             my_net,
             nc,

@@ -59,14 +59,15 @@ use netsim::net::{Net, NetEvent, NodeId, SendOutcome};
 use simcore::rng::SimRng;
 use simcore::sim::{Context, World};
 use simcore::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 use backtap::hop::HopTransport;
+use torcell::ids::CircuitId;
 
 use crate::circuit::{CircuitInfo, CircuitResult};
 use crate::event::TorEvent;
-use crate::ids::{CircId, OverlayId};
+use crate::ids::{CircId, Direction, OverlayId};
 use crate::node::{CcFactory, NodeRole, OverlayNode};
+use crate::pool::PayloadPool;
 use crate::router::Router;
 use crate::scheduler::LinkScheduler;
 use crate::wire::WireFrame;
@@ -112,9 +113,59 @@ pub struct WorldStats {
 /// The deterministic fill pattern for DATA payloads: byte `i` of cell
 /// `idx` on circuit `circ`.
 pub fn fill_pattern(circ: CircId, idx: u64, len: usize) -> Vec<u8> {
-    (0..len)
-        .map(|i| ((u64::from(circ.0) * 131 + idx * 31 + i as u64) & 0xFF) as u8)
-        .collect()
+    let mut buf = vec![0u8; len];
+    fill_pattern_into(circ, idx, &mut buf);
+    buf
+}
+
+/// Writes the fill pattern for cell `idx` of `circ` into `buf` in place —
+/// the allocation-free form the data path uses.
+#[inline]
+pub fn fill_pattern_into(circ: CircId, idx: u64, buf: &mut [u8]) {
+    let base = u64::from(circ.0) * 131 + idx * 31;
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = ((base + i as u64) & 0xFF) as u8;
+    }
+}
+
+/// Appends the fill pattern for cell `idx` of `circ` onto `buf` — the
+/// form the pooled data path uses (the pool hands out empty buffers, so
+/// extending writes each byte exactly once).
+#[inline]
+pub fn fill_pattern_extend(circ: CircId, idx: u64, len: usize, buf: &mut Vec<u8>) {
+    let base = u64::from(circ.0) * 131 + idx * 31;
+    buf.extend((0..len as u64).map(|i| ((base + i) & 0xFF) as u8));
+}
+
+/// Verifies `data` against the fill pattern without materialising it.
+#[inline]
+pub fn verify_fill_pattern(circ: CircId, idx: u64, data: &[u8]) -> bool {
+    let base = u64::from(circ.0) * 131 + idx * 31;
+    data.iter()
+        .enumerate()
+        .all(|(i, &b)| b == ((base + i as u64) & 0xFF) as u8)
+}
+
+/// One endpoint's view of a link-local circuit id: at node `node`, frames
+/// arriving from `from` on this id belong to `circ` (locally `local`),
+/// flowing in direction `dir`.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct RouteEnd {
+    pub(super) node: OverlayId,
+    pub(super) from: OverlayId,
+    pub(super) circ: CircId,
+    pub(super) local: u32,
+    pub(super) dir: Direction,
+}
+
+/// Both endpoints of one link-local circuit id. Link ids are minted from
+/// a global counter, so the table is a dense `Vec` indexed by the id —
+/// route resolution on the per-cell path is an array load plus an
+/// endpoint compare, no tree walk.
+#[derive(Clone, Copy, Debug, Default)]
+pub(super) struct LinkRoute {
+    pub(super) a: Option<RouteEnd>,
+    pub(super) b: Option<RouteEnd>,
 }
 
 /// The overlay world. Construct with [`TorNetwork::new`], add nodes and
@@ -127,15 +178,21 @@ pub struct TorNetwork {
     /// Overlay index → backing network node (read-only after setup; kept
     /// separate so hot paths can use it while a node is borrowed mutably).
     pub(super) net_node_of: Vec<NodeId>,
-    pub(super) overlay_by_net: BTreeMap<NodeId, OverlayId>,
+    /// Network node index → overlay id (`u32::MAX` = no overlay there,
+    /// e.g. the star hub). Dense counterpart of `net_node_of`.
+    pub(super) overlay_of_net: Vec<u32>,
     pub(super) circuits: Vec<CircuitInfo>,
+    /// Route table indexed by link-local circuit id (see [`LinkRoute`]).
+    pub(super) link_routes: Vec<LinkRoute>,
     pub(super) factory: CcFactory,
     pub(super) cfg: WorldConfig,
     pub(super) rng: SimRng,
-    pub(super) next_link_circ_id: u32,
     /// Per-link round-robin circuit schedulers (overlay egress links; the
     /// hub's links stay FIFO — the backbone is not ours to schedule).
     pub(super) link_sched: Vec<LinkScheduler>,
+    /// Recycles DATA payload buffers between server consumption and
+    /// client generation (see [`crate::pool`]).
+    pub(super) payload_pool: PayloadPool,
     pub(super) stats: WorldStats,
 }
 
@@ -156,24 +213,76 @@ impl TorNetwork {
             router,
             nodes: Vec::new(),
             net_node_of: Vec::new(),
-            overlay_by_net: BTreeMap::new(),
+            overlay_of_net: Vec::new(),
             circuits: Vec::new(),
+            // Id 0 is reserved (CircuitId::CONTROL); keep the table
+            // aligned with minted ids.
+            link_routes: vec![LinkRoute::default()],
             factory,
             cfg,
             rng,
-            next_link_circ_id: 1,
             link_sched,
+            payload_pool: PayloadPool::new(),
             stats: WorldStats::default(),
         }
+    }
+
+    /// Registers one endpoint of a link-local circuit id: at `node`,
+    /// frames from `from` on `link_id` resolve to `(circ, local, dir)`.
+    pub(super) fn register_route(
+        &mut self,
+        link_id: CircuitId,
+        node: OverlayId,
+        from: OverlayId,
+        circ: CircId,
+        local: u32,
+        dir: Direction,
+    ) {
+        let entry = &mut self.link_routes[link_id.0 as usize];
+        let end = RouteEnd {
+            node,
+            from,
+            circ,
+            local,
+            dir,
+        };
+        if entry.a.is_none() {
+            entry.a = Some(end);
+        } else {
+            debug_assert!(entry.b.is_none(), "link circuit id has two ends only");
+            entry.b = Some(end);
+        }
+    }
+
+    /// Resolves an arriving cell's `(receiving node, sending neighbour,
+    /// link-local id)` to `(global circuit, node-local index, flow
+    /// direction)` — the per-cell route lookup.
+    #[inline]
+    pub(super) fn route_of(
+        &self,
+        to: OverlayId,
+        from: OverlayId,
+        link_id: CircuitId,
+    ) -> Option<(CircId, u32, Direction)> {
+        let entry = self.link_routes.get(link_id.0 as usize)?;
+        [entry.a, entry.b]
+            .into_iter()
+            .flatten()
+            .find(|e| e.node == to && e.from == from)
+            .map(|e| (e.circ, e.local, e.dir))
     }
 
     /// Registers an overlay participant backed by network node `net_node`.
     pub fn add_overlay(&mut self, net_node: NodeId, role: NodeRole, name: &str) -> OverlayId {
         let id = OverlayId(u32::try_from(self.nodes.len()).expect("too many overlay nodes"));
+        if self.overlay_of_net.len() <= net_node.index() {
+            self.overlay_of_net.resize(net_node.index() + 1, u32::MAX);
+        }
         assert!(
-            self.overlay_by_net.insert(net_node, id).is_none(),
+            self.overlay_of_net[net_node.index()] == u32::MAX,
             "network node already hosts an overlay node"
         );
+        self.overlay_of_net[net_node.index()] = id.0;
         self.nodes
             .push(OverlayNode::new(id, net_node, role, name.to_string()));
         self.net_node_of.push(net_node);
@@ -209,6 +318,11 @@ impl TorNetwork {
         &self.stats
     }
 
+    /// The payload buffer pool (telemetry: fresh allocations vs reuses).
+    pub fn payload_pool(&self) -> &PayloadPool {
+        &self.payload_pool
+    }
+
     /// The static record of a circuit.
     pub fn circuit_info(&self, circ: CircId) -> &CircuitInfo {
         &self.circuits[circ.index()]
@@ -227,7 +341,7 @@ impl TorNetwork {
     /// The client's forward hop transport of a circuit, if built.
     pub fn client_transport(&self, circ: CircId) -> Option<&HopTransport> {
         let client = *self.circuits[circ.index()].path.first()?;
-        let nc = self.nodes[client.index()].circuits.get(&circ)?;
+        let nc = self.nodes[client.index()].circuit(circ)?;
         Some(&nc.fwd.as_ref()?.transport)
     }
 
@@ -246,7 +360,7 @@ impl TorNetwork {
     /// The forward-queue high-water mark at `node` for `circ` — the
     /// backpressure bound tests assert on.
     pub fn fwd_queue_hwm(&self, node: OverlayId, circ: CircId) -> Option<usize> {
-        let nc = self.nodes[node.index()].circuits.get(&circ)?;
+        let nc = self.nodes[node.index()].circuit(circ)?;
         Some(nc.fwd.as_ref()?.queue_hwm)
     }
 
@@ -270,12 +384,10 @@ impl TorNetwork {
         let client_node = info.path[0];
         let server_node = *info.path.last().expect("non-empty path");
         let client = self.nodes[client_node.index()]
-            .circuits
-            .get(&circ)
+            .circuit(circ)
             .and_then(|nc| nc.client.as_ref());
         let server = self.nodes[server_node.index()]
-            .circuits
-            .get(&circ)
+            .circuit(circ)
             .and_then(|nc| nc.server.as_ref());
         CircuitResult {
             circ,

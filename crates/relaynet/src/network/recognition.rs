@@ -80,16 +80,13 @@ impl TorNetwork {
         mut rc: RelayCell,
         hop_seq: u64,
     ) {
-        let node = &mut self.nodes[to.index()];
-        let my_net = node.net_node;
-        let Some(&(global, flow)) = node.routes.get(&(from, link_id)) else {
+        let Some((global, local, flow)) = self.route_of(to, from, link_id) else {
             Self::protocol_error(&mut self.stats, "relay cell on unknown route");
             return;
         };
-        let Some(nc) = node.circuits.get_mut(&global) else {
-            Self::protocol_error(&mut self.stats, "relay cell for unknown circuit");
-            return;
-        };
+        let node = &mut self.nodes[to.index()];
+        let my_net = node.net_node;
+        let nc = node.circuit_at_mut(local);
         let confirm = PendingConfirm {
             neighbor: from,
             circ_id: link_id,
@@ -135,14 +132,11 @@ impl TorNetwork {
                         my_net,
                         confirm,
                     );
-                    let nc = self.nodes[to.index()]
-                        .circuits
-                        .get_mut(&global)
-                        .expect("still present");
+                    let nc = self.nodes[to.index()].circuit_at(local);
                     if nc.server.is_some() {
-                        self.server_consume(ctx, to, global, rc);
+                        self.server_consume(ctx, to, global, local, rc);
                     } else {
-                        self.relay_consume(ctx, to, global, rc);
+                        self.relay_consume(ctx, to, global, local, rc);
                     }
                 } else {
                     if nc.server.is_some() {
@@ -167,6 +161,7 @@ impl TorNetwork {
                         &self.router,
                         &self.net_node_of,
                         &mut self.stats,
+                        &mut self.payload_pool,
                         ctx,
                         my_net,
                         nc,
@@ -187,10 +182,12 @@ impl TorNetwork {
                         confirm,
                     );
                     let node = &mut self.nodes[to.index()];
-                    let nc = node.circuits.get_mut(&global).expect("still present");
+                    let nc = node.circuit_at_mut(local);
                     let app = nc.client.as_mut().expect("client app");
                     match app.route.unwrap_inbound(&mut rc) {
-                        Some(origin) => self.client_consume_backward(ctx, to, global, origin, rc),
+                        Some(origin) => {
+                            self.client_consume_backward(ctx, to, global, local, origin, rc)
+                        }
                         None => {
                             Self::protocol_error(
                                 &mut self.stats,
@@ -221,6 +218,7 @@ impl TorNetwork {
                         &self.router,
                         &self.net_node_of,
                         &mut self.stats,
+                        &mut self.payload_pool,
                         ctx,
                         my_net,
                         nc,

@@ -5,8 +5,13 @@
 //! and queues, the relay-side onion layer, and — at the endpoints — the
 //! application state machines.
 //!
-//! All maps are `BTreeMap`s: the simulator never iterates hash maps whose
-//! order could leak into event ordering, keeping runs bit-reproducible.
+//! Participations live in a dense slab (`Vec<NodeCircuit>`) indexed by a
+//! node-local id handed out at join time; the per-cell pipeline resolves
+//! straight to that index through the network-level route table
+//! (`relaynet::network`) and never walks a map. A small `BTreeMap` keyed
+//! by the global [`CircId`] serves only cold paths — setup, teardown, and
+//! telemetry. (Deterministic by construction: nothing here is iterated in
+//! hash order.)
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -291,11 +296,12 @@ pub struct OverlayNode {
     pub role: NodeRole,
     /// Diagnostic name.
     pub name: String,
-    /// Per-circuit state.
-    pub circuits: BTreeMap<CircId, NodeCircuit>,
-    /// Resolves `(neighbour, link-local id)` to `(circuit, direction data
-    /// flows when arriving from that neighbour)`.
-    pub routes: BTreeMap<(OverlayId, CircuitId), (CircId, Direction)>,
+    /// Per-circuit state, dense by node-local index (slab; participations
+    /// are never removed, circuits are marked closed instead).
+    circuits: Vec<NodeCircuit>,
+    /// Cold-path lookup: global circuit id → node-local index. The
+    /// per-cell pipeline bypasses this via the route table.
+    by_global: BTreeMap<CircId, u32>,
 }
 
 impl OverlayNode {
@@ -306,9 +312,52 @@ impl OverlayNode {
             net_node,
             role,
             name,
-            circuits: BTreeMap::new(),
-            routes: BTreeMap::new(),
+            circuits: Vec::new(),
+            by_global: BTreeMap::new(),
         }
+    }
+
+    /// Registers a participation, returning its node-local index.
+    pub fn add_circuit(&mut self, nc: NodeCircuit) -> u32 {
+        let local = u32::try_from(self.circuits.len()).expect("too many circuits at one node");
+        self.by_global.insert(nc.circ, local);
+        self.circuits.push(nc);
+        local
+    }
+
+    /// The node-local index of a circuit, if this node participates.
+    pub fn local_idx(&self, circ: CircId) -> Option<u32> {
+        self.by_global.get(&circ).copied()
+    }
+
+    /// Participation by node-local index (the hot path; indexes resolve
+    /// through the route table).
+    #[inline]
+    pub fn circuit_at(&self, local: u32) -> &NodeCircuit {
+        &self.circuits[local as usize]
+    }
+
+    /// Mutable participation by node-local index.
+    #[inline]
+    pub fn circuit_at_mut(&mut self, local: u32) -> &mut NodeCircuit {
+        &mut self.circuits[local as usize]
+    }
+
+    /// Participation by global circuit id (cold paths: setup, teardown,
+    /// telemetry).
+    pub fn circuit(&self, circ: CircId) -> Option<&NodeCircuit> {
+        Some(self.circuit_at(self.local_idx(circ)?))
+    }
+
+    /// Mutable participation by global circuit id (cold paths).
+    pub fn circuit_mut(&mut self, circ: CircId) -> Option<&mut NodeCircuit> {
+        let local = self.local_idx(circ)?;
+        Some(self.circuit_at_mut(local))
+    }
+
+    /// Number of circuits this node participates in.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.len()
     }
 }
 

@@ -1,0 +1,106 @@
+//! Recycling pool for cell payload buffers.
+//!
+//! The data path moves one `Vec<u8>` per DATA cell from the client
+//! (which fills it with the deterministic pattern) through the onion
+//! layers to the server (which verifies and counts it). Without a pool
+//! that is one heap allocation and one free per cell; with it, the
+//! server hands every consumed payload back and the steady-state
+//! transfer allocates nothing — the same few buffers (bounded by the
+//! number of cells in flight) cycle through the overlay.
+
+use torcell::cell::RELAY_DATA_MAX;
+
+/// Upper bound on idle buffers retained; beyond this, reclaimed buffers
+/// are simply dropped. Bounds pool memory after load spikes.
+const MAX_IDLE: usize = 4096;
+
+/// A free list of full-size payload buffers.
+#[derive(Debug, Default)]
+pub struct PayloadPool {
+    free: Vec<Vec<u8>>,
+    /// Buffers handed out that the pool had to allocate fresh.
+    allocated: u64,
+    /// Buffers handed out from the free list.
+    reused: u64,
+}
+
+impl PayloadPool {
+    /// Creates an empty pool.
+    pub fn new() -> PayloadPool {
+        PayloadPool::default()
+    }
+
+    /// Hands out an *empty* buffer with at least [`RELAY_DATA_MAX`]
+    /// capacity, reusing a reclaimed one when available. Contents are for
+    /// the caller to produce (no zero-fill — the data path writes every
+    /// byte it sends, so pre-clearing would be a dead store per cell).
+    pub fn acquire(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.reused += 1;
+                buf.clear();
+                buf
+            }
+            None => {
+                self.allocated += 1;
+                Vec::with_capacity(RELAY_DATA_MAX)
+            }
+        }
+    }
+
+    /// Returns a consumed payload's buffer to the pool. Undersized
+    /// buffers (control-cell payloads that were never pool-allocated)
+    /// and overflow beyond the idle cap are dropped.
+    pub fn reclaim(&mut self, buf: Vec<u8>) {
+        if buf.capacity() >= RELAY_DATA_MAX && self.free.len() < MAX_IDLE {
+            self.free.push(buf);
+        }
+    }
+
+    /// `(fresh allocations, reuses)` handed out so far — the telemetry
+    /// that proves the steady state is allocation-free.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.allocated, self.reused)
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_allocates_then_reuses() {
+        let mut pool = PayloadPool::new();
+        let mut a = pool.acquire();
+        assert!(a.is_empty());
+        a.resize(496, 7);
+        pool.reclaim(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.acquire();
+        assert!(b.is_empty(), "reused buffers come back cleared");
+        assert!(b.capacity() >= RELAY_DATA_MAX);
+        assert_eq!(pool.stats(), (1, 1));
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn undersized_buffers_are_not_pooled() {
+        let mut pool = PayloadPool::new();
+        pool.reclaim(vec![1, 2, 3]);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn idle_cap_bounds_memory() {
+        let mut pool = PayloadPool::new();
+        for _ in 0..(MAX_IDLE + 10) {
+            pool.reclaim(Vec::with_capacity(RELAY_DATA_MAX));
+        }
+        assert_eq!(pool.idle(), MAX_IDLE);
+    }
+}

@@ -5,22 +5,47 @@
 //! the star topology the frame crosses the hub, which forwards it using
 //! this table. Routes are computed once at build time — topologies are
 //! static for the lifetime of an experiment.
-
-use std::collections::HashMap;
+//!
+//! Node ids are dense small integers, so the table is an array indexed by
+//! the current node, with two per-node shapes: a *uniform* route (every
+//! destination leaves over one link — a star leaf's uplink; O(1) memory
+//! however many destinations exist) and a *per-destination* array (the
+//! hub). Lookups are two array indexes; nothing is hashed or compared.
 
 use netsim::link::LinkId;
 use netsim::net::NodeId;
 
+/// Routing state of one node.
+#[derive(Clone, Debug, Default)]
+enum NodeRoutes {
+    /// No routes installed at this node.
+    #[default]
+    Empty,
+    /// Every destination leaves over this link (a star leaf's uplink).
+    Uniform(LinkId),
+    /// Outgoing link per destination node index.
+    PerDst(Vec<Option<LinkId>>),
+}
+
 /// A `(current node, final destination) → outgoing link` table.
 #[derive(Clone, Debug, Default)]
 pub struct Router {
-    next: HashMap<(NodeId, NodeId), LinkId>,
+    per_node: Vec<NodeRoutes>,
+    installed: usize,
 }
 
 impl Router {
     /// Creates an empty router.
     pub fn new() -> Router {
         Router::default()
+    }
+
+    fn slot(&mut self, at: NodeId) -> &mut NodeRoutes {
+        if self.per_node.len() <= at.index() {
+            self.per_node
+                .resize_with(at.index() + 1, NodeRoutes::default);
+        }
+        &mut self.per_node[at.index()]
     }
 
     /// Installs a route: at `at`, frames for `dst` leave via `link`.
@@ -30,11 +55,58 @@ impl Router {
     /// Panics if the pair already has a different route — conflicting
     /// routes mean a topology-construction bug.
     pub fn install(&mut self, at: NodeId, dst: NodeId, link: LinkId) {
-        let prev = self.next.insert((at, dst), link);
-        assert!(
-            prev.is_none() || prev == Some(link),
-            "conflicting route installed at {at:?} for {dst:?}"
-        );
+        let slot = self.slot(at);
+        match slot {
+            NodeRoutes::Empty => {
+                let mut v = vec![None; dst.index() + 1];
+                v[dst.index()] = Some(link);
+                *slot = NodeRoutes::PerDst(v);
+                self.installed += 1;
+            }
+            NodeRoutes::Uniform(l) => {
+                assert!(
+                    *l == link,
+                    "conflicting route installed at {at:?} for {dst:?}"
+                );
+            }
+            NodeRoutes::PerDst(v) => {
+                if v.len() <= dst.index() {
+                    v.resize(dst.index() + 1, None);
+                }
+                let prev = v[dst.index()];
+                assert!(
+                    prev.is_none() || prev == Some(link),
+                    "conflicting route installed at {at:?} for {dst:?}"
+                );
+                if prev.is_none() {
+                    v[dst.index()] = Some(link);
+                    self.installed += 1;
+                }
+            }
+        }
+    }
+
+    /// Installs a uniform route: at `at`, frames for *every* destination
+    /// leave via `link` (a star leaf's single uplink). O(1) memory
+    /// regardless of network size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` already has any per-destination route.
+    pub fn install_uniform(&mut self, at: NodeId, link: LinkId) {
+        let slot = self.slot(at);
+        match slot {
+            NodeRoutes::Empty => {
+                *slot = NodeRoutes::Uniform(link);
+                self.installed += 1;
+            }
+            NodeRoutes::Uniform(l) => {
+                assert!(*l == link, "conflicting uniform route at {at:?}");
+            }
+            NodeRoutes::PerDst(_) => {
+                panic!("uniform route over per-destination routes at {at:?}")
+            }
+        }
     }
 
     /// The outgoing link at `at` for frames addressed to `dst`.
@@ -43,26 +115,30 @@ impl Router {
     ///
     /// Panics if no route exists — frames must never be addressed to
     /// unreachable nodes.
+    #[inline]
     pub fn next_link(&self, at: NodeId, dst: NodeId) -> LinkId {
-        *self
-            .next
-            .get(&(at, dst))
+        self.try_next_link(at, dst)
             .unwrap_or_else(|| panic!("no route from {at:?} to {dst:?}"))
     }
 
     /// Like [`Router::next_link`] but returns `None` instead of panicking.
+    #[inline]
     pub fn try_next_link(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.next.get(&(at, dst)).copied()
+        match self.per_node.get(at.index())? {
+            NodeRoutes::Empty => None,
+            NodeRoutes::Uniform(l) => Some(*l),
+            NodeRoutes::PerDst(v) => v.get(dst.index()).copied().flatten(),
+        }
     }
 
-    /// Number of installed routes.
+    /// Number of installed routes (a uniform route counts once).
     pub fn len(&self) -> usize {
-        self.next.len()
+        self.installed
     }
 
     /// `true` if no routes are installed.
     pub fn is_empty(&self) -> bool {
-        self.next.is_empty()
+        self.installed == 0
     }
 }
 
@@ -131,5 +207,30 @@ mod tests {
         r.install(nodes[0], nodes[1], links[0]);
         assert_eq!(r.try_next_link(nodes[0], nodes[1]), Some(links[0]));
         assert_eq!(r.try_next_link(nodes[1], nodes[0]), None);
+        assert_eq!(r.try_next_link(nodes[2], nodes[0]), None);
+    }
+
+    #[test]
+    fn uniform_route_serves_every_destination() {
+        let (_, nodes, links) = tiny_net();
+        let mut r = Router::new();
+        r.install_uniform(nodes[0], links[0]);
+        assert_eq!(r.next_link(nodes[0], nodes[1]), links[0]);
+        assert_eq!(r.next_link(nodes[0], nodes[2]), links[0]);
+        assert_eq!(r.len(), 1);
+        // Re-declaring the same uniform link is fine; a per-dst install
+        // of the same link is tolerated as agreeing.
+        r.install_uniform(nodes[0], links[0]);
+        r.install(nodes[0], nodes[2], links[0]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting route")]
+    fn uniform_conflicting_per_dst_panics() {
+        let (_, nodes, links) = tiny_net();
+        let mut r = Router::new();
+        r.install_uniform(nodes[0], links[0]);
+        r.install(nodes[0], nodes[2], links[1]);
     }
 }

@@ -57,13 +57,13 @@ pub mod time;
 
 /// Convenience re-exports of the items almost every user needs.
 pub mod prelude {
-    pub use crate::event::EventId;
+    pub use crate::event::{EventId, QueueKind};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Context, RunLimits, RunReport, Simulator, StopReason, World};
     pub use crate::time::{SimDuration, SimTime};
 }
 
-pub use event::{EventId, EventQueue};
+pub use event::{CalendarQueue, EventId, EventQueue, HeapQueue, PendingEvents, QueueKind};
 pub use rng::SimRng;
 pub use sim::{Context, RunLimits, RunReport, Simulator, StopReason, World};
 pub use time::{SimDuration, SimTime};

@@ -51,9 +51,7 @@
 //! assert_eq!(sim.now(), SimTime::from_millis(19));
 //! ```
 
-use std::collections::HashSet;
-
-use crate::event::{EventId, EventQueue};
+use crate::event::{EventId, EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
 
 /// The simulation model: one value owning all mutable state, reacting to
@@ -101,7 +99,6 @@ pub struct RunReport {
 pub struct Context<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
-    cancelled: &'a mut HashSet<EventId>,
     stop_requested: &'a mut bool,
 }
 
@@ -139,10 +136,11 @@ impl<'a, E> Context<'a, E> {
         self.queue.push(self.now, event)
     }
 
-    /// Cancels a previously scheduled event. Cancelling an event that
-    /// already fired (or was already cancelled) is a no-op.
-    pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+    /// Cancels a previously scheduled event in O(1), removing it from the
+    /// queue immediately. Returns `false` — and stores nothing — if the
+    /// event already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
     }
 
     /// Requests that the simulation loop return after this handler, with
@@ -169,7 +167,6 @@ pub type Probe<E> = Box<dyn FnMut(SimTime, &E)>;
 pub struct Simulator<W: World> {
     world: W,
     queue: EventQueue<W::Event>,
-    cancelled: HashSet<EventId>,
     now: SimTime,
     processed_total: u64,
     stop_requested: bool,
@@ -177,17 +174,28 @@ pub struct Simulator<W: World> {
 }
 
 impl<W: World> Simulator<W> {
-    /// Creates a simulator at time zero around `world`.
+    /// Creates a simulator at time zero around `world`, with the default
+    /// (calendar) event queue.
     pub fn new(world: W) -> Self {
+        Self::with_queue(world, QueueKind::default())
+    }
+
+    /// Creates a simulator with an explicit event-queue implementation —
+    /// the seam the differential determinism tests drive.
+    pub fn with_queue(world: W, kind: QueueKind) -> Self {
         Simulator {
             world,
-            queue: EventQueue::new(),
-            cancelled: HashSet::new(),
+            queue: EventQueue::with_kind(kind),
             now: SimTime::ZERO,
             processed_total: 0,
             stop_requested: false,
             probe: None,
         }
+    }
+
+    /// Which event-queue implementation this simulator runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// The current virtual time.
@@ -218,9 +226,16 @@ impl<W: World> Simulator<W> {
     }
 
     /// Number of currently pending (not yet fired, not cancelled) events.
-    /// Cancelled-but-not-yet-popped events are still counted.
+    /// Exact: cancelled events leave the queue immediately.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Discards every pending event without firing it. The id counter
+    /// keeps advancing, and no cancellation state survives the clear —
+    /// cancelling a discarded id later is a clean no-op.
+    pub fn clear_pending(&mut self) {
+        self.queue.clear();
     }
 
     /// Installs a probe called with every event just before it is handled.
@@ -255,39 +270,35 @@ impl<W: World> Simulator<W> {
         self.queue.push(self.now + delay, event)
     }
 
-    /// Cancels a scheduled event; a no-op if it already fired.
-    pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+    /// Cancels a scheduled event in O(1); a no-op (returning `false`) if
+    /// it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
     }
 
-    /// Processes exactly one (non-cancelled) event. Returns `false` if the
-    /// queue is empty.
+    /// Processes exactly one event. Returns `false` if the queue is
+    /// empty. (Cancelled events never surface from the queue, so there is
+    /// no skip loop.)
     pub fn step(&mut self) -> bool {
-        loop {
-            let Some((time, id, event)) = self.queue.pop() else {
-                return false;
-            };
-            if self.cancelled.remove(&id) {
-                continue; // skip tombstoned event, try the next one
-            }
-            debug_assert!(
-                time >= self.now,
-                "event queue produced an out-of-order event"
-            );
-            self.now = time;
-            if let Some(probe) = &mut self.probe {
-                probe(time, &event);
-            }
-            let mut ctx = Context {
-                now: self.now,
-                queue: &mut self.queue,
-                cancelled: &mut self.cancelled,
-                stop_requested: &mut self.stop_requested,
-            };
-            self.world.handle(&mut ctx, event);
-            self.processed_total += 1;
-            return true;
+        let Some((time, _id, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(
+            time >= self.now,
+            "event queue produced an out-of-order event"
+        );
+        self.now = time;
+        if let Some(probe) = &mut self.probe {
+            probe(time, &event);
         }
+        let mut ctx = Context {
+            now: self.now,
+            queue: &mut self.queue,
+            stop_requested: &mut self.stop_requested,
+        };
+        self.world.handle(&mut ctx, event);
+        self.processed_total += 1;
+        true
     }
 
     /// Runs until the queue is empty (or the world calls [`Context::stop`]).
@@ -308,6 +319,23 @@ impl<W: World> Simulator<W> {
     pub fn run_with_limits(&mut self, limits: RunLimits) -> RunReport {
         let start_processed = self.processed_total;
         self.stop_requested = false;
+        if limits.until.is_none() && limits.max_events.is_none() {
+            // Unbounded run: no horizon to compare against, so skip the
+            // per-event peek and drive the queue straight through pop.
+            let reason = loop {
+                if !self.step() {
+                    break StopReason::QueueEmpty;
+                }
+                if self.stop_requested {
+                    break StopReason::Requested;
+                }
+            };
+            return RunReport {
+                reason,
+                events_processed: self.processed_total - start_processed,
+                end_time: self.now,
+            };
+        }
         let reason = loop {
             if let Some(max) = limits.max_events {
                 if self.processed_total - start_processed >= max {
@@ -324,8 +352,6 @@ impl<W: World> Simulator<W> {
                     }
                 }
             }
-            // `step` can only return false here if every remaining event is
-            // cancelled; treat that as a naturally empty queue.
             if !self.step() {
                 break StopReason::QueueEmpty;
             }
@@ -504,6 +530,60 @@ mod tests {
         sim.schedule_at(ms(2), 2);
         sim.run();
         assert_eq!(sim.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn cancelling_fired_event_stores_nothing() {
+        // Regression for the tombstone leak: cancelling ids that already
+        // fired must not accumulate state. With eager in-queue
+        // cancellation the call reports false and the queue stays empty.
+        let mut sim = Simulator::new(Recorder::default());
+        let mut ids = Vec::new();
+        for i in 0..100 {
+            ids.push(sim.schedule_at(ms(i), i as u32));
+        }
+        sim.run();
+        for id in ids {
+            assert!(!sim.cancel(id), "fired events cannot be cancelled");
+        }
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn clear_pending_discards_events_and_cancel_state() {
+        // Regression: clearing the queue used to strand tombstones for
+        // the discarded events. Now clear drops everything and later
+        // cancels of discarded ids are clean no-ops.
+        let mut sim = Simulator::new(Recorder::default());
+        let doomed = sim.schedule_at(ms(1), 1);
+        let cancelled_then_cleared = sim.schedule_at(ms(2), 2);
+        sim.cancel(cancelled_then_cleared);
+        sim.clear_pending();
+        assert_eq!(sim.pending_events(), 0);
+        assert!(!sim.cancel(doomed), "cleared events cannot be cancelled");
+        sim.schedule_at(ms(3), 3);
+        sim.run();
+        let values: Vec<u32> = sim.world().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![3], "only the post-clear event fires");
+    }
+
+    #[test]
+    fn runs_identically_on_both_queue_kinds() {
+        use crate::event::QueueKind;
+        let run = |kind| {
+            let mut sim = Simulator::with_queue(
+                Recorder {
+                    chain_period: Some(SimDuration::from_millis(3)),
+                    chain_left: 50,
+                    ..Default::default()
+                },
+                kind,
+            );
+            sim.schedule_at(SimTime::ZERO, 0);
+            sim.run();
+            sim.into_world().seen
+        };
+        assert_eq!(run(QueueKind::Calendar), run(QueueKind::BinaryHeap));
     }
 
     #[test]

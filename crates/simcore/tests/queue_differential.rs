@@ -1,0 +1,165 @@
+//! Differential property suite: the calendar queue and the legacy binary
+//! heap must be observationally identical. Randomized (but seeded,
+//! `SimRng`-driven) interleavings of push / cancel / pop / peek / clear
+//! are replayed against both implementations through the [`PendingEvents`]
+//! seam, asserting identical `(time, id, event)` pop sequences, identical
+//! peeks, identical lengths, and identical cancel outcomes.
+
+use simcore::event::{CalendarQueue, EventId, HeapQueue, PendingEvents};
+use simcore::rng::SimRng;
+use simcore::time::SimTime;
+
+/// One scripted operation, generated once and applied to both queues.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Push(u64),
+    Pop,
+    Peek,
+    /// Cancel the id at this (modular) offset into all ids ever issued —
+    /// sometimes pending, sometimes long fired, sometimes cancelled twice.
+    Cancel(u64),
+    Len,
+    Clear,
+}
+
+fn arb_op(rng: &mut SimRng, time_scale: u64, clear_allowed: bool) -> Op {
+    match rng.range_u64(0, 100) {
+        0..=44 => Op::Push(rng.range_u64(0, time_scale)),
+        45..=79 => Op::Pop,
+        80..=86 => Op::Peek,
+        87..=94 => Op::Cancel(rng.u64()),
+        95..=97 => Op::Len,
+        _ if clear_allowed => Op::Clear,
+        _ => Op::Len,
+    }
+}
+
+/// Applies `ops` to both queues in lockstep, asserting equality of every
+/// observable result.
+fn run_differential(seed: u64, ops: usize, time_scale: u64, clear_allowed: bool) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut heap: HeapQueue<u64> = HeapQueue::new();
+    let mut issued: Vec<EventId> = Vec::new();
+    let mut payload: u64 = 0;
+
+    for step in 0..ops {
+        let op = arb_op(&mut rng, time_scale, clear_allowed);
+        match op {
+            Op::Push(t) => {
+                payload += 1;
+                let time = SimTime::from_nanos(t);
+                let a = cal.push(time, payload);
+                let b = heap.push(time, payload);
+                assert_eq!(a, b, "seed {seed} step {step}: ids diverge");
+                issued.push(a);
+            }
+            Op::Pop => {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "seed {seed} step {step}: pops diverge");
+            }
+            Op::Peek => {
+                assert_eq!(
+                    cal.peek_time(),
+                    heap.peek_time(),
+                    "seed {seed} step {step}: peeks diverge"
+                );
+            }
+            Op::Cancel(raw) => {
+                if !issued.is_empty() {
+                    let id = issued[(raw % issued.len() as u64) as usize];
+                    let a = cal.cancel(id);
+                    let b = heap.cancel(id);
+                    assert_eq!(a, b, "seed {seed} step {step}: cancel outcomes diverge");
+                }
+            }
+            Op::Len => {
+                assert_eq!(
+                    cal.len(),
+                    heap.len(),
+                    "seed {seed} step {step}: lens diverge"
+                );
+                assert_eq!(cal.is_empty(), heap.is_empty());
+            }
+            Op::Clear => {
+                cal.clear();
+                heap.clear();
+            }
+        }
+    }
+    // Drain both completely; the full remaining sequences must match.
+    loop {
+        let a = cal.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "seed {seed}: drain diverges");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(cal.pushed_total(), heap.pushed_total());
+}
+
+#[test]
+fn random_interleavings_match_across_seeds() {
+    for seed in 0..20 {
+        run_differential(0xD1FF_0000 + seed, 4_000, 1_000_000, false);
+    }
+}
+
+#[test]
+fn clustered_times_match() {
+    // Few distinct instants — the regime that exercises same-time FIFO
+    // runs and the width estimator's duplicate detection.
+    for seed in 0..10 {
+        run_differential(0xC1_0000 + seed, 4_000, 50, false);
+    }
+}
+
+#[test]
+fn wide_time_range_matches() {
+    // Sparse far-future events exercise the empty-year global-scan path.
+    for seed in 0..10 {
+        run_differential(0x31DE_0000 + seed, 2_000, u64::MAX / 4, false);
+    }
+}
+
+#[test]
+fn interleavings_with_clear_match() {
+    for seed in 0..10 {
+        run_differential(0xC1EA_0000 + seed, 3_000, 10_000, true);
+    }
+}
+
+#[test]
+fn cancel_heavy_workload_matches() {
+    // Cancel more often than the default mix: half of pushes die young.
+    for seed in 0..10u64 {
+        let mut rng = SimRng::seed_from(0xCA_0000 + seed);
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut pending: Vec<EventId> = Vec::new();
+        for i in 0..2_000u64 {
+            let t = SimTime::from_nanos(rng.range_u64(0, 10_000));
+            let a = cal.push(t, i);
+            let b = heap.push(t, i);
+            assert_eq!(a, b);
+            pending.push(a);
+            if rng.range_u64(0, 2) == 0 {
+                let idx = rng.range_usize(0, pending.len());
+                let id = pending.swap_remove(idx);
+                assert_eq!(cal.cancel(id), heap.cancel(id));
+            }
+            if rng.range_u64(0, 3) == 0 {
+                assert_eq!(cal.pop(), heap.pop());
+            }
+        }
+        loop {
+            let a = cal.pop();
+            assert_eq!(a, heap.pop(), "seed {seed}: drain diverges");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -49,21 +49,34 @@ impl LayerCipher {
     /// XORs the keystream for (`key`, `nonce`) over `data` in place.
     /// `nonce` must match between apply and un-apply; callers use the
     /// per-cell sequence number.
+    ///
+    /// The keystream advances one xorshift64* word per 8 payload bytes;
+    /// whole words are XORed at machine width (this runs on every cell at
+    /// every hop), with a byte tail for the remainder. The byte sequence
+    /// is identical to applying the stream byte by byte.
     pub fn apply(&self, nonce: u64, data: &mut [u8]) {
         let mut state = self.key.0 ^ nonce.wrapping_mul(0xD6E8_FEB8_6659_FD93);
         if state == 0 {
             state = 0x9E37_79B9_7F4A_7C15;
         }
-        let mut word = [0u8; 8];
-        for (i, byte) in data.iter_mut().enumerate() {
-            if i % 8 == 0 {
-                // xorshift64*
-                state ^= state >> 12;
-                state ^= state << 25;
-                state ^= state >> 27;
-                word = state.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+        let mut next_word = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut chunks = data.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let buf: &mut [u8; 8] = chunk.try_into().expect("exact chunk");
+            *buf = (u64::from_le_bytes(*buf) ^ next_word()).to_le_bytes();
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            let word = next_word().to_le_bytes();
+            for (byte, k) in tail.iter_mut().zip(word) {
+                *byte ^= k;
             }
-            *byte ^= word[i % 8];
         }
     }
 }
@@ -225,17 +238,27 @@ impl RelayCrypt {
     }
 }
 
-/// Payload digest — FNV-1a-32 over the data.
+/// Payload digest — a keyed multiply-rotate mix over 8-byte words.
 ///
 /// Stands in for Tor's running SHA-1 "recognized" digest: it lets the
-/// recognizing hop detect payload corruption in tests, nothing more.
+/// recognizing hop detect payload corruption in tests, nothing more — so
+/// it is built for throughput (one multiply per 8 bytes; this runs at
+/// every hop of every cell for leaky-pipe recognition), not security.
 pub fn payload_digest(data: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811c_9dc5;
-    for &b in data {
-        hash ^= u32::from(b);
-        hash = hash.wrapping_mul(0x0100_0193);
+    let mut h: u64 = 0x811c_9dc5_2545_f491;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+        h = (h ^ word)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(23);
     }
-    hash
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= u64::from(b) << (8 * i);
+    }
+    h = (h ^ tail ^ (data.len() as u64)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    (h >> 32) as u32
 }
 
 #[cfg(test)]
@@ -246,7 +269,18 @@ mod tests {
     #[test]
     fn digest_distinguishes_payloads() {
         assert_ne!(payload_digest(b"hello"), payload_digest(b"hellp"));
-        assert_eq!(payload_digest(b""), 0x811c_9dc5);
+        // Length is mixed in, so a zero-padded tail cannot collide with a
+        // shorter payload, and single-byte flips in any word position are
+        // detected.
+        assert_ne!(payload_digest(b""), payload_digest(&[0]));
+        assert_ne!(payload_digest(&[0; 8]), payload_digest(&[0; 16]));
+        let mut long = [7u8; 64];
+        let base = payload_digest(&long);
+        for i in 0..64 {
+            long[i] ^= 0x80;
+            assert_ne!(payload_digest(&long), base, "flip at {i} undetected");
+            long[i] ^= 0x80;
+        }
     }
 
     #[test]

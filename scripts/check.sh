@@ -16,4 +16,8 @@ cargo test -q --workspace
 echo "==> smoke: cargo run --example quickstart"
 cargo run -q --release --example quickstart
 
+echo "==> bench smoke: CS_BENCH_FAST=1 (3 samples; sanity, not measurement)"
+CS_BENCH_FAST=1 cargo bench -q -p cs-bench --bench bench_simcore
+CS_BENCH_FAST=1 cargo bench -q -p cs-bench --bench bench_overlay
+
 echo "==> all checks passed"

@@ -56,8 +56,7 @@ fn relay_windows_converge_near_their_own_optima() {
         let node = handles.overlay_path[position];
         let nc = world
             .node(node)
-            .circuits
-            .get(&handles.circ)
+            .circuit(handles.circ)
             .expect("relay participates");
         let cwnd = nc.fwd.as_ref().expect("forward hop").transport.cwnd();
         let w_star = model.optimal_cwnd_cells(position);

@@ -1,0 +1,139 @@
+//! End-to-end queue equivalence: full experiments must be bit-identical
+//! whether the simulator runs on the calendar queue (default) or the
+//! legacy binary-heap oracle. This is the system-level complement of the
+//! `simcore` differential property suite — it proves the queue swap
+//! changes *nothing observable*: event ordering, WorldStats counters,
+//! cwnd traces, per-cell RTT samples, and completion times all match,
+//! across seeds and for both evaluation topologies.
+
+use circuitstart::prelude::*;
+use relaynet::builder::{PathScenario, StarScenario};
+use relaynet::{DirectoryConfig, WorldConfig, WorldStats};
+use simcore::event::QueueKind;
+use simcore::time::SimDuration;
+
+/// Everything observable about one fig-1-style path run.
+#[derive(PartialEq, Debug)]
+struct PathFingerprint {
+    cwnd_trace: Vec<(f64, u32)>,
+    rtt_samples: usize,
+    transfer_time: Option<f64>,
+    cells_delivered: u64,
+    stats: (u64, u64, u64, u64),
+    events_processed: u64,
+}
+
+fn stats_tuple(s: &WorldStats) -> (u64, u64, u64, u64) {
+    (
+        s.cells_sent,
+        s.feedback_sent,
+        s.protocol_errors,
+        s.cells_dropped_closed,
+    )
+}
+
+fn run_path(distance: usize, seed: u64, kind: QueueKind) -> PathFingerprint {
+    let base = fig1_trace(distance, Algorithm::CircuitStart);
+    let scenario = PathScenario {
+        hops: base.hops(),
+        file_bytes: 400_000,
+        world: WorldConfig::default(),
+    };
+    let (mut sim, h) =
+        scenario.build_with_queue(Algorithm::CircuitStart.factory(base.cc), seed, kind);
+    sim.run();
+    let world = sim.world();
+    let r = world.result_of(h.circ);
+    PathFingerprint {
+        cwnd_trace: world
+            .source_cwnd_trace(h.circ)
+            .expect("tracing enabled")
+            .iter()
+            .map(|&(t, c)| (t.as_secs_f64(), c))
+            .collect(),
+        rtt_samples: world.source_rtt_trace(h.circ).map_or(0, <[_]>::len),
+        transfer_time: r.transfer_time().map(|d: SimDuration| d.as_secs_f64()),
+        cells_delivered: r.cells_delivered,
+        stats: stats_tuple(world.stats()),
+        events_processed: sim.events_processed(),
+    }
+}
+
+#[test]
+fn fig1_path_runs_identically_on_both_queues_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        for distance in [1usize, 3] {
+            let cal = run_path(distance, seed, QueueKind::Calendar);
+            let heap = run_path(distance, seed, QueueKind::BinaryHeap);
+            assert_eq!(
+                cal, heap,
+                "seed {seed} distance {distance}: queue implementations diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn star_runs_identically_on_both_queues_across_seeds() {
+    let scenario = StarScenario {
+        circuits: 5,
+        file_bytes: 50_000,
+        directory: DirectoryConfig {
+            relays: 8,
+            bandwidth_mbps: (15.0, 80.0),
+            delay_ms: (3.0, 9.0),
+        },
+        ..Default::default()
+    };
+    let run = |seed, kind| {
+        let (mut sim, circuits) = scenario.build_with_queue(
+            Algorithm::CircuitStart.factory(CcConfig::default()),
+            seed,
+            kind,
+        );
+        run_to_completion(&mut sim);
+        let world = sim.world();
+        let times: Vec<Option<f64>> = circuits
+            .iter()
+            .map(|&c| world.result_of(c).transfer_time().map(|d| d.as_secs_f64()))
+            .collect();
+        (times, stats_tuple(world.stats()), sim.events_processed())
+    };
+    for seed in [3u64, 11, 99] {
+        assert_eq!(
+            run(seed, QueueKind::Calendar),
+            run(seed, QueueKind::BinaryHeap),
+            "seed {seed}: star experiment diverges between queue implementations"
+        );
+    }
+}
+
+#[test]
+fn baseline_algorithms_also_match() {
+    // The equivalence must hold regardless of the controller in play.
+    let scenario = PathScenario {
+        hops: fig1_trace(1, Algorithm::ClassicBacktap).hops(),
+        file_bytes: 200_000,
+        world: WorldConfig::default(),
+    };
+    // CcFactory is not Clone, so store constructors and build one per run.
+    let make_classic = || Algorithm::ClassicBacktap.factory(CcConfig::default());
+    let make_fixed = || relaynet::builder::fixed_window_factory(16);
+    let factories: [(&str, &dyn Fn() -> relaynet::CcFactory); 2] =
+        [("classic", &make_classic), ("fixed", &make_fixed)];
+    for (name, make) in factories {
+        let run = |kind| {
+            let (mut sim, h) = scenario.build_with_queue(make(), 5, kind);
+            sim.run();
+            let w = sim.world();
+            (
+                w.result_of(h.circ).cells_delivered,
+                stats_tuple(w.stats()),
+                sim.events_processed(),
+            )
+        };
+        let cal = run(QueueKind::Calendar);
+        let heap = run(QueueKind::BinaryHeap);
+        assert_eq!(cal, heap, "{name}: diverges between queue implementations");
+    }
+}
