@@ -16,8 +16,9 @@ use circuitstart::Algorithm;
 use cs_bench::harness::Report;
 use netsim::bandwidth::Bandwidth;
 use netsim::link::LinkConfig;
-use relaynet::builder::{fixed_window_factory, PathScenario};
-use relaynet::{CcFactory, WorldConfig};
+use relaynet::builder::{fixed_window_factory, PathScenario, StarScenario};
+use relaynet::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
+use relaynet::{CcFactory, DirectoryConfig, WorldConfig};
 use simcore::time::SimDuration;
 
 /// Transfer size per iteration; 512 KiB = 1058 DATA cells through 4 links.
@@ -29,6 +30,7 @@ fn scenario() -> PathScenario {
         hops: vec![hop; 4], // 3 relays
         file_bytes: FILE_BYTES,
         world: WorldConfig::default(),
+        ..Default::default()
     }
 }
 
@@ -55,6 +57,65 @@ fn bench_algorithm(report: &mut Report, key: &str, factory: impl Fn() -> CcFacto
     );
 }
 
+/// The workload-engine case: 4 circuits × 3 multiplexed streams with
+/// bursty on/off arrivals, each circuit torn down and rebuilt twice
+/// mid-run. Exercises the churn-only code paths the single-transfer
+/// case never touches — DESTROY waves, queue drains, slot/route/pool
+/// reclamation, and flow re-attachment — under the same cells/s metric.
+fn churn_scenario() -> StarScenario {
+    StarScenario {
+        circuits: 4,
+        file_bytes: 256 * 1024,
+        directory: DirectoryConfig {
+            relays: 8,
+            bandwidth_mbps: (30.0, 90.0),
+            delay_ms: (2.0, 6.0),
+        },
+        workload: WorkloadSpec {
+            streams_per_circuit: 3,
+            arrival: ArrivalSpec::OnOff {
+                burst: 2,
+                gap_ms: (10.0, 50.0),
+            },
+            churn: Some(ChurnSpec {
+                teardown_after_ms: (60.0, 150.0),
+                rebuild_delay_ms: 10.0,
+                cycles: 2,
+            }),
+        },
+        ..Default::default()
+    }
+}
+
+/// Runs one full churn experiment and returns DATA cells delivered
+/// across all flows (including the re-sent share — that is the work the
+/// engine performed).
+fn run_churn_once(factory: CcFactory) -> u64 {
+    let (mut sim, _) = churn_scenario().build(factory, 1);
+    sim.run();
+    let world = sim.world();
+    assert_eq!(world.stats().protocol_errors, 0);
+    assert!(world.stats().rebuilds > 0, "churn must actually churn");
+    let mut cells = 0;
+    for f in world.flows() {
+        assert!(f.complete(), "bench workload must complete");
+        cells += f.cells_delivered;
+    }
+    cells
+}
+
+fn bench_churn(report: &mut Report, key: &str, factory: impl Fn() -> CcFactory) {
+    let cells = run_churn_once(factory());
+    report.bench_with_rate(
+        &format!("overlay/star_churn_4x3x2/{key}"),
+        cells as f64,
+        "cells/s",
+        || {
+            std::hint::black_box(run_churn_once(factory()));
+        },
+    );
+}
+
 fn main() {
     let mut report = Report::new();
     bench_algorithm(&mut report, "circuitstart", || {
@@ -64,5 +125,8 @@ fn main() {
         Algorithm::ClassicBacktap.factory(CcConfig::default())
     });
     bench_algorithm(&mut report, "fixed_window_64", || fixed_window_factory(64));
+    bench_churn(&mut report, "circuitstart", || {
+        Algorithm::CircuitStart.factory(CcConfig::default())
+    });
     report.finish("bench_overlay");
 }

@@ -267,6 +267,7 @@ fn sweep_midflow() {
             hops,
             file_bytes: 4 << 20,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, handles) = scenario.build(algorithm.factory(base.cc), 3);
         sim.schedule_at(

@@ -188,6 +188,7 @@ pub fn run_trace(cfg: &TraceScenarioConfig) -> TraceReport {
             verify_payload: true,
             trace_client_cwnd: true,
         },
+        ..Default::default()
     };
     let (mut sim, handles) = scenario.build(cfg.algorithm.factory(cfg.cc), cfg.seed);
     run_to_completion(&mut sim);

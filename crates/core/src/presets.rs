@@ -53,6 +53,7 @@ pub fn fig1_cdf() -> CdfScenarioConfig {
                 verify_payload: true,
                 trace_client_cwnd: false, // 50 traces are noise here
             },
+            ..Default::default()
         },
         // The paper's pairing is CircuitStart vs plain BackTap (Vegas
         // only — its cited weakness is precisely the missing startup

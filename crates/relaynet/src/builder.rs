@@ -29,6 +29,7 @@ use crate::ids::{CircId, Direction};
 use crate::network::{TorNetwork, WorldConfig};
 use crate::node::{CcFactory, NodeRole};
 use crate::router::Router;
+use crate::workload::WorkloadSpec;
 
 /// A single circuit over an explicit chain of links.
 #[derive(Clone, Debug)]
@@ -36,10 +37,25 @@ pub struct PathScenario {
     /// Per-hop link parameters: `hops[0]` is client↔first relay, the last
     /// entry is exit↔server. A circuit with `k` relays has `k + 1` hops.
     pub hops: Vec<LinkConfig>,
-    /// Payload bytes the client transfers.
+    /// Payload bytes the client transfers (split across the workload's
+    /// streams).
     pub file_bytes: u64,
+    /// Stream multiplexing, arrival process, and churn (default: one
+    /// immediate bulk stream, no churn — the paper's shape).
+    pub workload: WorkloadSpec,
     /// World switches.
     pub world: WorldConfig,
+}
+
+impl Default for PathScenario {
+    fn default() -> Self {
+        PathScenario {
+            hops: Vec::new(),
+            file_bytes: 1 << 20,
+            workload: WorkloadSpec::default(),
+            world: WorldConfig::default(),
+        }
+    }
 }
 
 /// Handles into a built [`PathScenario`]: the circuit plus the link and
@@ -83,8 +99,14 @@ impl PathScenario {
             router.install(topo.nodes[i], topo.nodes[i + 1], topo.fwd[i]);
             router.install(topo.nodes[i + 1], topo.nodes[i], topo.rev[i]);
         }
-        let rng = SimRng::seed_from(seed);
-        let mut world = TorNetwork::new(net, router, self.world, factory, rng.derive("handshakes"));
+        let master = SimRng::seed_from(seed);
+        let mut world = TorNetwork::new(
+            net,
+            router,
+            self.world,
+            factory,
+            master.derive("handshakes"),
+        );
         let last = topo.nodes.len() - 1;
         let overlay_path: Vec<_> = topo
             .nodes
@@ -101,7 +123,11 @@ impl PathScenario {
                 world.add_overlay(nn, role, &name)
             })
             .collect();
-        let circ = world.add_circuit(overlay_path.clone(), self.file_bytes);
+        let mut wl_rng = master.derive("workload");
+        let workload = self
+            .workload
+            .resolve(self.file_bytes, &mut wl_rng, |bytes| world.add_flow(bytes));
+        let circ = world.add_circuit_with_workload(overlay_path.clone(), workload, 0);
         let mut sim = Simulator::with_queue(world, queue);
         sim.schedule_at(SimTime::ZERO, TorEvent::StartCircuit(circ));
         let handles = PathHandles {
@@ -136,6 +162,10 @@ pub struct StarScenario {
     pub start_jitter_ms: f64,
     /// Bandwidth-weighted relay selection (Tor-style) instead of uniform.
     pub weighted_selection: bool,
+    /// Stream multiplexing, arrival process, and churn, applied to every
+    /// circuit (resolved independently per circuit from the master
+    /// seed). Default: one immediate bulk stream, no churn.
+    pub workload: WorkloadSpec,
     /// World switches.
     pub world: WorldConfig,
 }
@@ -151,6 +181,7 @@ impl Default for StarScenario {
             file_bytes: 1 << 20,
             start_jitter_ms: 50.0,
             weighted_selection: false,
+            workload: WorkloadSpec::default(),
             world: WorldConfig::default(),
         }
     }
@@ -242,7 +273,11 @@ impl StarScenario {
             path.push(client);
             path.extend(picks.into_iter().map(|i| relay_overlays[i]));
             path.push(server);
-            let circ = world.add_circuit(path, self.file_bytes);
+            let mut wl_rng = master.derive_indexed("workload", c as u64);
+            let workload = self
+                .workload
+                .resolve(self.file_bytes, &mut wl_rng, |bytes| world.add_flow(bytes));
+            let circ = world.add_circuit_with_workload(path, workload, 0);
             let start = if self.start_jitter_ms > 0.0 {
                 SimTime::from_secs_f64(jitter_rng.range_f64(0.0, self.start_jitter_ms) / 1e3)
             } else {
@@ -301,6 +336,7 @@ pub fn unlimited_factory() -> CcFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::{ArrivalSpec, ChurnSpec};
     use simcore::sim::StopReason;
 
     fn hop(mbps: u64, delay_ms: u64) -> LinkConfig {
@@ -317,6 +353,7 @@ mod tests {
             hops: vec![hop(10, 2), hop(10, 2), hop(10, 2)],
             file_bytes: 10_000,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(fixed_window_factory(8), 1);
         let circ = h.circ;
@@ -339,6 +376,7 @@ mod tests {
             hops: vec![hop(50, 2), hop(8, 5), hop(50, 2), hop(50, 2)],
             file_bytes: 200_000,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), 7);
         let circ = h.circ;
@@ -361,6 +399,7 @@ mod tests {
             hops: vec![hop(10, 1), hop(10, 1)],
             file_bytes: 496,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(fixed_window_factory(4), 3);
         let circ = h.circ;
@@ -377,6 +416,7 @@ mod tests {
             hops: vec![hop(20, 1); 6],
             file_bytes: 50_000,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), 5);
         let circ = h.circ;
@@ -398,6 +438,7 @@ mod tests {
             hops: vec![hop(50, 2), hop(50, 2), hop(50, 2)],
             file_bytes: 1 << 20, // 2115 DATA cells
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(fixed_window_factory(32), 4);
         sim.run();
@@ -428,6 +469,7 @@ mod tests {
             hops: vec![hop(100, 1), hop(5, 5), hop(100, 1)],
             file_bytes: 300_000,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(fixed_window_factory(10), 2);
         let circ = h.circ;
@@ -500,6 +542,7 @@ mod tests {
             hops: vec![hop(30, 2), hop(10, 3), hop(30, 2)],
             file_bytes: 100_000,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let run = |seed| {
             let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), seed);
@@ -525,6 +568,7 @@ mod tests {
             hops: vec![hop(50, 2), hop(8, 5), hop(50, 2)],
             file_bytes: 150_000,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(jumpstart_factory(CcConfig::default(), 100), 9);
         let circ = h.circ;
@@ -548,6 +592,7 @@ mod tests {
             hops: vec![hop(10, 1), hop(10, 1)],
             file_bytes: 5_000,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(unlimited_factory(), 21);
         let circ = h.circ;
@@ -561,20 +606,115 @@ mod tests {
             hops: vec![hop(10, 1), hop(10, 1), hop(10, 1)],
             file_bytes: 4_960,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let (mut sim, h) = scenario.build(fixed_window_factory(4), 17);
         let circ = h.circ;
         sim.run();
         assert!(sim.world().result_of(circ).completed);
-        // Tear down after completion; DESTROY must propagate silently.
+        let slots_before = sim.world().link_route_slots();
+        // Tear down after completion; the DESTROY wave and its echo must
+        // propagate silently and reclaim every participation.
         sim.schedule_in(SimDuration::from_millis(1), TorEvent::Teardown(circ));
         sim.run();
         let world = sim.world();
         assert_eq!(world.stats().protocol_errors, 0);
-        let server = *world.circuit_info(circ).path.last().unwrap();
-        assert!(
-            world.node(server).circuit(circ).unwrap().closed,
-            "server side must see the DESTROY"
-        );
+        let path = world.circuit_info(circ).path.clone();
+        for &n in &path {
+            assert!(
+                world.node(n).circuit(circ).is_none(),
+                "{n} must reclaim the torn-down circuit's slot"
+            );
+            assert_eq!(world.node(n).free_slot_count(), 1);
+        }
+        // One DESTROY per hop per wave direction: 3 hops, 2 waves.
+        assert_eq!(world.stats().destroys_sent, 2 * (path.len() as u64 - 1));
+        assert_eq!(world.stats().slots_reclaimed, path.len() as u64);
+        // Both ends of every link-local id were cleared.
+        assert_eq!(world.link_route_slots(), slots_before);
+        assert_eq!(world.free_link_routes(), path.len() - 1);
+        // Completed flows do not trigger a rebuild.
+        assert_eq!(world.stats().rebuilds, 0);
+        assert!(world.flows()[0].complete());
+    }
+
+    #[test]
+    fn multi_stream_circuit_delivers_every_flow() {
+        let scenario = PathScenario {
+            hops: vec![hop(20, 2), hop(20, 2), hop(20, 2)],
+            file_bytes: 60_000,
+            workload: WorkloadSpec {
+                streams_per_circuit: 3,
+                arrival: ArrivalSpec::UniformJitter { max_ms: 20.0 },
+                churn: None,
+            },
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(fixed_window_factory(8), 5);
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::QueueEmpty);
+        let world = sim.world();
+        assert_eq!(world.stats().protocol_errors, 0);
+        assert_eq!(world.flows().len(), 3);
+        let mut total = 0;
+        for f in world.flows() {
+            assert!(f.complete(), "every flow must finish");
+            assert!(f.completion_time().unwrap() > SimDuration::ZERO);
+            total += f.delivered;
+        }
+        assert_eq!(total, 60_000, "no byte lost or duplicated");
+        // The aggregate circuit result still sees the union.
+        let r = world.result_of(h.circ);
+        assert!(r.completed, "all ENDs consumed");
+        assert_eq!(r.bytes_delivered, 60_000);
+        assert_eq!(r.payload_errors, 0);
+        let cdf = world.flow_completion_cdf().expect("3 completed flows");
+        assert_eq!(cdf.len(), 3);
+    }
+
+    #[test]
+    fn churn_rebuilds_and_conserves_bytes() {
+        // Teardown fires mid-transfer twice; the flows must still
+        // deliver every byte, and the slabs must not leak slots.
+        let scenario = PathScenario {
+            hops: vec![hop(10, 2), hop(10, 2), hop(10, 2)],
+            file_bytes: 120_000,
+            workload: WorkloadSpec {
+                streams_per_circuit: 2,
+                arrival: ArrivalSpec::Immediate,
+                churn: Some(ChurnSpec {
+                    teardown_after_ms: (30.0, 60.0),
+                    rebuild_delay_ms: 5.0,
+                    cycles: 2,
+                }),
+            },
+            world: WorldConfig::default(),
+        };
+        let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), 23);
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::QueueEmpty);
+        let world = sim.world();
+        assert_eq!(world.stats().protocol_errors, 0);
+        assert_eq!(world.stats().rebuilds, 2, "two churn cycles");
+        assert_eq!(world.circuit_count(), 3, "one record per incarnation");
+        let mut total = 0;
+        for f in world.flows() {
+            assert!(f.complete(), "churn must not strand a flow");
+            assert_eq!(f.carried_by, 3, "each flow rode every incarnation");
+            total += f.delivered;
+        }
+        assert_eq!(total, 120_000);
+        // Mid-flight teardown drops in-flight cells; the rebuilt circuit
+        // re-sends them, so the wire saw *more* cells than the payload
+        // needs — but the flows never over-count.
+        assert!(world.stats().cells_dropped_closed > 0 || world.stats().cells_drained > 0);
+        // Slot reclamation: only the final incarnation's participations
+        // remain; every torn-down incarnation's slots were reused.
+        for &n in &world.circuit_info(h.circ).path {
+            let node = world.node(n);
+            assert_eq!(node.circuit_count(), 1, "only the live incarnation");
+            assert_eq!(node.slab_len(), 1, "rebuilds reuse reclaimed slots");
+        }
+        assert_eq!(world.stats().slots_reclaimed, 2 * 4);
     }
 }

@@ -3,17 +3,24 @@
 use simcore::time::{SimDuration, SimTime};
 
 use crate::ids::{CircId, OverlayId};
+use crate::workload::CircuitWorkload;
 
 /// Static description of one circuit (simulator bookkeeping; nodes learn
 /// their role through the CREATE/EXTEND walk, not from this record).
+/// Churn creates one record per incarnation — the workload's flows are
+/// the durable identity, circuits come and go.
 #[derive(Clone, Debug)]
 pub struct CircuitInfo {
     /// Full path: `[client, relay…, server]`.
     pub path: Vec<OverlayId>,
-    /// Payload bytes the client transfers.
+    /// Payload bytes the client transfers (sum across streams).
     pub file_bytes: u64,
     /// When the build was kicked off, once started.
     pub started_at: Option<SimTime>,
+    /// The resolved workload this incarnation carries.
+    pub workload: CircuitWorkload,
+    /// Which rebuild cycle this incarnation is (0 = original build).
+    pub incarnation: u32,
 }
 
 /// Measured outcome of one circuit's transfer.

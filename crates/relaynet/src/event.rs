@@ -15,6 +15,17 @@ pub enum TorEvent {
     StartCircuit(CircId),
     /// A client initiates teardown of an established circuit.
     Teardown(CircId),
+    /// A staggered stream's arrival offset elapsed: the client issues
+    /// the request (BEGIN) on stream index `stream` of `circ`.
+    StreamArrival {
+        /// The carrying circuit.
+        circ: CircId,
+        /// Index into the circuit's stream list.
+        stream: u32,
+    },
+    /// A fully torn-down circuit's unfinished flows are re-attached to a
+    /// fresh circuit over the same path (churn rebuild).
+    Rebuild(CircId),
     /// Change a link's rate mid-run (bandwidth-change experiments for the
     /// paper's future-work extension).
     SetLinkRate {

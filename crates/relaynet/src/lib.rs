@@ -8,8 +8,10 @@
 //! * leaky-pipe recognition via per-hop onion layers,
 //! * per-hop windowed transports driven by forwarding **feedback**
 //!   (the BackTap substrate CircuitStart plugs into),
-//! * bulk-transfer client/server applications with time-to-last-byte
-//!   accounting,
+//! * multi-stream client/server applications with per-flow
+//!   time-to-last-byte accounting ([`workload`]): several streams
+//!   multiplexed per circuit, staggered and bursty arrival processes,
+//!   and circuit churn (teardown + rebuild with slot reclamation),
 //! * relay directories with sampled bandwidths and Tor-style path
 //!   selection, and
 //! * the two evaluation topologies (explicit path, nstor-style star).
@@ -33,6 +35,7 @@ pub mod pool;
 pub mod router;
 pub mod scheduler;
 pub mod wire;
+pub mod workload;
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -53,6 +56,9 @@ pub mod prelude {
     pub use crate::router::Router;
     pub use crate::scheduler::LinkScheduler;
     pub use crate::wire::{FramePayload, WireFrame};
+    pub use crate::workload::{
+        ArrivalSpec, ChurnSpec, CircuitWorkload, FlowId, FlowState, StreamSpec, WorkloadSpec,
+    };
 }
 
 pub use builder::{
@@ -71,3 +77,6 @@ pub use pool::PayloadPool;
 pub use router::Router;
 pub use scheduler::LinkScheduler;
 pub use wire::{FramePayload, WireFrame};
+pub use workload::{
+    ArrivalSpec, ChurnSpec, CircuitWorkload, FlowId, FlowState, StreamSpec, WorkloadSpec,
+};

@@ -4,15 +4,27 @@
 //! first relay, then sends EXTEND relay cells that the current last relay
 //! converts into CREATEs toward the next node (answered with CREATED /
 //! EXTENDED). Link-local circuit ids are negotiated per connection; onion
-//! layers are derived from the CREATE handshakes. Teardown (DESTROY) also
-//! lives here: it marks circuit state closed and propagates away from the
-//! sender.
+//! layers are derived from the CREATE handshakes.
+//!
+//! Teardown also lives here, as a **two-wave DESTROY protocol** (DESIGN.md
+//! §8): the client's DESTROY travels forward through the per-circuit FIFO
+//! queues — so it arrives *behind* every previously sent forward cell —
+//! and the end of the built path reflects it as a backward echo. A node
+//! that has seen both waves, has every sent cell confirmed, and has empty
+//! queues can prove no further frame will ever arrive for the circuit: at
+//! that moment its slab slot and route ends are reclaimed for reuse.
+//! The client-side reclamation additionally drives the churn engine — if
+//! the torn-down circuit's flows still owe bytes, a rebuild is scheduled
+//! that re-attaches them to a fresh circuit over the same path.
 
 use simcore::sim::Context;
+use simcore::time::SimDuration;
 
 use torcell::cell::{Cell, CellBody, RelayCell, RelayCommand, HANDSHAKE_LEN};
 use torcell::crypto::{payload_digest, LayerKey, RelayCrypt};
 use torcell::ids::{CircuitId, StreamId};
+
+use netsim::net::{Net, NodeId};
 
 use crate::event::TorEvent;
 use crate::ids::{CircId, Direction, OverlayId};
@@ -20,10 +32,14 @@ use crate::node::{
     ClientApp, ClientStage, HopCtx, HopDir, NodeCircuit, NodeRole, PendingConfirm, QueuedCell,
     ServerApp,
 };
+use crate::pool::PayloadPool;
+use crate::router::Router;
+use crate::scheduler::LinkScheduler;
+use crate::workload::{CircuitWorkload, StreamSpec};
 
 use backtap::hop::HopTransport;
 
-use super::{TorNetwork, DESTROY_REASON_FINISHED};
+use super::{TorNetwork, WorldStats, DESTROY_REASON_FINISHED};
 
 impl TorNetwork {
     /// Handshake blob: global circuit id (instrumentation channel for the
@@ -37,17 +53,40 @@ impl TorNetwork {
     }
 
     /// Launches a circuit (from a [`TorEvent::StartCircuit`]): the client
-    /// CREATEs its first hop and the telescope begins.
+    /// CREATEs its first hop and the telescope begins. Stream arrivals
+    /// and the workload's teardown point are scheduled here.
     pub(super) fn start_circuit(&mut self, ctx: &mut Context<'_, TorEvent>, circ: CircId) {
         let info = &mut self.circuits[circ.index()];
         assert!(info.started_at.is_none(), "circuit started twice");
         info.started_at = Some(ctx.now());
         let path = info.path.clone();
-        let file_bytes = info.file_bytes;
+        let streams = info.workload.streams.clone();
+        let teardown_after = info.workload.teardown_after.first().copied();
         let client_id = path[0];
         let first_hop = path[1];
         let link_id = self.alloc_link_circ_id();
         let hs = self.make_handshake(circ);
+
+        // Flow bookkeeping and the workload's timers.
+        for (i, spec) in streams.iter().enumerate() {
+            let flow = &mut self.flows[spec.flow.index()];
+            flow.carried_by += 1;
+            if flow.arrival_at.is_none() {
+                flow.arrival_at = Some(ctx.now() + spec.offset);
+            }
+            if !spec.offset.is_zero() {
+                ctx.schedule_in(
+                    spec.offset,
+                    TorEvent::StreamArrival {
+                        circ,
+                        stream: u32::try_from(i).expect("stream index fits u32"),
+                    },
+                );
+            }
+        }
+        if let Some(delay) = teardown_after {
+            ctx.schedule_in(delay, TorEvent::Teardown(circ));
+        }
 
         let hop_ctx = HopCtx {
             circuit: circ,
@@ -67,7 +106,7 @@ impl TorNetwork {
             "circuit must start at a client"
         );
         let mut nc = NodeCircuit::new(circ, 0);
-        nc.client = Some(ClientApp::new(path, file_bytes, ctx.now()));
+        nc.client = Some(ClientApp::new(path, &streams, ctx.now()));
         let mut hopdir = HopDir::new(first_hop, link_id, transport);
         hopdir.enqueue(QueuedCell {
             cell: Cell::create(CircuitId::CONTROL, hs),
@@ -86,6 +125,53 @@ impl TorNetwork {
             Direction::Backward,
         );
         let nc = self.nodes[client_id.index()].circuit_at_mut(local);
+        Self::pump_dir(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            &mut self.payload_pool,
+            ctx,
+            my_net,
+            nc,
+            Direction::Forward,
+        );
+    }
+
+    /// A staggered stream's arrival offset elapsed (from a
+    /// [`TorEvent::StreamArrival`]): issue its BEGIN if the circuit is
+    /// up. If the circuit is still building, the BEGIN is flushed when
+    /// the build completes; if it was torn down, the flow re-arrives on
+    /// the rebuilt incarnation.
+    pub(super) fn stream_arrival(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        circ: CircId,
+        stream: u32,
+    ) {
+        let client_id = self.circuits[circ.index()].path[0];
+        let node = &mut self.nodes[client_id.index()];
+        let my_net = node.net_node;
+        let Some(local) = node.local_idx(circ) else {
+            return; // torn down mid-stagger; the rebuild re-attaches the flow
+        };
+        let nc = node.circuit_at_mut(local);
+        if nc.closed {
+            return;
+        }
+        let app = nc.client.as_mut().expect("client app exists");
+        let Some(s) = app.streams.get_mut(stream as usize) else {
+            Self::protocol_error(&mut self.stats, "arrival for unknown stream");
+            return;
+        };
+        s.arrived = true;
+        if app.stage != ClientStage::Established || s.begin_sent {
+            return;
+        }
+        s.begin_sent = true;
+        let qc = Self::begin_cell(s.id, app.server_hop());
+        nc.fwd.as_mut().expect("client forward hop").enqueue(qc);
         Self::pump_dir(
             &mut self.net,
             &mut self.link_sched,
@@ -122,6 +208,7 @@ impl TorNetwork {
             return;
         };
         let is_server = position == info.path.len() - 1;
+        let expected_streams = info.workload.streams.len();
 
         let hop_ctx = HopCtx {
             circuit: global,
@@ -137,7 +224,7 @@ impl TorNetwork {
         nc.pred_circ_id = Some(link_id);
         nc.crypt = Some(RelayCrypt::new(LayerKey::from_handshake(&handshake)));
         if is_server {
-            nc.server = Some(ServerApp::default());
+            nc.server = Some(ServerApp::new(expected_streams));
         }
         let mut bwd = HopDir::new(from, link_id, transport);
         bwd.enqueue(QueuedCell {
@@ -211,6 +298,11 @@ impl TorNetwork {
         );
         let node = &mut self.nodes[to.index()];
         let nc = node.circuit_at_mut(local);
+        if nc.closed {
+            // Teardown raced the build; the handshake answer dies here
+            // (it was confirmed above so the successor's window drains).
+            return;
+        }
         if nc.client.is_some() {
             self.client_advance_build(ctx, to, global, local, handshake);
         } else {
@@ -258,7 +350,7 @@ impl TorNetwork {
     }
 
     /// The client gained a key for one more hop: extend further, or open
-    /// the stream if the circuit is complete.
+    /// the arrived streams if the circuit is complete.
     pub(super) fn client_advance_build(
         &mut self,
         ctx: &mut Context<'_, TorEvent>,
@@ -276,7 +368,8 @@ impl TorNetwork {
         app.route.push_layer(LayerKey::from_handshake(&handshake));
         let built = app.route.len();
         let needed = app.path.len() - 1;
-        let qc = if built < needed {
+        let mut qcs = Vec::new();
+        if built < needed {
             let target = app.path[built + 1];
             app.stage = ClientStage::Building { next: built + 1 };
             let mut data = Vec::with_capacity(4 + HANDSHAKE_LEN);
@@ -288,33 +381,29 @@ impl TorNetwork {
                 digest: payload_digest(&data),
                 data,
             };
-            QueuedCell {
+            qcs.push(QueuedCell {
                 cell: Cell {
                     circ: CircuitId::CONTROL,
                     body: CellBody::Relay(rc),
                 },
                 confirm: None,
                 wrap_for_hop: Some(built - 1),
-            }
+            });
         } else {
-            app.stage = ClientStage::Opening;
-            let data = b"server:443".to_vec();
-            let rc = RelayCell {
-                cmd: RelayCommand::Begin,
-                stream: StreamId(1),
-                digest: payload_digest(&data),
-                data,
-            };
-            QueuedCell {
-                cell: Cell {
-                    circ: CircuitId::CONTROL,
-                    body: CellBody::Relay(rc),
-                },
-                confirm: None,
-                wrap_for_hop: Some(needed - 1),
+            // Circuit complete: open every stream that has already
+            // arrived. Later arrivals BEGIN from their own events.
+            app.stage = ClientStage::Established;
+            let server_hop = app.server_hop();
+            for s in app.streams.iter_mut().filter(|s| s.arrived) {
+                debug_assert!(!s.begin_sent, "BEGIN before the circuit was built");
+                s.begin_sent = true;
+                qcs.push(Self::begin_cell(s.id, server_hop));
             }
-        };
-        nc.fwd.as_mut().expect("client forward hop").enqueue(qc);
+        }
+        let fwd = nc.fwd.as_mut().expect("client forward hop");
+        for qc in qcs {
+            fwd.enqueue(qc);
+        }
         Self::pump_dir(
             &mut self.net,
             &mut self.link_sched,
@@ -391,7 +480,134 @@ impl TorNetwork {
         );
     }
 
-    /// DESTROY: mark the circuit closed and propagate.
+    /// Discards everything queued on one hop direction of a closing
+    /// circuit: owed feedback is still paid (upstream windows must
+    /// drain) and DATA payload buffers return to the pool.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_hopdir(
+        net: &mut Net<crate::wire::WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        router: &Router,
+        net_node_of: &[NodeId],
+        stats: &mut WorldStats,
+        pool: &mut PayloadPool,
+        ctx: &mut Context<'_, TorEvent>,
+        my_net: NodeId,
+        hopdir: &mut HopDir,
+    ) {
+        while let Some(qc) = hopdir.queue.pop_front() {
+            stats.cells_drained += 1;
+            if let Some(cf) = qc.confirm {
+                Self::send_feedback(net, link_sched, router, net_node_of, stats, ctx, my_net, cf);
+            }
+            if let CellBody::Relay(rc) = qc.cell.body {
+                pool.reclaim(rc.data);
+            }
+        }
+    }
+
+    /// Marks a participation closed: queues drain (paying confirms,
+    /// reclaiming payloads) and the client stops generating cells.
+    #[allow(clippy::too_many_arguments)]
+    fn close_participation(
+        net: &mut Net<crate::wire::WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        router: &Router,
+        net_node_of: &[NodeId],
+        stats: &mut WorldStats,
+        pool: &mut PayloadPool,
+        ctx: &mut Context<'_, TorEvent>,
+        my_net: NodeId,
+        nc: &mut NodeCircuit,
+    ) {
+        debug_assert!(!nc.closed, "closing twice");
+        nc.closed = true;
+        if let Some(app) = nc.client.as_mut() {
+            app.stage = ClientStage::Closed;
+        }
+        if let Some(h) = nc.fwd.as_mut() {
+            Self::drain_hopdir(
+                net,
+                link_sched,
+                router,
+                net_node_of,
+                stats,
+                pool,
+                ctx,
+                my_net,
+                h,
+            );
+        }
+        if let Some(h) = nc.bwd.as_mut() {
+            Self::drain_hopdir(
+                net,
+                link_sched,
+                router,
+                net_node_of,
+                stats,
+                pool,
+                ctx,
+                my_net,
+                h,
+            );
+        }
+    }
+
+    /// Enqueues a DESTROY on `dir`'s hop and pumps it, returning whether
+    /// a neighbour was actually notified. A hop whose transport never
+    /// sent anything (a drained, never-sent CREATE) has no peer to
+    /// notify — the wave reflects instead.
+    #[allow(clippy::too_many_arguments)]
+    fn propagate_destroy(
+        net: &mut Net<crate::wire::WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        router: &Router,
+        net_node_of: &[NodeId],
+        stats: &mut WorldStats,
+        pool: &mut PayloadPool,
+        ctx: &mut Context<'_, TorEvent>,
+        my_net: NodeId,
+        nc: &mut NodeCircuit,
+        dir: Direction,
+        reason: u8,
+    ) -> bool {
+        let hopdir = match dir {
+            Direction::Forward => nc.fwd.as_mut(),
+            Direction::Backward => nc.bwd.as_mut(),
+        };
+        let Some(hd) = hopdir else {
+            return false;
+        };
+        if hd.transport.next_seq() == 0 && hd.queue.is_empty() {
+            // Never contacted that neighbour (its CREATE/CREATED was
+            // drained unsent): nothing to tear down there.
+            return false;
+        }
+        hd.enqueue(QueuedCell {
+            cell: Cell::destroy(CircuitId::CONTROL, reason),
+            confirm: None,
+            wrap_for_hop: None,
+        });
+        stats.destroys_sent += 1;
+        Self::pump_dir(
+            net,
+            link_sched,
+            router,
+            net_node_of,
+            stats,
+            pool,
+            ctx,
+            my_net,
+            nc,
+            dir,
+        );
+        true
+    }
+
+    /// DESTROY: close the circuit and process the teardown wave. A
+    /// forward-travelling DESTROY continues toward the server (or
+    /// reflects at the end of the built path); the backward echo
+    /// continues toward the client.
     pub(super) fn handle_destroy(
         &mut self,
         ctx: &mut Context<'_, TorEvent>,
@@ -401,7 +617,7 @@ impl TorNetwork {
         reason: u8,
         hop_seq: u64,
     ) {
-        let Some((_global, local, _)) = self.route_of(to, from, link_id) else {
+        let Some((_global, local, wave)) = self.route_of(to, from, link_id) else {
             Self::protocol_error(&mut self.stats, "DESTROY on unknown route");
             return;
         };
@@ -422,29 +638,8 @@ impl TorNetwork {
         );
         let node = &mut self.nodes[to.index()];
         let nc = node.circuit_at_mut(local);
-        if nc.closed {
-            return;
-        }
-        nc.closed = true;
-        // Propagate away from the sender.
-        let propagate_dir = match nc.direction_toward(from) {
-            // The hop *toward* the sender is where it came from; continue
-            // in the other direction.
-            Some(Direction::Forward) => Direction::Backward,
-            Some(Direction::Backward) => Direction::Forward,
-            None => return,
-        };
-        let hopdir = match propagate_dir {
-            Direction::Forward => nc.fwd.as_mut(),
-            Direction::Backward => nc.bwd.as_mut(),
-        };
-        if let Some(hd) = hopdir {
-            hd.enqueue(QueuedCell {
-                cell: Cell::destroy(CircuitId::CONTROL, reason),
-                confirm: None,
-                wrap_for_hop: None,
-            });
-            Self::pump_dir(
+        if !nc.closed {
+            Self::close_participation(
                 &mut self.net,
                 &mut self.link_sched,
                 &self.router,
@@ -454,9 +649,66 @@ impl TorNetwork {
                 ctx,
                 my_net,
                 nc,
-                propagate_dir,
             );
         }
+        match wave {
+            Direction::Forward => {
+                debug_assert!(!nc.destroy_fwd, "duplicate forward DESTROY wave");
+                nc.destroy_fwd = true;
+                let propagated = Self::propagate_destroy(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    &mut self.payload_pool,
+                    ctx,
+                    my_net,
+                    nc,
+                    Direction::Forward,
+                    reason,
+                );
+                if !propagated {
+                    // End of the built path: reflect the echo.
+                    nc.destroy_bwd = true;
+                    Self::propagate_destroy(
+                        &mut self.net,
+                        &mut self.link_sched,
+                        &self.router,
+                        &self.net_node_of,
+                        &mut self.stats,
+                        &mut self.payload_pool,
+                        ctx,
+                        my_net,
+                        nc,
+                        Direction::Backward,
+                        reason,
+                    );
+                }
+            }
+            Direction::Backward => {
+                debug_assert!(!nc.destroy_bwd, "duplicate backward DESTROY wave");
+                nc.destroy_bwd = true;
+                let propagated = Self::propagate_destroy(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    &mut self.payload_pool,
+                    ctx,
+                    my_net,
+                    nc,
+                    Direction::Backward,
+                    reason,
+                );
+                if !propagated {
+                    // The client: the echo completed the round trip.
+                    nc.destroy_fwd = true;
+                }
+            }
+        }
+        self.maybe_reclaim(ctx, to, local);
     }
 
     /// Client-initiated teardown (from a [`TorEvent::Teardown`]).
@@ -464,31 +716,127 @@ impl TorNetwork {
         let client_id = self.circuits[circ.index()].path[0];
         let node = &mut self.nodes[client_id.index()];
         let my_net = node.net_node;
-        let Some(nc) = node.circuit_mut(circ) else {
+        let Some(local) = node.local_idx(circ) else {
             return;
         };
+        let nc = node.circuit_at_mut(local);
         if nc.closed {
             return;
         }
-        nc.closed = true;
-        if let Some(fwd) = nc.fwd.as_mut() {
-            fwd.enqueue(QueuedCell {
-                cell: Cell::destroy(CircuitId::CONTROL, DESTROY_REASON_FINISHED),
-                confirm: None,
-                wrap_for_hop: None,
-            });
-            Self::pump_dir(
-                &mut self.net,
-                &mut self.link_sched,
-                &self.router,
-                &self.net_node_of,
-                &mut self.stats,
-                &mut self.payload_pool,
-                ctx,
-                my_net,
-                nc,
-                Direction::Forward,
-            );
+        Self::close_participation(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            &mut self.payload_pool,
+            ctx,
+            my_net,
+            nc,
+        );
+        nc.destroy_fwd = true;
+        let propagated = Self::propagate_destroy(
+            &mut self.net,
+            &mut self.link_sched,
+            &self.router,
+            &self.net_node_of,
+            &mut self.stats,
+            &mut self.payload_pool,
+            ctx,
+            my_net,
+            nc,
+            Direction::Forward,
+            DESTROY_REASON_FINISHED,
+        );
+        if !propagated {
+            // No neighbour was ever contacted; the teardown is already
+            // complete.
+            nc.destroy_bwd = true;
         }
+        self.maybe_reclaim(ctx, client_id, local);
+    }
+
+    /// Reclaims a participation's slots once teardown quiescence is
+    /// proven (see [`NodeCircuit::reclaimable`]): the slab slot returns
+    /// to the node's free list and this node's route ends are cleared
+    /// (freeing the link-local id once both ends are gone). At the
+    /// client this also drives the churn engine: unfinished flows
+    /// schedule a rebuild.
+    pub(super) fn maybe_reclaim(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        node_id: OverlayId,
+        local: u32,
+    ) {
+        let node = &mut self.nodes[node_id.index()];
+        let nc = node.circuit_at(local);
+        if nc.is_vacant() || !nc.reclaimable() {
+            return;
+        }
+        let circ = nc.circ;
+        let is_client = nc.client.is_some();
+        let link_ids = [
+            nc.fwd.as_ref().map(|h| h.link_circ_id),
+            nc.bwd.as_ref().map(|h| h.link_circ_id),
+        ];
+        node.remove_circuit(local);
+        for id in link_ids.into_iter().flatten() {
+            self.clear_route_end(id, node_id);
+        }
+        self.stats.slots_reclaimed += 1;
+        if is_client {
+            let info = &self.circuits[circ.index()];
+            let unfinished = info
+                .workload
+                .streams
+                .iter()
+                .any(|s| !self.flows[s.flow.index()].complete());
+            if unfinished {
+                ctx.schedule_in(info.workload.rebuild_delay, TorEvent::Rebuild(circ));
+            }
+        }
+    }
+
+    /// Re-attaches a torn-down circuit's unfinished flows to a fresh
+    /// circuit over the same path (from a [`TorEvent::Rebuild`]). Each
+    /// flow resumes at its remaining byte count; flows whose arrival
+    /// offset has not yet elapsed keep their original arrival time.
+    pub(super) fn rebuild_circuit(&mut self, ctx: &mut Context<'_, TorEvent>, old: CircId) {
+        let now = ctx.now();
+        let old_info = &self.circuits[old.index()];
+        let path = old_info.path.clone();
+        let incarnation = old_info.incarnation + 1;
+        let mut streams = Vec::new();
+        for s in &old_info.workload.streams {
+            let f = &self.flows[s.flow.index()];
+            if f.complete() {
+                continue;
+            }
+            let offset = f
+                .arrival_at
+                .map_or(SimDuration::ZERO, |at| at.saturating_duration_since(now));
+            streams.push(StreamSpec {
+                flow: s.flow,
+                bytes: f.remaining(),
+                offset,
+            });
+        }
+        if streams.is_empty() {
+            return;
+        }
+        let workload = CircuitWorkload {
+            streams,
+            teardown_after: old_info
+                .workload
+                .teardown_after
+                .iter()
+                .skip(1)
+                .copied()
+                .collect(),
+            rebuild_delay: old_info.workload.rebuild_delay,
+        };
+        self.stats.rebuilds += 1;
+        let new = self.add_circuit_with_workload(path, workload, incarnation);
+        self.start_circuit(ctx, new);
     }
 }

@@ -1,12 +1,15 @@
 //! Pipeline stage — endpoint applications (the data plane's two ends).
 //!
-//! The client side generates the transfer workload: once CONNECTED
-//! arrives it pumps DATA cells (wrapped for the server's onion layer,
-//! window permitting) and finishes with a single END. The server side
-//! consumes recognized forward cells — answering BEGIN with CONNECTED,
-//! counting and verifying DATA, and timestamping completion. Cells are
-//! *generated lazily* inside the egress pump so that onion-layer counters
-//! advance in exact send order.
+//! The client side generates the transfer workload: each stream of the
+//! circuit's workload opens with its own BEGIN once it has arrived and
+//! the circuit is built; after its CONNECTED the client pumps its DATA
+//! cells (wrapped for the server's onion layer, window permitting),
+//! round-robining generation across the open streams, and finishes each
+//! stream with one END. The server side consumes recognized forward
+//! cells — answering BEGIN with CONNECTED, counting and verifying DATA
+//! per stream (and crediting the stream's flow), and timestamping
+//! completion. Cells are *generated lazily* inside the egress pump so
+//! that onion-layer counters advance in exact send order.
 
 use simcore::sim::Context;
 use simcore::time::SimTime;
@@ -23,10 +26,33 @@ use crate::pool::PayloadPool;
 use super::{fill_pattern_extend, verify_fill_pattern, TorNetwork, END_REASON_DONE};
 
 impl TorNetwork {
-    /// Produces the next client-originated cell (DATA, then one END), or
-    /// `None` if the client has nothing to send. DATA payload buffers
-    /// come from `pool` (zero-allocation steady state: the server
-    /// reclaims every consumed payload into the same pool).
+    /// The BEGIN cell opening stream `sid` (recognized by the server's
+    /// onion layer at `server_hop`).
+    pub(super) fn begin_cell(sid: StreamId, server_hop: usize) -> QueuedCell {
+        // ≥ 8 payload bytes so leaky-pipe recognition stays sound (a
+        // near-empty payload could spuriously "recognize" early).
+        let data = b"server:443".to_vec();
+        let rc = RelayCell {
+            cmd: RelayCommand::Begin,
+            stream: sid,
+            digest: payload_digest(&data),
+            data,
+        };
+        QueuedCell {
+            cell: Cell {
+                circ: CircuitId::CONTROL,
+                body: CellBody::Relay(rc),
+            },
+            confirm: None,
+            wrap_for_hop: Some(server_hop),
+        }
+    }
+
+    /// Produces the next client-originated cell — DATA round-robined
+    /// across the open streams, or a stream's trailing END — or `None`
+    /// if no stream has anything to send. DATA payload buffers come
+    /// from `pool` (zero-allocation steady state: the server reclaims
+    /// every consumed payload into the same pool).
     pub(super) fn generate_client_cell(
         client: Option<&mut ClientApp>,
         pool: &mut PayloadPool,
@@ -34,51 +60,64 @@ impl TorNetwork {
         now: SimTime,
     ) -> Option<QueuedCell> {
         let app = client?;
-        if app.stage != ClientStage::Transferring {
+        if app.stage != ClientStage::Established {
             return None;
         }
         let server_hop = app.server_hop();
-        if app.sent_cells < app.total_cells {
-            let idx = app.sent_cells;
-            let len = app.cell_len(idx);
-            let mut payload = pool.acquire();
-            fill_pattern_extend(circ, idx, len, &mut payload);
-            let rc = RelayCell::data(StreamId(1), payload);
-            app.sent_cells += 1;
-            if app.first_data_at.is_none() {
-                app.first_data_at = Some(now);
+        let n = app.streams.len();
+        for k in 0..n {
+            let i = (app.rr_cursor + k) % n;
+            let s = &mut app.streams[i];
+            if !(s.arrived && s.open) {
+                continue;
             }
-            Some(QueuedCell {
-                cell: Cell {
-                    circ: CircuitId::CONTROL, // restamped at send
-                    body: CellBody::Relay(rc),
-                },
-                confirm: None,
-                wrap_for_hop: Some(server_hop),
-            })
-        } else if !app.end_sent {
-            app.end_sent = true;
-            app.stage = ClientStage::Finished;
-            // ≥ 8 payload bytes so leaky-pipe recognition stays sound (a
-            // near-empty payload could spuriously "recognize" early).
-            let data = vec![END_REASON_DONE; 8];
-            let rc = RelayCell {
-                cmd: RelayCommand::End,
-                stream: StreamId(1),
-                digest: payload_digest(&data),
-                data,
-            };
-            Some(QueuedCell {
-                cell: Cell {
-                    circ: CircuitId::CONTROL,
-                    body: CellBody::Relay(rc),
-                },
-                confirm: None,
-                wrap_for_hop: Some(server_hop),
-            })
-        } else {
-            None
+            if s.sent_cells < s.total_cells {
+                let len = s.cell_len(s.sent_cells);
+                s.sent_cells += 1;
+                let sid = s.id;
+                // The fill pattern indexes by the circuit-aggregate send
+                // counter: the single-path FIFO delivers cells in send
+                // order, so the server verifies with its (0-based)
+                // aggregate arrival counter no matter how streams
+                // interleave.
+                let idx = app.sent_cells;
+                app.sent_cells += 1;
+                let mut payload = pool.acquire();
+                fill_pattern_extend(circ, idx, len, &mut payload);
+                if app.first_data_at.is_none() {
+                    app.first_data_at = Some(now);
+                }
+                app.rr_cursor = (i + 1) % n;
+                return Some(QueuedCell {
+                    cell: Cell {
+                        circ: CircuitId::CONTROL, // restamped at send
+                        body: CellBody::Relay(RelayCell::data(sid, payload)),
+                    },
+                    confirm: None,
+                    wrap_for_hop: Some(server_hop),
+                });
+            } else if !s.end_sent {
+                s.end_sent = true;
+                let sid = s.id;
+                app.rr_cursor = (i + 1) % n;
+                let data = vec![END_REASON_DONE; 8];
+                let rc = RelayCell {
+                    cmd: RelayCommand::End,
+                    stream: sid,
+                    digest: payload_digest(&data),
+                    data,
+                };
+                return Some(QueuedCell {
+                    cell: Cell {
+                        circ: CircuitId::CONTROL,
+                        body: CellBody::Relay(rc),
+                    },
+                    confirm: None,
+                    wrap_for_hop: Some(server_hop),
+                });
+            }
         }
+        None
     }
 
     /// The server recognized a forward cell.
@@ -97,7 +136,15 @@ impl TorNetwork {
         let app = nc.server.as_mut().expect("server app exists");
         match rc.cmd {
             RelayCommand::Begin => {
-                app.stream_open = true;
+                let Some(stream) = app.stream_mut(rc.stream) else {
+                    Self::protocol_error(&mut self.stats, "BEGIN outside the workload");
+                    return;
+                };
+                if stream.open {
+                    Self::protocol_error(&mut self.stats, "duplicate BEGIN for a stream");
+                    return;
+                }
+                stream.open = true;
                 let data = vec![0xC0u8; 8];
                 let mut reply = RelayCell {
                     cmd: RelayCommand::Connected,
@@ -134,26 +181,60 @@ impl TorNetwork {
                 );
             }
             RelayCommand::Data => {
-                if !app.stream_open {
+                let Some(stream) = app.stream_mut(rc.stream).filter(|s| s.open) else {
                     Self::protocol_error(&mut self.stats, "DATA before BEGIN");
                     return;
-                }
-                if verify && !verify_fill_pattern(circ, app.cells_received, &rc.data) {
+                };
+                stream.cells_received += 1;
+                stream.bytes_received += rc.data.len() as u64;
+                // Aggregate arrival counter = fill-pattern index (the
+                // counterpart of the client's aggregate send counter).
+                let idx = app.cells_received;
+                app.cells_received += 1;
+                if verify && !verify_fill_pattern(circ, idx, &rc.data) {
                     app.payload_errors += 1;
                     debug_assert!(false, "payload verification failed");
                 }
-                app.cells_received += 1;
                 app.bytes_received += rc.data.len() as u64;
                 if app.first_byte_at.is_none() {
                     app.first_byte_at = Some(ctx.now());
                 }
                 app.last_byte_at = Some(ctx.now());
+                // Credit the stream's flow — the accounting that
+                // survives circuit churn.
+                let sidx = (rc.stream.0 - 1) as usize;
+                let info = &self.circuits[circ.index()];
+                if let Some(spec) = info.workload.streams.get(sidx) {
+                    let flow = &mut self.flows[spec.flow.index()];
+                    flow.delivered += rc.data.len() as u64;
+                    flow.cells_delivered += 1;
+                    if flow.first_byte_at.is_none() {
+                        flow.first_byte_at = Some(ctx.now());
+                    }
+                    debug_assert!(
+                        flow.delivered <= flow.requested,
+                        "flow over-delivered: duplicated bytes"
+                    );
+                    if flow.complete() && flow.completed_at.is_none() {
+                        flow.completed_at = Some(ctx.now());
+                    }
+                } else {
+                    Self::protocol_error(&mut self.stats, "DATA for stream outside the workload");
+                }
                 // The payload dies here; recycle its buffer into the pool
                 // the client side draws from.
                 self.payload_pool.reclaim(rc.data);
             }
             RelayCommand::End => {
-                app.ended = true;
+                let Some(stream) = app.stream_mut(rc.stream).filter(|s| s.open) else {
+                    Self::protocol_error(&mut self.stats, "END before BEGIN");
+                    return;
+                };
+                if !stream.ended {
+                    stream.ended = true;
+                    app.streams_ended += 1;
+                    app.ended = app.streams_ended == app.expected_streams;
+                }
             }
             _ => {
                 Self::protocol_error(&mut self.stats, "unexpected relay command at server");
@@ -194,12 +275,22 @@ impl TorNetwork {
                 let my_net = node.net_node;
                 let nc = node.circuit_at_mut(local);
                 let app = nc.client.as_mut().expect("client app");
-                if app.stage != ClientStage::Opening {
+                if app.stage != ClientStage::Established {
                     Self::protocol_error(&mut self.stats, "CONNECTED in wrong stage");
                     return;
                 }
-                app.stage = ClientStage::Transferring;
-                app.connected_at = Some(ctx.now());
+                let Some(s) = app.stream_mut(rc.stream) else {
+                    Self::protocol_error(&mut self.stats, "CONNECTED for unknown stream");
+                    return;
+                };
+                if s.open || !s.begin_sent {
+                    Self::protocol_error(&mut self.stats, "unexpected CONNECTED");
+                    return;
+                }
+                s.open = true;
+                if app.connected_at.is_none() {
+                    app.connected_at = Some(ctx.now());
+                }
                 Self::pump_dir(
                     &mut self.net,
                     &mut self.link_sched,

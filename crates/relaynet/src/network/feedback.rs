@@ -84,6 +84,7 @@ impl TorNetwork {
                 return;
             }
         }
+        let closed = nc.closed;
         Self::pump_dir(
             &mut self.net,
             &mut self.link_sched,
@@ -96,5 +97,10 @@ impl TorNetwork {
             nc,
             dir,
         );
+        if closed {
+            // This confirm may have been the last outstanding cell of a
+            // torn-down circuit — check the quiescence condition.
+            self.maybe_reclaim(ctx, to, local);
+        }
     }
 }

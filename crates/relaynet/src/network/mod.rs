@@ -71,6 +71,7 @@ use crate::pool::PayloadPool;
 use crate::router::Router;
 use crate::scheduler::LinkScheduler;
 use crate::wire::WireFrame;
+use crate::workload::{CircuitWorkload, FlowId, FlowState};
 
 /// Reason code carried by the END cell when a transfer finishes normally.
 pub const END_REASON_DONE: u8 = 1;
@@ -108,6 +109,17 @@ pub struct WorldStats {
     pub protocol_errors: u64,
     /// Relay cells dropped because their circuit was torn down.
     pub cells_dropped_closed: u64,
+    /// DESTROY cells handed to egress queues (teardown wave + echo).
+    /// One full teardown of an `n`-node circuit sends exactly
+    /// `2 * (n - 1)`: one per hop per wave direction.
+    pub destroys_sent: u64,
+    /// Queued cells discarded when a circuit closed (their owed
+    /// feedback is still paid, so upstream windows drain).
+    pub cells_drained: u64,
+    /// Node-circuit slab slots reclaimed after full teardown quiescence.
+    pub slots_reclaimed: u64,
+    /// Circuit rebuilds performed by the churn engine.
+    pub rebuilds: u64,
 }
 
 /// The deterministic fill pattern for DATA payloads: byte `i` of cell
@@ -182,8 +194,15 @@ pub struct TorNetwork {
     /// e.g. the star hub). Dense counterpart of `net_node_of`.
     pub(super) overlay_of_net: Vec<u32>,
     pub(super) circuits: Vec<CircuitInfo>,
+    /// Application-level requests, tracked across circuit incarnations
+    /// (see [`crate::workload`]).
+    pub(super) flows: Vec<FlowState>,
     /// Route table indexed by link-local circuit id (see [`LinkRoute`]).
     pub(super) link_routes: Vec<LinkRoute>,
+    /// Link-local ids whose both route ends were reclaimed, awaiting
+    /// reuse (LIFO for determinism). Churn recycles ids instead of
+    /// growing the route table.
+    pub(super) free_link_ids: Vec<CircuitId>,
     pub(super) factory: CcFactory,
     pub(super) cfg: WorldConfig,
     pub(super) rng: SimRng,
@@ -215,9 +234,11 @@ impl TorNetwork {
             net_node_of: Vec::new(),
             overlay_of_net: Vec::new(),
             circuits: Vec::new(),
+            flows: Vec::new(),
             // Id 0 is reserved (CircuitId::CONTROL); keep the table
             // aligned with minted ids.
             link_routes: vec![LinkRoute::default()],
+            free_link_ids: Vec::new(),
             factory,
             cfg,
             rng,
@@ -251,6 +272,22 @@ impl TorNetwork {
         } else {
             debug_assert!(entry.b.is_none(), "link circuit id has two ends only");
             entry.b = Some(end);
+        }
+    }
+
+    /// Clears `node`'s end of link-local id `link_id` (teardown
+    /// reclamation). Once both ends are gone the id returns to the free
+    /// list and a later circuit build re-mints it.
+    pub(super) fn clear_route_end(&mut self, link_id: CircuitId, node: OverlayId) {
+        let entry = &mut self.link_routes[link_id.0 as usize];
+        if entry.a.is_some_and(|e| e.node == node) {
+            entry.a = None;
+        }
+        if entry.b.is_some_and(|e| e.node == node) {
+            entry.b = None;
+        }
+        if entry.a.is_none() && entry.b.is_none() {
+            self.free_link_ids.push(link_id);
         }
     }
 
@@ -289,9 +326,31 @@ impl TorNetwork {
         id
     }
 
-    /// Registers a circuit over `path` transferring `file_bytes`; start it
-    /// by scheduling [`TorEvent::StartCircuit`].
+    /// Registers a new application-level flow of `requested` bytes.
+    pub fn add_flow(&mut self, requested: u64) -> FlowId {
+        let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
+        self.flows.push(FlowState::new(requested));
+        id
+    }
+
+    /// Registers a circuit over `path` carrying a single immediate bulk
+    /// flow of `file_bytes`; start it by scheduling
+    /// [`TorEvent::StartCircuit`].
     pub fn add_circuit(&mut self, path: Vec<OverlayId>, file_bytes: u64) -> CircId {
+        let flow = self.add_flow(file_bytes);
+        self.add_circuit_with_workload(path, CircuitWorkload::bulk(flow, file_bytes), 0)
+    }
+
+    /// Registers a circuit over `path` carrying a resolved workload
+    /// (streams must reference flows registered via
+    /// [`TorNetwork::add_flow`]). `incarnation` counts rebuild cycles
+    /// (0 = original build).
+    pub fn add_circuit_with_workload(
+        &mut self,
+        path: Vec<OverlayId>,
+        workload: CircuitWorkload,
+        incarnation: u32,
+    ) -> CircId {
         assert!(
             path.len() >= 2,
             "a circuit needs at least client and server"
@@ -299,11 +358,17 @@ impl TorNetwork {
         for &n in &path {
             assert!(n.index() < self.nodes.len(), "unknown overlay node on path");
         }
+        assert!(!workload.streams.is_empty(), "a circuit needs a stream");
+        for s in &workload.streams {
+            assert!(s.flow.index() < self.flows.len(), "unregistered flow");
+        }
         let id = CircId(u32::try_from(self.circuits.len()).expect("too many circuits"));
         self.circuits.push(CircuitInfo {
             path,
-            file_bytes,
+            file_bytes: workload.total_bytes(),
             started_at: None,
+            workload,
+            incarnation,
         });
         id
     }
@@ -328,9 +393,42 @@ impl TorNetwork {
         &self.circuits[circ.index()]
     }
 
-    /// Number of registered circuits.
+    /// Number of registered circuits (every incarnation counts).
     pub fn circuit_count(&self) -> usize {
         self.circuits.len()
+    }
+
+    /// All application-level flows.
+    pub fn flows(&self) -> &[FlowState] {
+        &self.flows
+    }
+
+    /// One flow's state.
+    pub fn flow(&self, flow: FlowId) -> &FlowState {
+        &self.flows[flow.index()]
+    }
+
+    /// Request-to-last-byte completion times of all completed flows —
+    /// the per-stream CDF of a workload experiment.
+    pub fn flow_completion_cdf(&self) -> Option<simstats::cdf::Cdf> {
+        simstats::cdf::Cdf::from_samples(
+            self.flows
+                .iter()
+                .filter_map(|f| f.completion_time())
+                .map(|d| d.as_secs_f64())
+                .collect(),
+        )
+    }
+
+    /// Size of the link-route table (slots, live or free). Stays flat
+    /// across churn cycles once the free list primes.
+    pub fn link_route_slots(&self) -> usize {
+        self.link_routes.len()
+    }
+
+    /// Reclaimed link-local ids awaiting reuse.
+    pub fn free_link_routes(&self) -> usize {
+        self.free_link_ids.len()
     }
 
     /// An overlay node.
@@ -456,6 +554,8 @@ impl World for TorNetwork {
             }
             TorEvent::StartCircuit(circ) => self.start_circuit(ctx, circ),
             TorEvent::Teardown(circ) => self.teardown(ctx, circ),
+            TorEvent::StreamArrival { circ, stream } => self.stream_arrival(ctx, circ, stream),
+            TorEvent::Rebuild(circ) => self.rebuild_circuit(ctx, circ),
             TorEvent::SetLinkRate { link, rate } => self.net.set_link_rate(link, rate),
         }
     }

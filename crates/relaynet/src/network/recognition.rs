@@ -94,8 +94,8 @@ impl TorNetwork {
         };
 
         if nc.closed {
-            // Torn-down circuit: confirm (so the sender's window drains)
-            // and drop.
+            // Torn-down circuit: confirm (so the sender's window drains),
+            // return the payload buffer to the pool, and drop.
             self.stats.cells_dropped_closed += 1;
             Self::send_feedback(
                 &mut self.net,
@@ -107,6 +107,7 @@ impl TorNetwork {
                 my_net,
                 confirm,
             );
+            self.payload_pool.reclaim(rc.data);
             return;
         }
 

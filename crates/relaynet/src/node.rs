@@ -10,20 +10,23 @@
 //! straight to that index through the network-level route table
 //! (`relaynet::network`) and never walks a map. A small `BTreeMap` keyed
 //! by the global [`CircId`] serves only cold paths — setup, teardown, and
-//! telemetry. (Deterministic by construction: nothing here is iterated in
-//! hash order.)
+//! telemetry. Torn-down participations are reclaimed through a free list
+//! (`remove_circuit`), so churning workloads reuse slots instead of
+//! growing the slab. (Deterministic by construction: nothing here is
+//! iterated in hash order.)
 
 use std::collections::{BTreeMap, VecDeque};
 
 use backtap::cc::CongestionControl;
 use backtap::hop::HopTransport;
 use netsim::net::NodeId;
-use simcore::time::SimTime;
+use simcore::time::{SimDuration, SimTime};
 use torcell::cell::{Cell, HANDSHAKE_LEN};
 use torcell::crypto::{OnionRoute, RelayCrypt};
-use torcell::ids::CircuitId;
+use torcell::ids::{CircuitId, StreamId};
 
 use crate::ids::{CircId, Direction, OverlayId};
+use crate::workload::{FlowId, StreamSpec};
 
 /// What kind of overlay participant a node is.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -112,9 +115,15 @@ impl HopDir {
         self.queue.push_back(qc);
         self.queue_hwm = self.queue_hwm.max(self.queue.len());
     }
+
+    /// `true` once every sent cell is confirmed and nothing is queued —
+    /// the per-direction half of the teardown quiescence condition.
+    pub fn quiescent(&self) -> bool {
+        self.queue.is_empty() && self.transport.outstanding() == 0
+    }
 }
 
-/// Client-side build/transfer state machine.
+/// Client-side circuit state machine.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ClientStage {
     /// Waiting for CREATED/EXTENDED of hop `next` (1 = first relay).
@@ -122,12 +131,66 @@ pub enum ClientStage {
         /// Index into the path of the hop being created.
         next: usize,
     },
-    /// BEGIN sent, waiting for CONNECTED.
-    Opening,
-    /// Bulk data flowing.
-    Transferring,
-    /// END sent; all data handed to the network.
-    Finished,
+    /// Circuit built; streams open (BEGIN/CONNECTED) and transfer
+    /// independently.
+    Established,
+    /// Torn down; no further cells are generated.
+    Closed,
+}
+
+/// Client-side state of one stream multiplexed over a circuit.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamState {
+    /// Stream id on the wire (1-based; 0 is the circuit-control stream).
+    pub id: StreamId,
+    /// The flow this stream carries.
+    pub flow: FlowId,
+    /// Payload bytes to transfer on this circuit incarnation.
+    pub bytes: u64,
+    /// DATA cells the transfer needs.
+    pub total_cells: u64,
+    /// DATA cells sent so far.
+    pub sent_cells: u64,
+    /// Arrival offset after circuit start.
+    pub offset: SimDuration,
+    /// The arrival offset has elapsed — the request exists.
+    pub arrived: bool,
+    /// BEGIN handed to the egress queue.
+    pub begin_sent: bool,
+    /// CONNECTED received — DATA may flow.
+    pub open: bool,
+    /// Trailing END handed to the egress queue.
+    pub end_sent: bool,
+}
+
+impl StreamState {
+    /// Creates client stream state from a resolved spec.
+    pub fn new(index: usize, spec: &StreamSpec) -> StreamState {
+        assert!(spec.bytes > 0, "cannot transfer an empty stream");
+        let payload = torcell::cell::RELAY_DATA_MAX as u64;
+        StreamState {
+            id: StreamId(u16::try_from(index + 1).expect("too many streams")),
+            flow: spec.flow,
+            bytes: spec.bytes,
+            total_cells: spec.bytes.div_ceil(payload),
+            sent_cells: 0,
+            offset: spec.offset,
+            arrived: spec.offset.is_zero(),
+            begin_sent: false,
+            open: false,
+            end_sent: false,
+        }
+    }
+
+    /// Bytes the DATA cell with per-stream index `idx` carries.
+    pub fn cell_len(&self, idx: u64) -> usize {
+        let payload = torcell::cell::RELAY_DATA_MAX as u64;
+        if idx + 1 < self.total_cells {
+            payload as usize
+        } else {
+            (self.bytes - (self.total_cells - 1) * payload) as usize
+        }
+    }
 }
 
 /// Client application state for one circuit.
@@ -138,84 +201,146 @@ pub struct ClientApp {
     pub route: OnionRoute,
     /// Build/transfer stage.
     pub stage: ClientStage,
-    /// Total payload bytes to transfer.
+    /// Total payload bytes across all streams.
     pub file_bytes: u64,
-    /// Total DATA cells the transfer needs.
-    pub total_cells: u64,
-    /// DATA cells sent so far.
+    /// Streams multiplexed over this circuit, in stream-id order.
+    pub streams: Vec<StreamState>,
+    /// Round-robin cursor for DATA generation across open streams.
+    pub rr_cursor: usize,
+    /// Circuit-aggregate DATA cells sent — the fill-pattern index (the
+    /// server verifies against its aggregate arrival count; delivery is
+    /// FIFO along the single path, so the counters agree).
     pub sent_cells: u64,
-    /// Whether the trailing END cell has been sent.
-    pub end_sent: bool,
     /// When the circuit build started.
     pub started_at: SimTime,
-    /// When CONNECTED arrived (transfer begins).
+    /// When the first CONNECTED arrived (the circuit carries traffic).
     pub connected_at: Option<SimTime>,
     /// When the first DATA cell was sent.
     pub first_data_at: Option<SimTime>,
 }
 
 impl ClientApp {
-    /// Creates client state for a transfer of `file_bytes` over `path`.
+    /// Creates client state for the given resolved streams over `path`.
     ///
     /// # Panics
     ///
-    /// Panics if the path is shorter than client + server or the file is
-    /// empty.
-    pub fn new(path: Vec<OverlayId>, file_bytes: u64, started_at: SimTime) -> ClientApp {
+    /// Panics if the path is shorter than client + server, there are no
+    /// streams, or any stream is empty.
+    pub fn new(path: Vec<OverlayId>, streams: &[StreamSpec], started_at: SimTime) -> ClientApp {
         assert!(
             path.len() >= 2,
             "a circuit needs at least client and server"
         );
-        assert!(file_bytes > 0, "cannot transfer an empty file");
-        let payload = torcell::cell::RELAY_DATA_MAX as u64;
+        assert!(!streams.is_empty(), "a circuit needs at least one stream");
+        let streams: Vec<StreamState> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StreamState::new(i, s))
+            .collect();
         ClientApp {
             path,
             route: OnionRoute::new(),
             stage: ClientStage::Building { next: 1 },
-            file_bytes,
-            total_cells: file_bytes.div_ceil(payload),
+            file_bytes: streams.iter().map(|s| s.bytes).sum(),
+            streams,
+            rr_cursor: 0,
             sent_cells: 0,
-            end_sent: false,
             started_at,
             connected_at: None,
             first_data_at: None,
         }
     }
 
-    /// Bytes the DATA cell with index `idx` carries.
-    pub fn cell_len(&self, idx: u64) -> usize {
-        let payload = torcell::cell::RELAY_DATA_MAX as u64;
-        if idx + 1 < self.total_cells {
-            payload as usize
-        } else {
-            let rem = self.file_bytes - (self.total_cells - 1) * payload;
-            rem as usize
-        }
+    /// Single-bulk-transfer convenience (the pre-workload shape): one
+    /// stream of `file_bytes`, arriving immediately.
+    pub fn bulk(path: Vec<OverlayId>, file_bytes: u64, started_at: SimTime) -> ClientApp {
+        assert!(file_bytes > 0, "cannot transfer an empty file");
+        let spec = StreamSpec {
+            flow: FlowId(0),
+            bytes: file_bytes,
+            offset: SimDuration::ZERO,
+        };
+        ClientApp::new(path, &[spec], started_at)
     }
 
     /// The layer index of the server (the hop that recognizes DATA).
     pub fn server_hop(&self) -> usize {
         self.path.len() - 2
     }
+
+    /// The stream carrying wire id `id`, if any.
+    pub fn stream_mut(&mut self, id: StreamId) -> Option<&mut StreamState> {
+        let idx = (id.0 as usize).checked_sub(1)?;
+        self.streams.get_mut(idx)
+    }
+}
+
+/// Server-side state of one stream.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerStream {
+    /// Stream id on the wire.
+    pub id: StreamId,
+    /// Stream established (BEGIN processed, CONNECTED answered).
+    pub open: bool,
+    /// END received.
+    pub ended: bool,
+    /// DATA cells consumed on this stream.
+    pub cells_received: u64,
+    /// Payload bytes consumed on this stream.
+    pub bytes_received: u64,
 }
 
 /// Server application state for one circuit.
 #[derive(Clone, Debug, Default)]
 pub struct ServerApp {
-    /// Stream established (BEGIN processed).
-    pub stream_open: bool,
-    /// DATA cells consumed.
+    /// Streams the circuit's workload will open (known to the simulator's
+    /// registry; used only to decide when the circuit's work is done).
+    pub expected_streams: usize,
+    /// Per-stream accounting, indexed by stream id (`streams[i]` carries
+    /// `StreamId(i + 1)`; ids are dense and 1-based by construction).
+    pub streams: Vec<ServerStream>,
+    /// Streams that have received their END.
+    pub streams_ended: usize,
+    /// DATA cells consumed (all streams).
     pub cells_received: u64,
-    /// Payload bytes consumed.
+    /// Payload bytes consumed (all streams).
     pub bytes_received: u64,
     /// Arrival time of the first DATA cell.
     pub first_byte_at: Option<SimTime>,
     /// Arrival time of the most recent DATA cell.
     pub last_byte_at: Option<SimTime>,
-    /// END received — transfer complete.
+    /// Every expected stream opened and ENDed — transfer complete.
     pub ended: bool,
     /// Payload-verification failures (must stay 0).
     pub payload_errors: u64,
+}
+
+impl ServerApp {
+    /// Creates server state expecting `expected_streams` streams, each
+    /// closed until its BEGIN arrives.
+    pub fn new(expected_streams: usize) -> ServerApp {
+        ServerApp {
+            expected_streams,
+            streams: (0..expected_streams)
+                .map(|i| ServerStream {
+                    id: StreamId(u16::try_from(i + 1).expect("too many streams")),
+                    open: false,
+                    ended: false,
+                    cells_received: 0,
+                    bytes_received: 0,
+                })
+                .collect(),
+            ..ServerApp::default()
+        }
+    }
+
+    /// The per-stream record for `id`, if the workload defines it —
+    /// an O(1) index on the per-DATA-cell path (`open` says whether its
+    /// BEGIN has arrived).
+    pub fn stream_mut(&mut self, id: StreamId) -> Option<&mut ServerStream> {
+        let idx = (id.0 as usize).checked_sub(1)?;
+        self.streams.get_mut(idx)
+    }
 }
 
 /// A node's participation in one circuit.
@@ -242,6 +367,10 @@ pub struct NodeCircuit {
     pub server: Option<ServerApp>,
     /// Circuit has been torn down (DESTROY seen); late cells are dropped.
     pub closed: bool,
+    /// The forward teardown wave (client → server) has passed this node.
+    pub destroy_fwd: bool,
+    /// The backward teardown echo (server → client) has passed this node.
+    pub destroy_bwd: bool,
 }
 
 impl NodeCircuit {
@@ -259,7 +388,21 @@ impl NodeCircuit {
             client: None,
             server: None,
             closed: false,
+            destroy_fwd: false,
+            destroy_bwd: false,
         }
+    }
+
+    /// The placeholder stored in a reclaimed slab slot.
+    pub fn vacant() -> NodeCircuit {
+        let mut nc = NodeCircuit::new(CircId(u32::MAX), usize::MAX);
+        nc.closed = true;
+        nc
+    }
+
+    /// Whether this slot holds a live participation.
+    pub fn is_vacant(&self) -> bool {
+        self.circ == CircId(u32::MAX)
     }
 
     /// The hop direction that *sends to* `neighbor`, used to route
@@ -284,6 +427,17 @@ impl NodeCircuit {
         }
         None
     }
+
+    /// Teardown quiescence: both waves seen, every sent cell confirmed,
+    /// nothing queued. Once true, no further frame can arrive for this
+    /// participation and its slots are safe to reclaim (DESIGN.md §8).
+    pub fn reclaimable(&self) -> bool {
+        self.closed
+            && self.destroy_fwd
+            && self.destroy_bwd
+            && self.fwd.as_ref().is_none_or(HopDir::quiescent)
+            && self.bwd.as_ref().is_none_or(HopDir::quiescent)
+    }
 }
 
 /// An overlay node: identity plus all per-circuit state.
@@ -296,9 +450,11 @@ pub struct OverlayNode {
     pub role: NodeRole,
     /// Diagnostic name.
     pub name: String,
-    /// Per-circuit state, dense by node-local index (slab; participations
-    /// are never removed, circuits are marked closed instead).
+    /// Per-circuit state, dense by node-local index (slab; torn-down
+    /// participations are reclaimed through `free_slots`).
     circuits: Vec<NodeCircuit>,
+    /// Reclaimed slab indices awaiting reuse (LIFO for determinism).
+    free_slots: Vec<u32>,
     /// Cold-path lookup: global circuit id → node-local index. The
     /// per-cell pipeline bypasses this via the route table.
     by_global: BTreeMap<CircId, u32>,
@@ -313,16 +469,37 @@ impl OverlayNode {
             role,
             name,
             circuits: Vec::new(),
+            free_slots: Vec::new(),
             by_global: BTreeMap::new(),
         }
     }
 
     /// Registers a participation, returning its node-local index.
+    /// Reuses a reclaimed slot when one is free.
     pub fn add_circuit(&mut self, nc: NodeCircuit) -> u32 {
-        let local = u32::try_from(self.circuits.len()).expect("too many circuits at one node");
-        self.by_global.insert(nc.circ, local);
-        self.circuits.push(nc);
+        let circ = nc.circ;
+        let local = match self.free_slots.pop() {
+            Some(local) => {
+                debug_assert!(self.circuits[local as usize].is_vacant());
+                self.circuits[local as usize] = nc;
+                local
+            }
+            None => {
+                self.circuits.push(nc);
+                u32::try_from(self.circuits.len() - 1).expect("too many circuits at one node")
+            }
+        };
+        self.by_global.insert(circ, local);
         local
+    }
+
+    /// Reclaims a participation's slab slot: the slot is vacated, the
+    /// global-id mapping dropped, and the index queued for reuse.
+    pub fn remove_circuit(&mut self, local: u32) {
+        let old = std::mem::replace(&mut self.circuits[local as usize], NodeCircuit::vacant());
+        debug_assert!(!old.is_vacant(), "double-free of a circuit slot");
+        self.by_global.remove(&old.circ);
+        self.free_slots.push(local);
     }
 
     /// The node-local index of a circuit, if this node participates.
@@ -355,9 +532,20 @@ impl OverlayNode {
         Some(self.circuit_at_mut(local))
     }
 
-    /// Number of circuits this node participates in.
-    pub fn circuit_count(&self) -> usize {
+    /// Slab capacity: live participations plus reclaimed slots. Stays
+    /// flat across churn cycles — the invariant the property tests pin.
+    pub fn slab_len(&self) -> usize {
         self.circuits.len()
+    }
+
+    /// Reclaimed slots awaiting reuse.
+    pub fn free_slot_count(&self) -> usize {
+        self.free_slots.len()
+    }
+
+    /// Number of live circuits this node participates in.
+    pub fn circuit_count(&self) -> usize {
+        self.by_global.len()
     }
 }
 
@@ -373,40 +561,74 @@ mod tests {
     #[test]
     fn client_app_cell_accounting() {
         let path = vec![OverlayId(0), OverlayId(1), OverlayId(2)];
-        let app = ClientApp::new(path, 1000, SimTime::ZERO);
+        let app = ClientApp::bulk(path, 1000, SimTime::ZERO);
         // 1000 bytes / 496 per cell = 3 cells: 496 + 496 + 8.
-        assert_eq!(app.total_cells, 3);
-        assert_eq!(app.cell_len(0), 496);
-        assert_eq!(app.cell_len(1), 496);
-        assert_eq!(app.cell_len(2), 8);
+        let s = &app.streams[0];
+        assert_eq!(s.total_cells, 3);
+        assert_eq!(s.cell_len(0), 496);
+        assert_eq!(s.cell_len(1), 496);
+        assert_eq!(s.cell_len(2), 8);
         assert_eq!(app.server_hop(), 1);
+        assert_eq!(app.file_bytes, 1000);
     }
 
     #[test]
     fn client_app_exact_multiple() {
         let path = vec![OverlayId(0), OverlayId(1)];
-        let app = ClientApp::new(path, 992, SimTime::ZERO);
-        assert_eq!(app.total_cells, 2);
-        assert_eq!(app.cell_len(1), 496);
+        let app = ClientApp::bulk(path, 992, SimTime::ZERO);
+        assert_eq!(app.streams[0].total_cells, 2);
+        assert_eq!(app.streams[0].cell_len(1), 496);
     }
 
     #[test]
     fn client_app_single_byte() {
-        let app = ClientApp::new(vec![OverlayId(0), OverlayId(1)], 1, SimTime::ZERO);
-        assert_eq!(app.total_cells, 1);
-        assert_eq!(app.cell_len(0), 1);
+        let app = ClientApp::bulk(vec![OverlayId(0), OverlayId(1)], 1, SimTime::ZERO);
+        assert_eq!(app.streams[0].total_cells, 1);
+        assert_eq!(app.streams[0].cell_len(0), 1);
+    }
+
+    #[test]
+    fn client_app_multi_stream() {
+        let specs = [
+            StreamSpec {
+                flow: FlowId(0),
+                bytes: 992,
+                offset: SimDuration::ZERO,
+            },
+            StreamSpec {
+                flow: FlowId(1),
+                bytes: 500,
+                offset: SimDuration::from_millis(5),
+            },
+        ];
+        let mut app = ClientApp::new(
+            vec![OverlayId(0), OverlayId(1), OverlayId(2)],
+            &specs,
+            SimTime::ZERO,
+        );
+        assert_eq!(app.file_bytes, 1492);
+        assert_eq!(app.streams[0].id, StreamId(1));
+        assert_eq!(app.streams[1].id, StreamId(2));
+        assert!(app.streams[0].arrived, "offset 0 arrives immediately");
+        assert!(!app.streams[1].arrived, "staggered stream waits");
+        assert!(app.stream_mut(StreamId(2)).is_some());
+        assert!(app.stream_mut(StreamId(3)).is_none());
+        assert!(
+            app.stream_mut(StreamId(0)).is_none(),
+            "0 is circuit control"
+        );
     }
 
     #[test]
     #[should_panic(expected = "empty file")]
     fn client_app_rejects_empty_file() {
-        let _ = ClientApp::new(vec![OverlayId(0), OverlayId(1)], 0, SimTime::ZERO);
+        let _ = ClientApp::bulk(vec![OverlayId(0), OverlayId(1)], 0, SimTime::ZERO);
     }
 
     #[test]
     #[should_panic(expected = "client and server")]
     fn client_app_rejects_short_path() {
-        let _ = ClientApp::new(vec![OverlayId(0)], 10, SimTime::ZERO);
+        let _ = ClientApp::bulk(vec![OverlayId(0)], 10, SimTime::ZERO);
     }
 
     #[test]
@@ -426,6 +648,7 @@ mod tests {
             wrap_for_hop: None,
         });
         assert_eq!(hd.queue_hwm, 3);
+        assert!(!hd.quiescent());
     }
 
     #[test]
@@ -438,5 +661,49 @@ mod tests {
         assert_eq!(nc.direction_toward(OverlayId(9)), None);
         assert!(nc.hopdir_toward_mut(OverlayId(2)).is_some());
         assert!(nc.hopdir_toward_mut(OverlayId(9)).is_none());
+    }
+
+    #[test]
+    fn reclaimable_needs_both_waves_and_quiescence() {
+        let mut nc = NodeCircuit::new(CircId(0), 1);
+        nc.fwd = Some(HopDir::new(OverlayId(2), CircuitId(10), transport()));
+        assert!(!nc.reclaimable(), "live circuits are not reclaimable");
+        nc.closed = true;
+        nc.destroy_fwd = true;
+        assert!(!nc.reclaimable(), "waiting for the backward wave");
+        nc.destroy_bwd = true;
+        assert!(nc.reclaimable());
+        nc.fwd
+            .as_mut()
+            .unwrap()
+            .transport
+            .register_send(SimTime::ZERO);
+        assert!(!nc.reclaimable(), "outstanding cells block reclamation");
+    }
+
+    #[test]
+    fn slab_reuses_reclaimed_slots() {
+        let mut node = OverlayNode::new(
+            OverlayId(0),
+            {
+                let mut net: netsim::net::Net<crate::wire::WireFrame> = netsim::net::Net::new();
+                net.add_node("n")
+            },
+            NodeRole::Relay,
+            "relay".into(),
+        );
+        let a = node.add_circuit(NodeCircuit::new(CircId(0), 1));
+        let b = node.add_circuit(NodeCircuit::new(CircId(1), 1));
+        assert_eq!(node.slab_len(), 2);
+        assert_eq!(node.circuit_count(), 2);
+        node.remove_circuit(a);
+        assert_eq!(node.circuit_count(), 1);
+        assert_eq!(node.free_slot_count(), 1);
+        assert!(node.local_idx(CircId(0)).is_none(), "mapping dropped");
+        let c = node.add_circuit(NodeCircuit::new(CircId(2), 1));
+        assert_eq!(c, a, "reclaimed slot is reused");
+        assert_eq!(node.slab_len(), 2, "slab did not grow");
+        assert_eq!(node.free_slot_count(), 0);
+        assert_eq!(node.local_idx(CircId(1)), Some(b));
     }
 }

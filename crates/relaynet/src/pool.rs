@@ -22,6 +22,13 @@ pub struct PayloadPool {
     allocated: u64,
     /// Buffers handed out from the free list.
     reused: u64,
+    /// Full-size buffers handed back (whether kept or dropped at the
+    /// idle cap). After a run fully quiesces, `returned == allocated +
+    /// reused` — no payload buffer is ever lost in flight, even across
+    /// mid-transfer teardowns.
+    returned: u64,
+    /// Largest idle free-list size ever observed.
+    idle_hwm: usize,
 }
 
 impl PayloadPool {
@@ -52,8 +59,12 @@ impl PayloadPool {
     /// buffers (control-cell payloads that were never pool-allocated)
     /// and overflow beyond the idle cap are dropped.
     pub fn reclaim(&mut self, buf: Vec<u8>) {
-        if buf.capacity() >= RELAY_DATA_MAX && self.free.len() < MAX_IDLE {
-            self.free.push(buf);
+        if buf.capacity() >= RELAY_DATA_MAX {
+            self.returned += 1;
+            if self.free.len() < MAX_IDLE {
+                self.free.push(buf);
+                self.idle_hwm = self.idle_hwm.max(self.free.len());
+            }
         }
     }
 
@@ -63,9 +74,28 @@ impl PayloadPool {
         (self.allocated, self.reused)
     }
 
+    /// Buffers handed out so far (fresh + reused).
+    pub fn acquired(&self) -> u64 {
+        self.allocated + self.reused
+    }
+
+    /// Full-size buffers handed back so far. A quiesced, fully
+    /// torn-down run satisfies `returned() == acquired()` — the
+    /// conservation invariant the mid-flight-DESTROY tests assert.
+    pub fn returned(&self) -> u64 {
+        self.returned
+    }
+
     /// Buffers currently idle in the pool.
     pub fn idle(&self) -> usize {
         self.free.len()
+    }
+
+    /// Largest idle population ever observed (bounded by the peak
+    /// number of payloads simultaneously at rest — itself bounded by
+    /// cells in flight).
+    pub fn idle_hwm(&self) -> usize {
+        self.idle_hwm
     }
 }
 
@@ -81,11 +111,15 @@ mod tests {
         a.resize(496, 7);
         pool.reclaim(a);
         assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.idle_hwm(), 1);
+        assert_eq!(pool.returned(), 1);
         let b = pool.acquire();
         assert!(b.is_empty(), "reused buffers come back cleared");
         assert!(b.capacity() >= RELAY_DATA_MAX);
         assert_eq!(pool.stats(), (1, 1));
+        assert_eq!(pool.acquired(), 2);
         assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.idle_hwm(), 1, "high-water mark survives draining");
     }
 
     #[test]
@@ -93,6 +127,7 @@ mod tests {
         let mut pool = PayloadPool::new();
         pool.reclaim(vec![1, 2, 3]);
         assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.returned(), 0, "undersized buffers are not counted");
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! The workload model: flows, stream multiplexing, arrival processes,
+//! and circuit churn.
+//!
+//! A **flow** is one application-level request: "deliver `requested`
+//! bytes to the server". Flows are the unit of byte conservation — a
+//! flow survives circuit teardown and is re-attached (with its remaining
+//! bytes) to the rebuilt circuit, so the sum of delivered bytes always
+//! converges to the sum requested, no matter how often circuits churn
+//! underneath (DESIGN.md §8).
+//!
+//! A **stream** is a flow's attachment to one circuit incarnation: a
+//! [`torcell::ids::StreamId`] multiplexed over the circuit's single
+//! `CircId`, with its own BEGIN/CONNECTED handshake, DATA byte
+//! accounting, and END. A circuit carries several concurrent streams;
+//! the client round-robins DATA generation across the open ones.
+//!
+//! A [`WorkloadSpec`] is the scenario-level knob: how many streams per
+//! circuit, how their arrivals are staggered (immediate, uniformly
+//! jittered, or bursty on/off "web-like"), and whether the circuit
+//! churns (tears down mid-experiment and rebuilds). The spec is
+//! *resolved* once, at build time, with a dedicated [`SimRng`] stream —
+//! every offset and teardown point is drawn up front so the experiment
+//! stays bit-identical across event-queue implementations.
+
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+/// Index of a flow within one [`crate::network::TorNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// Mutable record of one application-level request, tracked across
+/// circuit incarnations by the network (the server side updates it as
+/// DATA arrives).
+#[derive(Clone, Copy, Debug)]
+pub struct FlowState {
+    /// Total payload bytes the application asked for.
+    pub requested: u64,
+    /// Payload bytes delivered to the server so far (across all circuit
+    /// incarnations that carried the flow).
+    pub delivered: u64,
+    /// DATA cells delivered so far.
+    pub cells_delivered: u64,
+    /// When the flow's request was issued (first arrival at a client).
+    pub arrival_at: Option<SimTime>,
+    /// When the first byte reached the server.
+    pub first_byte_at: Option<SimTime>,
+    /// When the last requested byte reached the server.
+    pub completed_at: Option<SimTime>,
+    /// How many circuit incarnations have carried this flow.
+    pub carried_by: u32,
+}
+
+impl FlowState {
+    /// Creates a fresh flow of `requested` bytes.
+    pub fn new(requested: u64) -> FlowState {
+        assert!(requested > 0, "a flow must request at least one byte");
+        FlowState {
+            requested,
+            delivered: 0,
+            cells_delivered: 0,
+            arrival_at: None,
+            first_byte_at: None,
+            completed_at: None,
+            carried_by: 0,
+        }
+    }
+
+    /// Bytes still owed to the server.
+    pub fn remaining(&self) -> u64 {
+        self.requested - self.delivered
+    }
+
+    /// Whether every requested byte has been delivered.
+    pub fn complete(&self) -> bool {
+        self.delivered >= self.requested
+    }
+
+    /// Request-to-last-byte latency, once complete — the per-stream
+    /// completion metric the workload CDFs aggregate.
+    pub fn completion_time(&self) -> Option<SimDuration> {
+        match (self.arrival_at, self.completed_at) {
+            (Some(a), Some(b)) => b.checked_duration_since(a),
+            _ => None,
+        }
+    }
+}
+
+/// One flow's attachment to one circuit incarnation, as resolved at
+/// build (or rebuild) time. Stream ids are 1-based and dense: stream
+/// `i` of a circuit carries id `i + 1` (id 0 is the circuit-control
+/// stream).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamSpec {
+    /// The flow this stream carries.
+    pub flow: FlowId,
+    /// Bytes to transfer on this incarnation (the flow's remaining bytes
+    /// at attach time).
+    pub bytes: u64,
+    /// Arrival offset after the circuit's start event; the stream opens
+    /// (BEGIN) only once this much simulated time has passed.
+    pub offset: SimDuration,
+}
+
+/// The fully resolved workload of one circuit incarnation: which flows
+/// it carries, and when (if ever) it is torn down and rebuilt.
+#[derive(Clone, Debug, Default)]
+pub struct CircuitWorkload {
+    /// Streams multiplexed over the circuit, in stream-id order.
+    pub streams: Vec<StreamSpec>,
+    /// Pending teardown points: `teardown_after[0]` fires this many
+    /// simulated time units after this incarnation starts; the rest are
+    /// inherited by successive rebuilds. Empty = this incarnation runs
+    /// to natural completion (the final cycle).
+    pub teardown_after: Vec<SimDuration>,
+    /// Pause between an incarnation's full teardown (all slots
+    /// reclaimed) and the successor's build.
+    pub rebuild_delay: SimDuration,
+}
+
+impl CircuitWorkload {
+    /// A single bulk transfer, started immediately, never churned — the
+    /// workload every pre-existing scenario maps to.
+    pub fn bulk(flow: FlowId, bytes: u64) -> CircuitWorkload {
+        CircuitWorkload {
+            streams: vec![StreamSpec {
+                flow,
+                bytes,
+                offset: SimDuration::ZERO,
+            }],
+            teardown_after: Vec::new(),
+            rebuild_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Sum of bytes across all attached streams.
+    pub fn total_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.bytes).sum()
+    }
+}
+
+/// How stream arrivals are spread over time after the circuit starts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ArrivalSpec {
+    /// Every stream is requested the moment the circuit starts.
+    #[default]
+    Immediate,
+    /// Each stream's arrival is drawn uniformly from `[0, max_ms]`
+    /// after circuit start — staggered, uncorrelated requests.
+    UniformJitter {
+        /// Upper bound of the stagger window (milliseconds).
+        max_ms: f64,
+    },
+    /// Bursty on/off "web-like" pattern: streams arrive in bursts of
+    /// `burst`; between bursts the client is off for a gap drawn
+    /// uniformly from `gap_ms` (think: page load → quiet → next click).
+    OnOff {
+        /// Streams issued back-to-back per on-period.
+        burst: usize,
+        /// Off-period range between bursts (milliseconds).
+        gap_ms: (f64, f64),
+    },
+}
+
+/// When and how often a circuit is torn down and rebuilt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnSpec {
+    /// Teardown point, drawn uniformly from this range (milliseconds
+    /// after the incarnation starts). Shorter than the transfer ⇒ the
+    /// DESTROY races in-flight DATA cells.
+    pub teardown_after_ms: (f64, f64),
+    /// Delay between full teardown and the rebuild (milliseconds).
+    pub rebuild_delay_ms: f64,
+    /// Number of teardown/rebuild cycles. The incarnation after the
+    /// last rebuild runs to completion, so no requested byte is ever
+    /// abandoned.
+    pub cycles: u32,
+}
+
+/// Scenario-level workload knob: streams per circuit, their arrival
+/// process, and optional churn. `Default` reproduces the pre-workload
+/// behaviour exactly: one immediate bulk stream, no churn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Concurrent streams multiplexed over each circuit. The circuit's
+    /// payload bytes are split evenly across them.
+    pub streams_per_circuit: usize,
+    /// Arrival process for the streams.
+    pub arrival: ArrivalSpec,
+    /// Teardown/rebuild behaviour; `None` = circuits live forever.
+    pub churn: Option<ChurnSpec>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            streams_per_circuit: 1,
+            arrival: ArrivalSpec::Immediate,
+            churn: None,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Splits `file_bytes` across the configured stream count (spread
+    /// evenly, remainder on the first stream).
+    pub fn split_bytes(&self, file_bytes: u64) -> Vec<u64> {
+        let n = self.streams_per_circuit.max(1) as u64;
+        assert!(
+            file_bytes >= n,
+            "cannot split {file_bytes} bytes across {n} streams"
+        );
+        let each = file_bytes / n;
+        let mut out = vec![each; n as usize];
+        out[0] += file_bytes - each * n;
+        out
+    }
+
+    /// Resolves the spec into a concrete [`CircuitWorkload`]: draws
+    /// every arrival offset and teardown point from `rng`, registering
+    /// each stream's flow through `register_flow` (the network hands
+    /// out [`FlowId`]s).
+    pub fn resolve(
+        &self,
+        file_bytes: u64,
+        rng: &mut SimRng,
+        mut register_flow: impl FnMut(u64) -> FlowId,
+    ) -> CircuitWorkload {
+        let bytes = self.split_bytes(file_bytes);
+        let offsets = self.arrival_offsets(bytes.len(), rng);
+        let streams = bytes
+            .into_iter()
+            .zip(offsets)
+            .map(|(b, offset)| StreamSpec {
+                flow: register_flow(b),
+                bytes: b,
+                offset,
+            })
+            .collect();
+        let (teardown_after, rebuild_delay) = match self.churn {
+            None => (Vec::new(), SimDuration::ZERO),
+            Some(churn) => {
+                let (lo, hi) = churn.teardown_after_ms;
+                assert!(lo > 0.0 && hi >= lo, "teardown range must be positive");
+                let points = (0..churn.cycles)
+                    .map(|_| {
+                        let ms = if hi > lo { rng.range_f64(lo, hi) } else { lo };
+                        SimDuration::from_secs_f64(ms / 1e3)
+                    })
+                    .collect();
+                (
+                    points,
+                    SimDuration::from_secs_f64(churn.rebuild_delay_ms.max(0.0) / 1e3),
+                )
+            }
+        };
+        CircuitWorkload {
+            streams,
+            teardown_after,
+            rebuild_delay,
+        }
+    }
+
+    fn arrival_offsets(&self, n: usize, rng: &mut SimRng) -> Vec<SimDuration> {
+        match self.arrival {
+            ArrivalSpec::Immediate => vec![SimDuration::ZERO; n],
+            ArrivalSpec::UniformJitter { max_ms } => (0..n)
+                .map(|_| {
+                    let ms = if max_ms > 0.0 {
+                        rng.range_f64(0.0, max_ms)
+                    } else {
+                        0.0
+                    };
+                    SimDuration::from_secs_f64(ms / 1e3)
+                })
+                .collect(),
+            ArrivalSpec::OnOff { burst, gap_ms } => {
+                let burst = burst.max(1);
+                let (lo, hi) = gap_ms;
+                let mut at = SimDuration::ZERO;
+                (0..n)
+                    .map(|i| {
+                        if i > 0 && i % burst == 0 {
+                            let ms = if hi > lo { rng.range_f64(lo, hi) } else { lo };
+                            at += SimDuration::from_secs_f64(ms.max(0.0) / 1e3);
+                        }
+                        at
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolve(spec: &WorkloadSpec, bytes: u64, seed: u64) -> CircuitWorkload {
+        let mut rng = SimRng::seed_from(seed);
+        let mut next = 0u32;
+        spec.resolve(bytes, &mut rng, |_| {
+            next += 1;
+            FlowId(next - 1)
+        })
+    }
+
+    #[test]
+    fn default_spec_is_one_immediate_bulk_stream() {
+        let wl = resolve(&WorkloadSpec::default(), 10_000, 1);
+        assert_eq!(wl.streams.len(), 1);
+        assert_eq!(wl.streams[0].bytes, 10_000);
+        assert_eq!(wl.streams[0].offset, SimDuration::ZERO);
+        assert!(wl.teardown_after.is_empty());
+        assert_eq!(wl.total_bytes(), 10_000);
+    }
+
+    #[test]
+    fn bytes_split_evenly_with_remainder_on_first() {
+        let spec = WorkloadSpec {
+            streams_per_circuit: 3,
+            ..Default::default()
+        };
+        assert_eq!(spec.split_bytes(10), vec![4, 3, 3]);
+        let wl = resolve(&spec, 100_001, 2);
+        assert_eq!(wl.total_bytes(), 100_001);
+        assert_eq!(wl.streams.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn split_rejects_more_streams_than_bytes() {
+        let spec = WorkloadSpec {
+            streams_per_circuit: 8,
+            ..Default::default()
+        };
+        spec.split_bytes(4);
+    }
+
+    #[test]
+    fn jitter_offsets_are_bounded_and_seeded() {
+        let spec = WorkloadSpec {
+            streams_per_circuit: 6,
+            arrival: ArrivalSpec::UniformJitter { max_ms: 50.0 },
+            ..Default::default()
+        };
+        let a = resolve(&spec, 60_000, 7);
+        let b = resolve(&spec, 60_000, 7);
+        for (x, y) in a.streams.iter().zip(&b.streams) {
+            assert_eq!(x.offset, y.offset, "same seed, same offsets");
+            assert!(x.offset <= SimDuration::from_millis(50));
+        }
+        assert!(
+            a.streams.iter().any(|s| s.offset > SimDuration::ZERO),
+            "jitter must actually stagger"
+        );
+    }
+
+    #[test]
+    fn onoff_bursts_share_offsets_and_gaps_accumulate() {
+        let spec = WorkloadSpec {
+            streams_per_circuit: 6,
+            arrival: ArrivalSpec::OnOff {
+                burst: 2,
+                gap_ms: (5.0, 5.0),
+            },
+            ..Default::default()
+        };
+        let wl = resolve(&spec, 60_000, 3);
+        let offs: Vec<_> = wl.streams.iter().map(|s| s.offset).collect();
+        assert_eq!(offs[0], offs[1], "burst members arrive together");
+        assert_eq!(offs[2], offs[3]);
+        assert_eq!(offs[2], SimDuration::from_millis(5));
+        assert_eq!(offs[4], SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn churn_draws_one_teardown_per_cycle() {
+        let spec = WorkloadSpec {
+            streams_per_circuit: 2,
+            arrival: ArrivalSpec::Immediate,
+            churn: Some(ChurnSpec {
+                teardown_after_ms: (10.0, 30.0),
+                rebuild_delay_ms: 2.0,
+                cycles: 3,
+            }),
+        };
+        let wl = resolve(&spec, 50_000, 11);
+        assert_eq!(wl.teardown_after.len(), 3);
+        for &t in &wl.teardown_after {
+            assert!(t >= SimDuration::from_millis(10) && t <= SimDuration::from_millis(30));
+        }
+        assert_eq!(wl.rebuild_delay, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn flow_state_accounting() {
+        let mut f = FlowState::new(1000);
+        assert_eq!(f.remaining(), 1000);
+        assert!(!f.complete());
+        f.delivered = 1000;
+        assert!(f.complete());
+        f.arrival_at = Some(SimTime::from_millis(5));
+        f.completed_at = Some(SimTime::from_millis(105));
+        assert_eq!(f.completion_time(), Some(SimDuration::from_millis(100)));
+    }
+}

@@ -33,6 +33,7 @@ fn run_one(algorithm: Algorithm) -> (Vec<(f64, f64)>, f64) {
         hops,
         file_bytes: 4 << 20, // 4 MiB: plenty of post-change runtime
         world: WorldConfig::default(),
+        ..Default::default()
     };
     let (mut sim, handles) = scenario.build(algorithm.factory(base.cc), 3);
     // Upgrade the bottleneck mid-flow.

@@ -16,6 +16,9 @@ cargo test -q --workspace
 echo "==> smoke: cargo run --example quickstart"
 cargo run -q --release --example quickstart
 
+echo "==> smoke: cargo run --example churn_web (workload engine: multi-stream + churn)"
+cargo run -q --release --example churn_web
+
 echo "==> bench smoke: CS_BENCH_FAST=1 (3 samples; sanity, not measurement)"
 CS_BENCH_FAST=1 cargo bench -q -p cs-bench --bench bench_simcore
 CS_BENCH_FAST=1 cargo bench -q -p cs-bench --bench bench_overlay

@@ -20,6 +20,7 @@ fn run_geometry(
         hops: base.hops(),
         file_bytes: file,
         world: WorldConfig::default(),
+        ..Default::default()
     };
     let (mut sim, handles) = scenario.build(Algorithm::CircuitStart.factory(base.cc), 1);
     run_to_completion(&mut sim);

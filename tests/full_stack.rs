@@ -26,6 +26,7 @@ fn run_path(
         hops,
         file_bytes,
         world: WorldConfig::default(),
+        ..Default::default()
     };
     let (mut sim, handles) = scenario.build(algorithm.factory(CcConfig::default()), seed);
     run_to_completion(&mut sim);
@@ -190,6 +191,7 @@ fn feedback_volume_matches_cell_volume() {
         hops: vec![hop(50, 3); 4],
         file_bytes: 50_000,
         world: WorldConfig::default(),
+        ..Default::default()
     };
     let (mut sim, _) = scenario.build(Algorithm::CircuitStart.factory(CcConfig::default()), 3);
     run_to_completion(&mut sim);

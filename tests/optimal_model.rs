@@ -22,6 +22,7 @@ fn goodput_with_window(hops: &[LinkConfig], window: u32, file: u64) -> f64 {
         hops: hops.to_vec(),
         file_bytes: file,
         world: WorldConfig::default(),
+        ..Default::default()
     };
     let (mut sim, handles) = scenario.build(
         Algorithm::FixedWindow(window).factory(CcConfig::default()),
@@ -88,6 +89,7 @@ fn ideal_transfer_time_is_a_tight_lower_bound_at_w_star() {
         hops: hops.clone(),
         file_bytes: file,
         world: WorldConfig::default(),
+        ..Default::default()
     };
     let window = model.optimal_source_cwnd_cells().ceil() as u32 + 1;
     let (mut sim, handles) = scenario.build(

@@ -36,6 +36,7 @@ fn run(
         hops,
         file_bytes,
         world: WorldConfig::default(),
+        ..Default::default()
     };
     let (mut sim, handles) = scenario.build(algorithm.factory(CcConfig::default()), seed);
     run_to_completion(&mut sim);
@@ -123,6 +124,7 @@ fn cwnd_respects_bounds_throughout() {
             hops,
             file_bytes: file,
             world: WorldConfig::default(),
+            ..Default::default()
         };
         let cc = CcConfig::default();
         let (mut sim, handles) = scenario.build(Algorithm::CircuitStart.factory(cc), seed);

@@ -8,6 +8,7 @@
 
 use circuitstart::prelude::*;
 use relaynet::builder::{PathScenario, StarScenario};
+use relaynet::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
 use relaynet::{DirectoryConfig, WorldConfig, WorldStats};
 use simcore::event::QueueKind;
 use simcore::time::SimDuration;
@@ -19,16 +20,21 @@ struct PathFingerprint {
     rtt_samples: usize,
     transfer_time: Option<f64>,
     cells_delivered: u64,
-    stats: (u64, u64, u64, u64),
+    stats: (u64, u64, u64, u64, u64, u64, u64, u64),
     events_processed: u64,
 }
 
-fn stats_tuple(s: &WorldStats) -> (u64, u64, u64, u64) {
+#[allow(clippy::type_complexity)]
+fn stats_tuple(s: &WorldStats) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
     (
         s.cells_sent,
         s.feedback_sent,
         s.protocol_errors,
         s.cells_dropped_closed,
+        s.destroys_sent,
+        s.cells_drained,
+        s.slots_reclaimed,
+        s.rebuilds,
     )
 }
 
@@ -38,6 +44,7 @@ fn run_path(distance: usize, seed: u64, kind: QueueKind) -> PathFingerprint {
         hops: base.hops(),
         file_bytes: 400_000,
         world: WorldConfig::default(),
+        ..Default::default()
     };
     let (mut sim, h) =
         scenario.build_with_queue(Algorithm::CircuitStart.factory(base.cc), seed, kind);
@@ -115,6 +122,7 @@ fn baseline_algorithms_also_match() {
         hops: fig1_trace(1, Algorithm::ClassicBacktap).hops(),
         file_bytes: 200_000,
         world: WorldConfig::default(),
+        ..Default::default()
     };
     // CcFactory is not Clone, so store constructors and build one per run.
     let make_classic = || Algorithm::ClassicBacktap.factory(CcConfig::default());
@@ -135,5 +143,126 @@ fn baseline_algorithms_also_match() {
         let cal = run(QueueKind::Calendar);
         let heap = run(QueueKind::BinaryHeap);
         assert_eq!(cal, heap, "{name}: diverges between queue implementations");
+    }
+}
+
+/// Everything observable about a churning multi-stream workload run:
+/// per-flow outcomes, slab telemetry, counters, event count. Churn is
+/// the first workload that reclaims and reuses circuit-id slots, route
+/// slots, and pooled payload buffers mid-run, so the fingerprint pins
+/// all of that too.
+#[derive(PartialEq, Debug)]
+struct WorkloadFingerprint {
+    flows: Vec<(u64, u64, Option<f64>)>, // (requested, delivered, completion)
+    incarnations: usize,
+    link_route_slots: usize,
+    free_link_routes: usize,
+    pool: (u64, u64, u64), // (allocated, reused, returned)
+    stats: (u64, u64, u64, u64, u64, u64, u64, u64),
+    events_processed: u64,
+}
+
+fn workload_fingerprint(
+    world: &relaynet::TorNetwork,
+    events_processed: u64,
+) -> WorkloadFingerprint {
+    let (allocated, reused) = world.payload_pool().stats();
+    WorkloadFingerprint {
+        flows: world
+            .flows()
+            .iter()
+            .map(|f| {
+                (
+                    f.requested,
+                    f.delivered,
+                    f.completion_time().map(|d| d.as_secs_f64()),
+                )
+            })
+            .collect(),
+        incarnations: world.circuit_count(),
+        link_route_slots: world.link_route_slots(),
+        free_link_routes: world.free_link_routes(),
+        pool: (allocated, reused, world.payload_pool().returned()),
+        stats: stats_tuple(world.stats()),
+        events_processed,
+    }
+}
+
+fn churn_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        streams_per_circuit: 3,
+        arrival: ArrivalSpec::OnOff {
+            burst: 2,
+            gap_ms: (10.0, 40.0),
+        },
+        churn: Some(ChurnSpec {
+            teardown_after_ms: (35.0, 90.0),
+            rebuild_delay_ms: 4.0,
+            cycles: 2,
+        }),
+    }
+}
+
+#[test]
+fn churn_path_runs_identically_on_both_queues_across_seeds() {
+    let scenario = PathScenario {
+        hops: fig1_trace(2, Algorithm::CircuitStart).hops(),
+        file_bytes: 150_000,
+        workload: churn_workload(),
+        world: WorldConfig::default(),
+    };
+    let run = |seed, kind| {
+        let (mut sim, _) = scenario.build_with_queue(
+            Algorithm::CircuitStart.factory(CcConfig::default()),
+            seed,
+            kind,
+        );
+        run_to_completion(&mut sim);
+        workload_fingerprint(sim.world(), sim.events_processed())
+    };
+    for seed in [2u64, 29, 77] {
+        let cal = run(seed, QueueKind::Calendar);
+        let heap = run(seed, QueueKind::BinaryHeap);
+        assert!(
+            cal.stats.7 >= 1,
+            "seed {seed}: churn must actually rebuild (got {cal:?})"
+        );
+        assert_eq!(
+            cal, heap,
+            "seed {seed}: churn path experiment diverges between queues"
+        );
+    }
+}
+
+#[test]
+fn churn_star_runs_identically_on_both_queues_across_seeds() {
+    let scenario = StarScenario {
+        circuits: 4,
+        file_bytes: 60_000,
+        directory: DirectoryConfig {
+            relays: 7,
+            bandwidth_mbps: (15.0, 60.0),
+            delay_ms: (2.0, 8.0),
+        },
+        workload: churn_workload(),
+        ..Default::default()
+    };
+    let run = |seed, kind| {
+        let (mut sim, _) = scenario.build_with_queue(
+            Algorithm::CircuitStart.factory(CcConfig::default()),
+            seed,
+            kind,
+        );
+        run_to_completion(&mut sim);
+        workload_fingerprint(sim.world(), sim.events_processed())
+    };
+    for seed in [5u64, 41, 83] {
+        let cal = run(seed, QueueKind::Calendar);
+        let heap = run(seed, QueueKind::BinaryHeap);
+        assert!(cal.stats.7 >= 1, "seed {seed}: churn must actually rebuild");
+        assert_eq!(
+            cal, heap,
+            "seed {seed}: churn star experiment diverges between queues"
+        );
     }
 }
