@@ -17,6 +17,7 @@ use cs_bench::harness::Report;
 use netsim::bandwidth::Bandwidth;
 use netsim::link::LinkConfig;
 use relaynet::builder::{fixed_window_factory, PathScenario, StarScenario};
+use relaynet::selection::{all_policies, SelectionPolicy};
 use relaynet::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
 use relaynet::{CcFactory, DirectoryConfig, WorldConfig};
 use simcore::time::SimDuration;
@@ -116,6 +117,50 @@ fn bench_churn(report: &mut Report, key: &str, factory: impl Fn() -> CcFactory) 
     );
 }
 
+/// The path-selection case: the same churning star as
+/// `star_churn_4x3x2`, once per selection policy. Placement decides
+/// which relays share circuits, so this measures both the selection
+/// seam's own overhead (view construction, weighted draws, load
+/// accounting — all off the per-cell path) and how much placement
+/// quality moves end-to-end throughput under identical seeds.
+fn policy_scenario(selection: SelectionPolicy) -> StarScenario {
+    StarScenario {
+        selection,
+        ..churn_scenario()
+    }
+}
+
+/// One full churn experiment under `selection`; returns delivered DATA
+/// cells (as in [`run_churn_once`]).
+fn run_policy_once(selection: SelectionPolicy, factory: CcFactory) -> u64 {
+    let (mut sim, _) = policy_scenario(selection).build(factory, 1);
+    sim.run();
+    let world = sim.world();
+    assert_eq!(world.stats().protocol_errors, 0);
+    assert!(world.stats().rebuilds > 0, "churn must actually churn");
+    let mut cells = 0;
+    for f in world.flows() {
+        assert!(f.complete(), "bench workload must complete");
+        cells += f.cells_delivered;
+    }
+    cells
+}
+
+fn bench_policies(report: &mut Report) {
+    for policy in all_policies() {
+        let factory = || Algorithm::CircuitStart.factory(CcConfig::default());
+        let cells = run_policy_once(policy.clone(), factory());
+        report.bench_with_rate(
+            &format!("overlay/star_policies/{}", policy.name()),
+            cells as f64,
+            "cells/s",
+            || {
+                std::hint::black_box(run_policy_once(policy.clone(), factory()));
+            },
+        );
+    }
+}
+
 fn main() {
     let mut report = Report::new();
     bench_algorithm(&mut report, "circuitstart", || {
@@ -128,5 +173,6 @@ fn main() {
     bench_churn(&mut report, "circuitstart", || {
         Algorithm::CircuitStart.factory(CcConfig::default())
     });
+    bench_policies(&mut report);
     report.finish("bench_overlay");
 }

@@ -7,12 +7,13 @@
 //! ```
 //!
 //! Sweeps: `gamma`, `theta`, `init-cwnd`, `compensation`, `distance`,
-//! `load`, `midflow`. Each prints a table and writes
+//! `load`, `midflow`, `policies`. Each prints a table and writes
 //! `target/figures/ablation_<name>.dat`.
 
 use circuitstart::prelude::*;
 use cs_bench::{write_figure, Options};
 use netsim::bandwidth::Bandwidth;
+use relaynet::selection::all_policies;
 use relaynet::{PathScenario, TorEvent, WorldConfig};
 use simcore::time::SimTime;
 use simstats::export::Table;
@@ -244,6 +245,35 @@ fn sweep_load() {
     write_figure("ablation_load", &table);
 }
 
+/// A7: path-selection policy sweep on the fig-1c topology — the
+/// placement axis the `PathSelection` seam opens (DESIGN.md §9). The
+/// same relay population, workload, and controller (CircuitStart) under
+/// each of the four shipped policies, paired seeds throughout.
+fn sweep_policies() {
+    println!("\n━━━ A7: path-selection policy sweep (fig-1c topology, 25 circuits) ━━━");
+    println!(
+        "  {:<12}  {:>9}  {:>9}  {:>9}",
+        "policy", "p50 [s]", "p90 [s]", "worst [s]"
+    );
+    let mut table = Table::new(vec!["policy", "p50_s", "p90_s", "worst_s"]);
+    for (i, policy) in all_policies().into_iter().enumerate() {
+        let mut cfg = policy_cdf(policy.clone());
+        cfg.star.circuits = 25;
+        cfg.repetitions = 1;
+        let report = run_cdf(&cfg);
+        let cdf = &report.get("circuitstart").unwrap().cdf;
+        println!(
+            "  {:<12}  {:>9.3}  {:>9.3}  {:>9.3}",
+            policy.name(),
+            cdf.median(),
+            cdf.quantile(0.9),
+            cdf.max()
+        );
+        table.push_row(&[i as f64, cdf.median(), cdf.quantile(0.9), cdf.max()]);
+    }
+    write_figure("ablation_policies", &table);
+}
+
 /// A6: mid-flow bandwidth change — the future-work extension.
 fn sweep_midflow() {
     println!("\n━━━ A6: mid-flow bottleneck upgrade (10 → 40 Mbit/s at 500 ms) ━━━");
@@ -322,5 +352,8 @@ fn main() {
     }
     if want("midflow") {
         sweep_midflow();
+    }
+    if want("policies") {
+        sweep_policies();
     }
 }

@@ -64,7 +64,7 @@ pub mod prelude {
         TraceReport, TraceScenarioConfig,
     };
     pub use crate::optimal::{LinkModel, PathModel};
-    pub use crate::presets::{fig1_cdf, fig1_trace};
+    pub use crate::presets::{fig1_cdf, fig1_trace, policy_cdf};
     pub use backtap::config::CcConfig;
 }
 
@@ -76,4 +76,4 @@ pub use harness::{
     TraceScenarioConfig,
 };
 pub use optimal::{LinkModel, PathModel};
-pub use presets::{fig1_cdf, fig1_trace};
+pub use presets::{fig1_cdf, fig1_trace, policy_cdf};

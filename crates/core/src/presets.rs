@@ -11,6 +11,7 @@ use netsim::bandwidth::Bandwidth;
 use relaynet::builder::StarScenario;
 use relaynet::directory::DirectoryConfig;
 use relaynet::network::WorldConfig;
+use relaynet::selection::SelectionPolicy;
 use simcore::time::SimDuration;
 
 use crate::algorithm::Algorithm;
@@ -48,7 +49,6 @@ pub fn fig1_cdf() -> CdfScenarioConfig {
             endpoint_delay_ms: (3.0, 8.0),
             file_bytes: 1 << 20,
             start_jitter_ms: 50.0,
-            weighted_selection: false,
             world: WorldConfig {
                 verify_payload: true,
                 trace_client_cwnd: false, // 50 traces are noise here
@@ -68,6 +68,17 @@ pub fn fig1_cdf() -> CdfScenarioConfig {
         seed: 1,
         repetitions: 3,
     }
+}
+
+/// The path-selection experiment: the Figure-1c star with the selection
+/// policy as the experimental axis (CircuitStart only — selection, not
+/// the controller, is what varies). Run once per policy over identical
+/// seeds; see `examples/path_policies.rs` and the `policies` ablation.
+pub fn policy_cdf(selection: SelectionPolicy) -> CdfScenarioConfig {
+    let mut cfg = fig1_cdf();
+    cfg.star.selection = selection;
+    cfg.algorithms = vec![Algorithm::CircuitStart];
+    cfg
 }
 
 #[cfg(test)]
@@ -106,5 +117,16 @@ mod tests {
         assert_eq!(c.algorithms.len(), 3);
         assert_eq!(c.algorithms[1], Algorithm::NoSlowStart);
         assert_eq!(c.star.file_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn policy_cdf_varies_only_the_selection_axis() {
+        let c = policy_cdf(std::sync::Arc::new(relaynet::selection::CongestionAware));
+        assert_eq!(c.star.circuits, fig1_cdf().star.circuits);
+        assert_eq!(
+            c.algorithms,
+            vec![Algorithm::CircuitStart],
+            "one controller; selection is the axis"
+        );
     }
 }

@@ -23,12 +23,15 @@ use simcore::rng::SimRng;
 use simcore::sim::Simulator;
 use simcore::time::{SimDuration, SimTime};
 
+use std::sync::Arc;
+
 use crate::directory::{Directory, DirectoryConfig};
 use crate::event::TorEvent;
 use crate::ids::{CircId, Direction};
 use crate::network::{TorNetwork, WorldConfig};
 use crate::node::{CcFactory, NodeRole};
 use crate::router::Router;
+use crate::selection::{SelectionPolicy, Uniform};
 use crate::workload::WorkloadSpec;
 
 /// A single circuit over an explicit chain of links.
@@ -160,8 +163,11 @@ pub struct StarScenario {
     /// Circuit starts are jittered uniformly over `[0, start_jitter_ms]`
     /// to avoid artificial phase lock between 50 identical state machines.
     pub start_jitter_ms: f64,
-    /// Bandwidth-weighted relay selection (Tor-style) instead of uniform.
-    pub weighted_selection: bool,
+    /// Path-selection policy (see [`crate::selection`]): how each
+    /// circuit picks its relays from the generated directory, with live
+    /// load telemetry fed back on build and teardown. Default:
+    /// [`Uniform`]. Churn rebuilds re-select through the same policy.
+    pub selection: SelectionPolicy,
     /// Stream multiplexing, arrival process, and churn, applied to every
     /// circuit (resolved independently per circuit from the master
     /// seed). Default: one immediate bulk stream, no churn.
@@ -180,7 +186,7 @@ impl Default for StarScenario {
             endpoint_delay_ms: (3.0, 8.0),
             file_bytes: 1 << 20,
             start_jitter_ms: 50.0,
-            weighted_selection: false,
+            selection: Arc::new(Uniform),
             workload: WorkloadSpec::default(),
             world: WorldConfig::default(),
         }
@@ -209,7 +215,6 @@ impl StarScenario {
         let master = SimRng::seed_from(seed);
         let directory = Directory::generate(&self.directory, &master.derive("directory"));
         let mut endpoint_rng = master.derive("endpoints");
-        let mut path_rng = master.derive("paths");
         let mut jitter_rng = master.derive("start-jitter");
 
         // Leaves: all relays first, then client/server pairs per circuit.
@@ -256,6 +261,17 @@ impl StarScenario {
         let relay_overlays: Vec<_> = (0..directory.len())
             .map(|i| world.add_overlay(star.leaves[i], NodeRole::Relay, &format!("relay-{i}")))
             .collect();
+        // The placement seam: the network owns the relay view, the
+        // policy, and the "paths" stream, so both the initial placement
+        // below and churn-driven rebuilds select through the same
+        // policy — each placement seeing the load left by its
+        // predecessors.
+        world.install_placement(
+            directory.relays().to_vec(),
+            relay_overlays,
+            self.selection.clone(),
+            master.derive("paths"),
+        );
 
         let mut circuits = Vec::with_capacity(self.circuits);
         let mut sim_events: Vec<(SimTime, CircId)> = Vec::with_capacity(self.circuits);
@@ -264,14 +280,10 @@ impl StarScenario {
             let server_leaf = star.leaves[directory.len() + 2 * c + 1];
             let client = world.add_overlay(client_leaf, NodeRole::Client, &format!("client-{c}"));
             let server = world.add_overlay(server_leaf, NodeRole::Server, &format!("server-{c}"));
-            let picks = if self.weighted_selection {
-                directory.select_path_weighted(&mut path_rng, self.relays_per_circuit)
-            } else {
-                directory.select_path_uniform(&mut path_rng, self.relays_per_circuit)
-            };
+            let picks = world.select_relays(self.relays_per_circuit);
             let mut path = Vec::with_capacity(self.relays_per_circuit + 2);
             path.push(client);
-            path.extend(picks.into_iter().map(|i| relay_overlays[i]));
+            path.extend(picks);
             path.push(server);
             let mut wl_rng = master.derive_indexed("workload", c as u64);
             let workload = self

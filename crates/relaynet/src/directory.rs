@@ -1,16 +1,22 @@
-//! Relay generation and path selection.
+//! Relay generation: the population path selection draws from.
 //!
 //! The paper evaluates over "a randomly generated network of Tor relays".
 //! The exact distribution is not published, so this module exposes it as a
 //! parameter with a heavy-tailed (log-uniform) default — relay capacity in
-//! the live Tor network spans orders of magnitude. Path selection follows
-//! Tor's two essential rules: relays on a path are distinct, and selection
-//! can optionally be bandwidth-weighted (as Tor weights by consensus
-//! bandwidth).
+//! the live Tor network spans orders of magnitude.
+//!
+//! The directory is only the *population*: deciding which relays a
+//! circuit crosses is the job of a [`crate::selection::PathSelection`]
+//! policy, which sees the specs generated here through a
+//! [`crate::selection::DirectoryView`] (specs plus live per-relay load).
+//! [`Directory::view`] pairs a directory with a load slice; policies
+//! enforce Tor's essential rule that relays on a path are distinct.
 
 use netsim::bandwidth::Bandwidth;
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
+
+use crate::selection::DirectoryView;
 
 /// A generated relay's access-link characteristics.
 #[derive(Clone, Copy, Debug)]
@@ -46,7 +52,8 @@ impl Default for DirectoryConfig {
     }
 }
 
-/// A generated set of relays plus path-selection logic.
+/// A generated set of relays. Path selection over the set goes through
+/// a [`crate::selection::PathSelection`] policy on a [`DirectoryView`].
 #[derive(Clone, Debug)]
 pub struct Directory {
     relays: Vec<RelaySpec>,
@@ -97,70 +104,34 @@ impl Directory {
     }
 
     /// Number of relays.
+    #[inline]
     pub fn len(&self) -> usize {
         self.relays.len()
     }
 
-    /// `false` (construction rejects empty directories).
+    /// Whether the directory holds no relays. Always `false` for a
+    /// constructed directory — both constructors reject empty relay
+    /// sets — but provided for the standard `len`/`is_empty` pairing.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.relays.is_empty()
     }
 
-    /// Selects `path_len` **distinct** relay indices uniformly at random.
+    /// Pairs the directory with live per-relay load, producing the view
+    /// a [`crate::selection::PathSelection`] policy selects over.
     ///
     /// # Panics
     ///
-    /// Panics if `path_len` exceeds the number of relays.
-    pub fn select_path_uniform(&self, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
-        assert!(
-            path_len <= self.relays.len(),
-            "cannot pick {path_len} distinct relays from {}",
-            self.relays.len()
-        );
-        rng.sample_distinct(self.relays.len(), path_len)
-    }
-
-    /// Selects `path_len` distinct relay indices with probability
-    /// proportional to bandwidth (Tor-style weighting), by repeated
-    /// weighted draws without replacement.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `path_len` exceeds the number of relays.
-    pub fn select_path_weighted(&self, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
-        assert!(
-            path_len <= self.relays.len(),
-            "cannot pick {path_len} distinct relays from {}",
-            self.relays.len()
-        );
-        let mut chosen: Vec<usize> = Vec::with_capacity(path_len);
-        let mut weights: Vec<f64> = self
-            .relays
-            .iter()
-            .map(|r| r.bandwidth.bps() as f64)
-            .collect();
-        for _ in 0..path_len {
-            let total: f64 = weights.iter().sum();
-            debug_assert!(total > 0.0);
-            let mut x = rng.range_f64(0.0, total);
-            let mut pick = weights.len() - 1;
-            for (i, &w) in weights.iter().enumerate() {
-                if w > 0.0 && x < w {
-                    pick = i;
-                    break;
-                }
-                x -= w;
-            }
-            chosen.push(pick);
-            weights[pick] = 0.0; // without replacement
-        }
-        chosen
+    /// Panics if `load` does not hold one counter per relay.
+    pub fn view<'a>(&'a self, load: &'a [u32]) -> DirectoryView<'a> {
+        DirectoryView::new(&self.relays, load)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::selection::{PathSelection, Uniform};
 
     fn rng() -> SimRng {
         SimRng::seed_from(42)
@@ -175,6 +146,7 @@ mod tests {
         };
         let dir = Directory::generate(&cfg, &rng());
         assert_eq!(dir.len(), 50);
+        assert!(!dir.is_empty());
         for r in dir.relays() {
             let mbps = r.bandwidth.as_mbps_f64();
             assert!((10.0..=100.0).contains(&mbps), "bw {mbps}");
@@ -216,61 +188,22 @@ mod tests {
     }
 
     #[test]
-    fn uniform_paths_are_distinct() {
+    fn view_pairs_specs_with_load() {
         let dir = Directory::generate(&DirectoryConfig::default(), &rng());
+        let load = vec![0u32; dir.len()];
+        let view = dir.view(&load);
+        assert_eq!(view.len(), dir.len());
         let mut r = rng();
-        for _ in 0..100 {
-            let p = dir.select_path_uniform(&mut r, 3);
-            assert_eq!(p.len(), 3);
-            let mut q = p.clone();
-            q.sort_unstable();
-            q.dedup();
-            assert_eq!(q.len(), 3);
-        }
+        let p = Uniform.select(&view, &mut r, 3);
+        assert_eq!(p.len(), 3);
     }
 
     #[test]
-    fn weighted_paths_prefer_fat_relays() {
-        // One relay 100× the bandwidth of the others: it should appear in
-        // nearly every 1-relay path.
-        let mut specs = vec![
-            RelaySpec {
-                bandwidth: Bandwidth::from_mbps(1),
-                delay: SimDuration::from_millis(10),
-            };
-            10
-        ];
-        specs[4].bandwidth = Bandwidth::from_mbps(1000);
-        let dir = Directory::from_specs(specs);
-        let mut r = rng();
-        let hits = (0..200)
-            .filter(|_| dir.select_path_weighted(&mut r, 1)[0] == 4)
-            .count();
-        assert!(hits > 150, "fat relay picked only {hits}/200 times");
-    }
-
-    #[test]
-    fn weighted_paths_are_distinct() {
+    #[should_panic(expected = "one load counter per relay")]
+    fn view_rejects_mismatched_load() {
         let dir = Directory::generate(&DirectoryConfig::default(), &rng());
-        let mut r = rng();
-        for _ in 0..50 {
-            let p = dir.select_path_weighted(&mut r, 5);
-            let mut q = p.clone();
-            q.sort_unstable();
-            q.dedup();
-            assert_eq!(q.len(), 5);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "distinct relays")]
-    fn path_longer_than_directory_panics() {
-        let dir = Directory::from_specs(vec![RelaySpec {
-            bandwidth: Bandwidth::from_mbps(1),
-            delay: SimDuration::ZERO,
-        }]);
-        let mut r = rng();
-        let _ = dir.select_path_uniform(&mut r, 2);
+        let load = vec![0u32; dir.len() + 1];
+        let _ = dir.view(&load);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!   time-to-last-byte accounting ([`workload`]): several streams
 //!   multiplexed per circuit, staggered and bursty arrival processes,
 //!   and circuit churn (teardown + rebuild with slot reclamation),
-//! * relay directories with sampled bandwidths and Tor-style path
-//!   selection, and
+//! * relay directories with sampled bandwidths and **pluggable path
+//!   selection** ([`selection`]): a [`selection::PathSelection`] policy
+//!   seam with uniform, Tor-style bandwidth-weighted, latency-aware,
+//!   and congestion-aware policies over live load telemetry, and
 //! * the two evaluation topologies (explicit path, nstor-style star).
 //!
 //! The congestion-control algorithm is injected through
@@ -34,6 +36,7 @@ pub mod node;
 pub mod pool;
 pub mod router;
 pub mod scheduler;
+pub mod selection;
 pub mod wire;
 pub mod workload;
 
@@ -55,6 +58,10 @@ pub mod prelude {
     pub use crate::pool::PayloadPool;
     pub use crate::router::Router;
     pub use crate::scheduler::LinkScheduler;
+    pub use crate::selection::{
+        all_policies, BandwidthWeighted, CongestionAware, DirectoryView, LatencyAware,
+        PathSelection, SelectionPolicy, Uniform,
+    };
     pub use crate::wire::{FramePayload, WireFrame};
     pub use crate::workload::{
         ArrivalSpec, ChurnSpec, CircuitWorkload, FlowId, FlowState, StreamSpec, WorkloadSpec,
@@ -76,6 +83,10 @@ pub use node::{CcFactory, HopCtx, NodeRole};
 pub use pool::PayloadPool;
 pub use router::Router;
 pub use scheduler::LinkScheduler;
+pub use selection::{
+    all_policies, BandwidthWeighted, CongestionAware, DirectoryView, LatencyAware, PathSelection,
+    SelectionPolicy, Uniform,
+};
 pub use wire::{FramePayload, WireFrame};
 pub use workload::{
     ArrivalSpec, ChurnSpec, CircuitWorkload, FlowId, FlowState, StreamSpec, WorkloadSpec,

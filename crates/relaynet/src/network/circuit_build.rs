@@ -785,6 +785,11 @@ impl TorNetwork {
         }
         self.stats.slots_reclaimed += 1;
         if is_client {
+            // The client proving teardown quiescence retires the whole
+            // incarnation from the live placement view — exactly once
+            // per incarnation, so churn feeds back into later
+            // selections (congestion-aware policies see relays free up).
+            self.unaccount_placement(circ);
             let info = &self.circuits[circ.index()];
             let unfinished = info
                 .workload
@@ -798,14 +803,30 @@ impl TorNetwork {
     }
 
     /// Re-attaches a torn-down circuit's unfinished flows to a fresh
-    /// circuit over the same path (from a [`TorEvent::Rebuild`]). Each
-    /// flow resumes at its remaining byte count; flows whose arrival
-    /// offset has not yet elapsed keep their original arrival time.
+    /// circuit (from a [`TorEvent::Rebuild`]). With a placement seam
+    /// installed the relays are **re-selected** through the
+    /// [`crate::selection::PathSelection`] policy under the current load
+    /// view — churn feeds back into placement, as real clients re-route
+    /// around congested relays; without one (explicit-path worlds) the
+    /// original path is reused. Each flow resumes at its remaining byte
+    /// count; flows whose arrival offset has not yet elapsed keep their
+    /// original arrival time.
     pub(super) fn rebuild_circuit(&mut self, ctx: &mut Context<'_, TorEvent>, old: CircId) {
         let now = ctx.now();
         let old_info = &self.circuits[old.index()];
-        let path = old_info.path.clone();
+        let old_path = old_info.path.clone();
         let incarnation = old_info.incarnation + 1;
+        let path = if self.placement.is_some() && old_path.len() > 2 {
+            let relays = self.select_relays(old_path.len() - 2);
+            let mut path = Vec::with_capacity(old_path.len());
+            path.push(old_path[0]);
+            path.extend(relays);
+            path.push(*old_path.last().expect("non-empty path"));
+            path
+        } else {
+            old_path
+        };
+        let old_info = &self.circuits[old.index()];
         let mut streams = Vec::new();
         for s in &old_info.workload.streams {
             let f = &self.flows[s.flow.index()];

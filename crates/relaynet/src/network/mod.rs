@@ -64,12 +64,14 @@ use backtap::hop::HopTransport;
 use torcell::ids::CircuitId;
 
 use crate::circuit::{CircuitInfo, CircuitResult};
+use crate::directory::RelaySpec;
 use crate::event::TorEvent;
 use crate::ids::{CircId, Direction, OverlayId};
 use crate::node::{CcFactory, NodeRole, OverlayNode};
 use crate::pool::PayloadPool;
 use crate::router::Router;
 use crate::scheduler::LinkScheduler;
+use crate::selection::{DirectoryView, SelectionPolicy};
 use crate::wire::WireFrame;
 use crate::workload::{CircuitWorkload, FlowId, FlowState};
 
@@ -180,6 +182,46 @@ pub(super) struct LinkRoute {
     pub(super) b: Option<RouteEnd>,
 }
 
+/// Circuit-placement state: the relay population, the selection policy,
+/// its dedicated randomness stream, and **live load telemetry** — the
+/// number of circuits currently routed through each relay, incremented
+/// when a circuit is registered and decremented when its client-side
+/// participation is reclaimed after a DESTROY wave. Installed by star
+/// scenarios ([`TorNetwork::install_placement`]); worlds without it
+/// (explicit-path scenarios) rebuild churned circuits over the original
+/// path instead of re-selecting.
+pub(super) struct PlacementState {
+    /// Relay specs, indexed by relay id (the directory order).
+    specs: Vec<RelaySpec>,
+    /// Relay id → overlay node hosting that relay.
+    relay_overlays: Vec<OverlayId>,
+    /// Overlay index → relay id (`u32::MAX` = not a relay). Only spans
+    /// the relay overlays; later overlays (clients/servers) fall off the
+    /// end, which reads as "not a relay".
+    relay_of_overlay: Vec<u32>,
+    /// Circuits currently routed through each relay.
+    load: Vec<u32>,
+    /// High-water mark of `load`: the worst concentration each relay
+    /// ever saw, surviving teardown decrements — the per-relay hotspot
+    /// metric placement experiments compare.
+    load_hwm: Vec<u32>,
+    /// The pluggable policy (see [`crate::selection`]).
+    policy: SelectionPolicy,
+    /// The placement randomness stream; policies may only draw from
+    /// here (DESIGN.md §9).
+    rng: SimRng,
+}
+
+impl PlacementState {
+    /// The relay id hosted by `node`, if any.
+    fn relay_of(&self, node: OverlayId) -> Option<usize> {
+        match self.relay_of_overlay.get(node.index()) {
+            Some(&r) if r != u32::MAX => Some(r as usize),
+            _ => None,
+        }
+    }
+}
+
 /// The overlay world. Construct with [`TorNetwork::new`], add nodes and
 /// circuits, then drive with a [`simcore::Simulator`](simcore::sim::Simulator)
 /// after scheduling [`TorEvent::StartCircuit`] events.
@@ -212,6 +254,9 @@ pub struct TorNetwork {
     /// Recycles DATA payload buffers between server consumption and
     /// client generation (see [`crate::pool`]).
     pub(super) payload_pool: PayloadPool,
+    /// Circuit-placement seam (relay population + policy + live load);
+    /// `None` for explicit-path worlds.
+    pub(super) placement: Option<PlacementState>,
     pub(super) stats: WorldStats,
 }
 
@@ -244,7 +289,143 @@ impl TorNetwork {
             rng,
             link_sched,
             payload_pool: PayloadPool::new(),
+            placement: None,
             stats: WorldStats::default(),
+        }
+    }
+
+    /// Installs the circuit-placement seam: the relay population (specs
+    /// paired with the overlay nodes hosting them), the selection
+    /// policy, and the placement randomness stream. Must be called
+    /// before the first placement; all load counters start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, or if `specs` and `relay_overlays`
+    /// disagree in length.
+    pub fn install_placement(
+        &mut self,
+        specs: Vec<RelaySpec>,
+        relay_overlays: Vec<OverlayId>,
+        policy: SelectionPolicy,
+        rng: SimRng,
+    ) {
+        assert!(self.placement.is_none(), "placement installed twice");
+        assert_eq!(
+            specs.len(),
+            relay_overlays.len(),
+            "one overlay node per relay spec"
+        );
+        let mut relay_of_overlay = Vec::new();
+        for (r, &o) in relay_overlays.iter().enumerate() {
+            if relay_of_overlay.len() <= o.index() {
+                relay_of_overlay.resize(o.index() + 1, u32::MAX);
+            }
+            assert!(
+                relay_of_overlay[o.index()] == u32::MAX,
+                "overlay node hosts two relays"
+            );
+            relay_of_overlay[o.index()] = u32::try_from(r).expect("relay id fits u32");
+        }
+        let load = vec![0u32; specs.len()];
+        let load_hwm = load.clone();
+        self.placement = Some(PlacementState {
+            specs,
+            relay_overlays,
+            relay_of_overlay,
+            load,
+            load_hwm,
+            policy,
+            rng,
+        });
+    }
+
+    /// Asks the installed policy for `path_len` distinct relays under
+    /// the current load view, returning the overlay nodes hosting them
+    /// (in path order). Used for initial placement by star builders and
+    /// by the churn engine when a torn-down circuit rebuilds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no placement is installed, or if the policy violates
+    /// its contract (wrong count, out-of-range or repeated indices).
+    pub fn select_relays(&mut self, path_len: usize) -> Vec<OverlayId> {
+        let p = self
+            .placement
+            .as_mut()
+            .expect("no placement policy installed");
+        let view = DirectoryView::new(&p.specs, &p.load);
+        let picks = p.policy.select(&view, &mut p.rng, path_len);
+        assert_eq!(
+            picks.len(),
+            path_len,
+            "policy `{}` returned {} relays, wanted {path_len}",
+            p.policy.name(),
+            picks.len()
+        );
+        for (i, &a) in picks.iter().enumerate() {
+            assert!(
+                a < p.specs.len(),
+                "policy `{}` picked out-of-range relay {a}",
+                p.policy.name()
+            );
+            assert!(
+                !picks[..i].contains(&a),
+                "policy `{}` picked relay {a} twice",
+                p.policy.name()
+            );
+        }
+        picks.into_iter().map(|i| p.relay_overlays[i]).collect()
+    }
+
+    /// Circuits currently routed through each relay (indexed by relay
+    /// id), if a placement seam is installed. Grows on circuit
+    /// registration and shrinks when the client-side participation is
+    /// reclaimed after teardown, so full churn teardown returns every
+    /// counter to zero.
+    pub fn relay_loads(&self) -> Option<&[u32]> {
+        self.placement.as_ref().map(|p| p.load.as_slice())
+    }
+
+    /// High-water mark of [`TorNetwork::relay_loads`]: the worst circuit
+    /// concentration each relay ever carried, surviving teardown
+    /// decrements. This is the hotspot metric placement experiments
+    /// compare — an end-of-run load snapshot hides the mid-run
+    /// concentrations churn already rebuilt away from.
+    pub fn relay_load_hwms(&self) -> Option<&[u32]> {
+        self.placement.as_ref().map(|p| p.load_hwm.as_slice())
+    }
+
+    /// The installed selection policy's name, if any (experiment
+    /// labels).
+    pub fn selection_policy_name(&self) -> Option<&'static str> {
+        self.placement.as_ref().map(|p| p.policy.name())
+    }
+
+    /// Records `path` into the live load view (one count per relay the
+    /// circuit crosses); no-op without a placement seam.
+    fn account_placement(&mut self, path: &[OverlayId]) {
+        if let Some(p) = self.placement.as_mut() {
+            for &n in path {
+                if let Some(r) = p.relay_of(n) {
+                    p.load[r] += 1;
+                    p.load_hwm[r] = p.load_hwm[r].max(p.load[r]);
+                }
+            }
+        }
+    }
+
+    /// Removes `path` from the live load view (teardown reclamation);
+    /// no-op without a placement seam.
+    pub(super) fn unaccount_placement(&mut self, circ: CircId) {
+        let Some(p) = self.placement.as_mut() else {
+            return;
+        };
+        for &n in &self.circuits[circ.index()].path {
+            if let Some(r) = p.relay_of(n) {
+                debug_assert!(p.load[r] > 0, "placement load underflow");
+                p.load[r] = p.load[r].saturating_sub(1);
+            }
         }
     }
 
@@ -363,6 +544,7 @@ impl TorNetwork {
             assert!(s.flow.index() < self.flows.len(), "unregistered flow");
         }
         let id = CircId(u32::try_from(self.circuits.len()).expect("too many circuits"));
+        self.account_placement(&path);
         self.circuits.push(CircuitInfo {
             path,
             file_bytes: workload.total_bytes(),

@@ -1,0 +1,491 @@
+//! Pluggable path selection: the policy seam between the relay
+//! directory and circuit placement.
+//!
+//! Which relays a circuit crosses determines which relays become
+//! bottlenecks — and therefore how much a slow start helps — so
+//! selection is an experimental axis, not a hard-wired rule. The seam
+//! mirrors [`crate::node::CcFactory`]: scenarios carry a
+//! [`SelectionPolicy`] (a shared [`PathSelection`] trait object), the
+//! network calls it for every placement, and experiments swap policies
+//! without touching protocol code.
+//!
+//! A policy sees a [`DirectoryView`]: the generated relay specs
+//! ([`RelaySpec`] bandwidth + access delay) **plus live load telemetry**
+//! — the number of circuits currently routed through each relay,
+//! maintained by [`crate::network::TorNetwork`] as circuits are placed
+//! and torn down. Initial placement therefore already feeds back (each
+//! circuit sees its predecessors), and churn rebuilds re-select under
+//! the load left by the surviving circuits.
+//!
+//! # Determinism contract
+//!
+//! A policy may draw randomness **only** from the [`SimRng`] passed to
+//! [`PathSelection::select`] (the network's dedicated placement stream);
+//! it must be a pure function of `(view, rng state, path_len)`. It must
+//! return exactly `path_len` distinct in-range relay indices — the
+//! network validates this and panics on a violating policy. See
+//! DESIGN.md §9.
+//!
+//! # Shipped policies
+//!
+//! | policy | weight of relay `i` | models |
+//! |---|---|---|
+//! | [`Uniform`] | 1 | unweighted sampling |
+//! | [`BandwidthWeighted`] | `bw_i` | Tor's consensus-bandwidth weighting |
+//! | [`LatencyAware`] | `1 / delay_i²` | ShorTor-style latency-driven choice |
+//! | [`CongestionAware`] | `bw_i / (1 + load_i)` | Imani et al.-style congestion avoidance |
+
+use std::sync::Arc;
+
+use simcore::rng::SimRng;
+
+use crate::directory::RelaySpec;
+
+/// A selection policy as scenarios carry it: shared, cheaply cloneable,
+/// usable both at build time and by the network's churn rebuilds.
+pub type SelectionPolicy = Arc<dyn PathSelection>;
+
+/// Every shipped policy, in canonical order — the single source of
+/// truth for harnesses ("run each policy") so adding a policy extends
+/// every sweep, bench, and differential test at once.
+pub fn all_policies() -> [SelectionPolicy; 4] {
+    [
+        Arc::new(Uniform),
+        Arc::new(BandwidthWeighted),
+        Arc::new(LatencyAware),
+        Arc::new(CongestionAware),
+    ]
+}
+
+/// What a policy sees when asked to place a circuit: the relay
+/// population plus a snapshot of live load. The snapshot is taken at
+/// call time — a policy must not assume it stays valid across calls
+/// (churn changes it between placements).
+#[derive(Clone, Copy, Debug)]
+pub struct DirectoryView<'a> {
+    specs: &'a [RelaySpec],
+    load: &'a [u32],
+}
+
+impl<'a> DirectoryView<'a> {
+    /// Pairs relay specs with their live circuit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length or are empty.
+    pub fn new(specs: &'a [RelaySpec], load: &'a [u32]) -> DirectoryView<'a> {
+        assert_eq!(specs.len(), load.len(), "one load counter per relay spec");
+        assert!(!specs.is_empty(), "a directory view needs relays");
+        DirectoryView { specs, load }
+    }
+
+    /// Number of relays.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the view holds no relays. Always `false` for a
+    /// constructed view (construction rejects empty relay sets), kept
+    /// for the standard `len`/`is_empty` pairing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All relay specs, indexed by relay id.
+    #[inline]
+    pub fn specs(&self) -> &'a [RelaySpec] {
+        self.specs
+    }
+
+    /// One relay's access-link characteristics.
+    #[inline]
+    pub fn spec(&self, relay: usize) -> RelaySpec {
+        self.specs[relay]
+    }
+
+    /// Circuits currently routed through each relay, indexed by relay id.
+    #[inline]
+    pub fn loads(&self) -> &'a [u32] {
+        self.load
+    }
+
+    /// Circuits currently routed through one relay.
+    #[inline]
+    pub fn load(&self, relay: usize) -> u32 {
+        self.load[relay]
+    }
+}
+
+/// The path-selection seam: maps a directory view to `path_len`
+/// distinct relay indices (in path order, client side first).
+///
+/// See the [module docs](self) for the determinism contract.
+pub trait PathSelection: std::fmt::Debug + Send + Sync {
+    /// Stable identifier used in experiment labels and bench keys.
+    fn name(&self) -> &'static str;
+
+    /// Selects `path_len` **distinct** relay indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_len` exceeds the number of relays in `view`.
+    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize>;
+}
+
+fn assert_path_fits(view: &DirectoryView<'_>, path_len: usize) {
+    assert!(
+        path_len <= view.len(),
+        "cannot pick {path_len} distinct relays from {}",
+        view.len()
+    );
+}
+
+/// Repeated weighted draws without replacement, shared by every weighted
+/// policy. The total is maintained as a running sum, decremented as
+/// picks are zeroed (O(n) per draw for the scan, no O(n) re-summation).
+/// For integer-valued weights below 2⁵³ (bandwidths in bit/s) every
+/// partial sum is exact, so the draw sequence is bit-identical to the
+/// historical recompute-the-sum implementation — pinned by
+/// `tests/path_selection.rs`.
+fn weighted_distinct(mut weights: Vec<f64>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+    debug_assert!(path_len <= weights.len());
+    debug_assert!(weights.iter().all(|&w| w > 0.0 && w.is_finite()));
+    let mut chosen: Vec<usize> = Vec::with_capacity(path_len);
+    let mut total: f64 = weights.iter().sum();
+    for _ in 0..path_len {
+        debug_assert!(total > 0.0);
+        let mut x = rng.range_f64(0.0, total);
+        // `pick` tracks the last positive-weight index visited, so a
+        // floating-point overrun of `x` past the (inexact) running total
+        // still lands on a selectable relay instead of a zeroed one.
+        let mut pick = usize::MAX;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            pick = i;
+            if x < w {
+                break;
+            }
+            x -= w;
+        }
+        debug_assert!(pick != usize::MAX, "some weight must remain positive");
+        chosen.push(pick);
+        total -= weights[pick];
+        weights[pick] = 0.0; // without replacement
+    }
+    chosen
+}
+
+/// Every relay is equally likely — the paper's default placement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Uniform;
+
+impl PathSelection for Uniform {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+        assert_path_fits(view, path_len);
+        rng.sample_distinct(view.len(), path_len)
+    }
+}
+
+/// Probability proportional to access bandwidth — Tor's consensus-
+/// bandwidth weighting, the baseline the paper's star evaluation models.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BandwidthWeighted;
+
+impl PathSelection for BandwidthWeighted {
+    fn name(&self) -> &'static str {
+        "bandwidth"
+    }
+
+    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+        assert_path_fits(view, path_len);
+        let weights = view
+            .specs()
+            .iter()
+            .map(|r| r.bandwidth.bps() as f64)
+            .collect();
+        weighted_distinct(weights, rng, path_len)
+    }
+}
+
+/// Prefer low access-delay relays (cf. ShorTor's latency-driven routing
+/// in PAPERS.md): weight `1 / delay²`. The inverse-square emphasis makes
+/// the preference decisive over the narrow delay ranges directories
+/// generate, while never excluding a relay outright.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyAware;
+
+/// Floor applied to access delays before inverting, so a zero-delay
+/// test relay cannot produce an infinite weight.
+const MIN_DELAY_S: f64 = 1e-6;
+
+impl PathSelection for LatencyAware {
+    fn name(&self) -> &'static str {
+        "latency"
+    }
+
+    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+        assert_path_fits(view, path_len);
+        let weights = view
+            .specs()
+            .iter()
+            .map(|r| {
+                let d = r.delay.as_secs_f64().max(MIN_DELAY_S);
+                1.0 / (d * d)
+            })
+            .collect();
+        weighted_distinct(weights, rng, path_len)
+    }
+}
+
+/// Penalize relays by active-circuit load per unit bandwidth (cf. Imani
+/// et al.'s congestion-aware relay choice in PAPERS.md): weight
+/// `bw / (1 + load)`, i.e. bandwidth-proportional selection discounted
+/// by the circuits already routed through the relay. With zero load
+/// everywhere this intentionally reduces to [`BandwidthWeighted`]; load
+/// feedback is what differentiates it mid-experiment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CongestionAware;
+
+impl PathSelection for CongestionAware {
+    fn name(&self) -> &'static str {
+        "congestion"
+    }
+
+    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+        assert_path_fits(view, path_len);
+        let weights = view
+            .specs()
+            .iter()
+            .zip(view.loads())
+            .map(|(r, &load)| r.bandwidth.bps() as f64 / (1.0 + f64::from(load)))
+            .collect();
+        weighted_distinct(weights, rng, path_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::{Directory, DirectoryConfig};
+    use netsim::bandwidth::Bandwidth;
+    use simcore::time::SimDuration;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(42)
+    }
+
+    fn spec(mbps: u64, delay_ms: u64) -> RelaySpec {
+        RelaySpec {
+            bandwidth: Bandwidth::from_mbps(mbps),
+            delay: SimDuration::from_millis(delay_ms),
+        }
+    }
+
+    #[test]
+    fn every_policy_returns_distinct_in_range_indices() {
+        let dir = Directory::generate(&DirectoryConfig::default(), &rng());
+        let load = vec![0u32; dir.len()];
+        for policy in all_policies() {
+            let mut r = rng();
+            for _ in 0..100 {
+                let view = DirectoryView::new(dir.relays(), &load);
+                let p = policy.select(&view, &mut r, 3);
+                assert_eq!(p.len(), 3, "{}", policy.name());
+                let mut q = p.clone();
+                q.sort_unstable();
+                q.dedup();
+                assert_eq!(q.len(), 3, "{} repeated a relay", policy.name());
+                assert!(p.iter().all(|&i| i < dir.len()), "{}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_matches_raw_distinct_sampling() {
+        let dir = Directory::generate(&DirectoryConfig::default(), &rng());
+        let load = vec![0u32; dir.len()];
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..50 {
+            let view = DirectoryView::new(dir.relays(), &load);
+            assert_eq!(
+                Uniform.select(&view, &mut a, 3),
+                b.sample_distinct(dir.len(), 3)
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_weighted_prefers_fat_relays() {
+        // One relay 1000× the bandwidth of the others: it should appear
+        // in nearly every 1-relay path.
+        let mut specs = vec![spec(1, 10); 10];
+        specs[4] = spec(1000, 10);
+        let load = vec![0u32; specs.len()];
+        let mut r = rng();
+        let hits = (0..200)
+            .filter(|_| {
+                let view = DirectoryView::new(&specs, &load);
+                BandwidthWeighted.select(&view, &mut r, 1)[0] == 4
+            })
+            .count();
+        assert!(hits > 150, "fat relay picked only {hits}/200 times");
+    }
+
+    #[test]
+    fn latency_aware_prefers_near_relays() {
+        // One relay at 1 ms among relays at 30 ms: the inverse-square
+        // weight gives it ~99% of the mass.
+        let mut specs = vec![spec(50, 30); 10];
+        specs[7] = spec(50, 1);
+        let load = vec![0u32; specs.len()];
+        let mut r = rng();
+        let hits = (0..200)
+            .filter(|_| {
+                let view = DirectoryView::new(&specs, &load);
+                LatencyAware.select(&view, &mut r, 1)[0] == 7
+            })
+            .count();
+        assert!(hits > 150, "near relay picked only {hits}/200 times");
+    }
+
+    #[test]
+    fn latency_aware_tolerates_zero_delay() {
+        let specs = vec![
+            RelaySpec {
+                bandwidth: Bandwidth::from_mbps(10),
+                delay: SimDuration::ZERO,
+            };
+            4
+        ];
+        let load = vec![0u32; 4];
+        let mut r = rng();
+        let view = DirectoryView::new(&specs, &load);
+        let p = LatencyAware.select(&view, &mut r, 2);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn congestion_aware_reduces_to_bandwidth_at_zero_load() {
+        let dir = Directory::generate(&DirectoryConfig::default(), &rng());
+        let load = vec![0u32; dir.len()];
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..50 {
+            let view = DirectoryView::new(dir.relays(), &load);
+            assert_eq!(
+                CongestionAware.select(&view, &mut a, 3),
+                BandwidthWeighted.select(&view, &mut b, 3),
+                "zero load must reproduce the Tor baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_aware_avoids_loaded_relays() {
+        // Equal bandwidths, but relay 2 already carries 50 circuits: its
+        // weight collapses to ~2% of an idle relay's.
+        let specs = vec![spec(20, 5); 8];
+        let mut load = vec![0u32; 8];
+        load[2] = 50;
+        let mut r = rng();
+        let hits = (0..400)
+            .filter(|_| {
+                let view = DirectoryView::new(&specs, &load);
+                CongestionAware.select(&view, &mut r, 1)[0] == 2
+            })
+            .count();
+        // Idle expectation would be 50; the penalty pushes it near 1.
+        assert!(hits < 15, "loaded relay still picked {hits}/400 times");
+    }
+
+    #[test]
+    fn congestion_aware_trades_bandwidth_against_load() {
+        // A 100 Mbit/s relay carrying 9 circuits weighs 10 Mbit/s
+        // effective — exactly an idle 10 Mbit/s relay. A 3× idle relay
+        // must then dominate both.
+        let specs = vec![spec(100, 5), spec(30, 5), spec(10, 5)];
+        let load = vec![9u32, 0, 0];
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..600 {
+            let view = DirectoryView::new(&specs, &load);
+            counts[CongestionAware.select(&view, &mut r, 1)[0]] += 1;
+        }
+        assert!(
+            counts[1] > counts[0] && counts[1] > counts[2],
+            "30 Mbit/s idle relay must dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_draw_sequence_matches_naive_resummation() {
+        // The running-total optimization must reproduce the historical
+        // recompute-the-sum implementation draw for draw (exact, because
+        // bandwidth weights are integers below 2^53).
+        fn naive(weights: &mut [f64], rng: &mut SimRng, k: usize) -> Vec<usize> {
+            let mut chosen = Vec::with_capacity(k);
+            for _ in 0..k {
+                let total: f64 = weights.iter().sum();
+                let mut x = rng.range_f64(0.0, total);
+                let mut pick = weights.len() - 1;
+                for (i, &w) in weights.iter().enumerate() {
+                    if w > 0.0 && x < w {
+                        pick = i;
+                        break;
+                    }
+                    x -= w;
+                }
+                chosen.push(pick);
+                weights[pick] = 0.0;
+            }
+            chosen
+        }
+        for seed in [1u64, 9, 33, 71] {
+            let dir = Directory::generate(
+                &DirectoryConfig {
+                    relays: 40,
+                    ..DirectoryConfig::default()
+                },
+                &SimRng::seed_from(seed),
+            );
+            let weights: Vec<f64> = dir
+                .relays()
+                .iter()
+                .map(|r| r.bandwidth.bps() as f64)
+                .collect();
+            let mut a = SimRng::seed_from(seed ^ 0xABCD);
+            let mut b = a.clone();
+            for _ in 0..200 {
+                let fast = weighted_distinct(weights.clone(), &mut a, 5);
+                let slow = naive(&mut weights.clone(), &mut b, 5);
+                assert_eq!(fast, slow, "seed {seed}: draw sequences diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct relays")]
+    fn path_longer_than_directory_panics() {
+        let specs = vec![spec(1, 0)];
+        let load = vec![0u32];
+        let view = DirectoryView::new(&specs, &load);
+        let _ = Uniform.select(&view, &mut rng(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load counter per relay")]
+    fn mismatched_load_slice_rejected() {
+        let specs = vec![spec(1, 1); 3];
+        let load = vec![0u32; 2];
+        let _ = DirectoryView::new(&specs, &load);
+    }
+}

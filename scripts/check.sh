@@ -19,6 +19,9 @@ cargo run -q --release --example quickstart
 echo "==> smoke: cargo run --example churn_web (workload engine: multi-stream + churn)"
 cargo run -q --release --example churn_web
 
+echo "==> smoke: cargo run --example path_policies (selection seam: all four policies)"
+cargo run -q --release --example path_policies
+
 echo "==> bench smoke: CS_BENCH_FAST=1 (3 samples; sanity, not measurement)"
 CS_BENCH_FAST=1 cargo bench -q -p cs-bench --bench bench_simcore
 CS_BENCH_FAST=1 cargo bench -q -p cs-bench --bench bench_overlay

@@ -163,23 +163,30 @@ fn star_mixed_workload_all_complete() {
 }
 
 #[test]
-fn weighted_path_selection_also_runs() {
-    let scenario = StarScenario {
-        circuits: 5,
-        file_bytes: 40_000,
-        weighted_selection: true,
-        directory: relaynet::DirectoryConfig {
-            relays: 8,
-            bandwidth_mbps: (10.0, 100.0),
-            delay_ms: (3.0, 8.0),
-        },
-        ..Default::default()
-    };
-    let (mut sim, circuits) =
-        scenario.build(Algorithm::CircuitStart.factory(CcConfig::default()), 31);
-    run_to_completion(&mut sim);
-    for c in circuits {
-        assert!(sim.world().result_of(c).completed);
+fn every_selection_policy_also_runs() {
+    for selection in relaynet::selection::all_policies() {
+        let scenario = StarScenario {
+            circuits: 5,
+            file_bytes: 40_000,
+            selection: selection.clone(),
+            directory: relaynet::DirectoryConfig {
+                relays: 8,
+                bandwidth_mbps: (10.0, 100.0),
+                delay_ms: (3.0, 8.0),
+            },
+            ..Default::default()
+        };
+        let (mut sim, circuits) =
+            scenario.build(Algorithm::CircuitStart.factory(CcConfig::default()), 31);
+        run_to_completion(&mut sim);
+        let world = sim.world();
+        assert_eq!(world.selection_policy_name(), Some(selection.name()));
+        // Every live circuit is in the load view: 5 circuits × 3 relays.
+        let loads = world.relay_loads().expect("placement installed");
+        assert_eq!(loads.iter().map(|&l| u64::from(l)).sum::<u64>(), 15);
+        for c in circuits {
+            assert!(world.result_of(c).completed, "{}", selection.name());
+        }
     }
 }
 

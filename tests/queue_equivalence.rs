@@ -8,6 +8,7 @@
 
 use circuitstart::prelude::*;
 use relaynet::builder::{PathScenario, StarScenario};
+use relaynet::selection::all_policies;
 use relaynet::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
 use relaynet::{DirectoryConfig, WorldConfig, WorldStats};
 use simcore::event::QueueKind;
@@ -264,5 +265,82 @@ fn churn_star_runs_identically_on_both_queues_across_seeds() {
             cal, heap,
             "seed {seed}: churn star experiment diverges between queues"
         );
+    }
+}
+
+/// Every path-selection policy must preserve queue equivalence, on both
+/// evaluation topologies. The star runs a churning workload so rebuild
+/// re-selection — the one place a policy draws randomness *mid-run*,
+/// inside event handling — is exercised; the load view at rebuild time
+/// must therefore also be bit-identical across queue implementations.
+/// The path topology has no directory (placement seam uninstalled); it
+/// rides along once per seed to pin the policy-free degenerate case:
+/// churn there rebuilds over the original path.
+#[test]
+fn selection_policies_run_identically_on_both_queues_across_seeds() {
+    let policies = all_policies();
+    let path_scenario = PathScenario {
+        hops: fig1_trace(2, Algorithm::CircuitStart).hops(),
+        file_bytes: 100_000,
+        workload: churn_workload(),
+        world: WorldConfig::default(),
+    };
+    let run_path = |seed, kind| {
+        let (mut sim, _) = path_scenario.build_with_queue(
+            Algorithm::CircuitStart.factory(CcConfig::default()),
+            seed,
+            kind,
+        );
+        run_to_completion(&mut sim);
+        workload_fingerprint(sim.world(), sim.events_processed())
+    };
+    for seed in [5u64, 41, 83] {
+        assert_eq!(
+            run_path(seed, QueueKind::Calendar),
+            run_path(seed, QueueKind::BinaryHeap),
+            "seed {seed}: churn path experiment diverges between queues"
+        );
+    }
+    for policy in policies {
+        let star_scenario = StarScenario {
+            circuits: 3,
+            file_bytes: 50_000,
+            directory: DirectoryConfig {
+                relays: 7,
+                bandwidth_mbps: (15.0, 60.0),
+                delay_ms: (2.0, 8.0),
+            },
+            workload: churn_workload(),
+            selection: policy.clone(),
+            ..Default::default()
+        };
+        let run_star = |seed, kind| {
+            let (mut sim, _) = star_scenario.build_with_queue(
+                Algorithm::CircuitStart.factory(CcConfig::default()),
+                seed,
+                kind,
+            );
+            run_to_completion(&mut sim);
+            let loads = sim.world().relay_loads().expect("placement").to_vec();
+            (
+                workload_fingerprint(sim.world(), sim.events_processed()),
+                loads,
+            )
+        };
+        for seed in [5u64, 41, 83] {
+            let cal = run_star(seed, QueueKind::Calendar);
+            let heap = run_star(seed, QueueKind::BinaryHeap);
+            assert!(
+                cal.0.stats.7 >= 1,
+                "{} seed {seed}: churn must actually rebuild",
+                policy.name()
+            );
+            assert_eq!(
+                cal,
+                heap,
+                "{} seed {seed}: star experiment diverges between queues",
+                policy.name()
+            );
+        }
     }
 }
