@@ -48,6 +48,9 @@ pub struct HopStats {
     pub feedback_received: u64,
     /// Feedback messages rejected (unknown/duplicate sequence).
     pub bad_feedback: u64,
+    /// Cells retired without feedback ([`HopTransport::forget`]) —
+    /// registered sends that were discarded unsent at teardown.
+    pub cells_forgotten: u64,
 }
 
 /// Transport state for one hop of one circuit (see module docs).
@@ -157,6 +160,33 @@ impl HopTransport {
         self.cc.on_feedback(seq, rtt, base, now);
         self.trace_cwnd(now);
         Ok(rtt)
+    }
+
+    /// Retires cell `seq` from the in-flight set **without** a feedback
+    /// round trip: no RTT sample, no controller callback, no trace
+    /// entry. For teardown only — a registered cell that was discarded
+    /// from an egress queue before ever reaching the wire has no
+    /// neighbour to confirm it, and leaving it outstanding would block
+    /// the quiescence proof forever. Returns `false` if `seq` was not
+    /// outstanding (already fed back or never sent).
+    pub fn forget(&mut self, seq: u64) -> bool {
+        let removed = match self.in_flight.front() {
+            Some(&(s, _)) if s == seq => {
+                self.in_flight.pop_front();
+                true
+            }
+            _ => match self.in_flight.binary_search_by_key(&seq, |&(s, _)| s) {
+                Ok(idx) => {
+                    self.in_flight.remove(idx);
+                    true
+                }
+                Err(_) => false,
+            },
+        };
+        if removed {
+            self.stats.cells_forgotten += 1;
+        }
+        removed
     }
 
     /// Cells sent but not yet fed back.
@@ -300,6 +330,30 @@ mod tests {
         assert_eq!(h.on_feedback(0, t(2)), Err(FeedbackError::UnknownSeq(0)));
         assert_eq!(h.stats().feedback_received, 1);
         assert_eq!(h.stats().bad_feedback, 1);
+    }
+
+    #[test]
+    fn forget_retires_without_feedback_side_effects() {
+        let mut h = fixed(5);
+        h.register_send(t(0));
+        h.register_send(t(0));
+        h.register_send(t(0));
+        // Retire the tail (the scheduler-drain shape: newest cells never
+        // reached the wire), out of order relative to the front.
+        assert!(h.forget(2));
+        assert!(h.forget(1));
+        assert!(!h.forget(1), "double-forget is a no-op");
+        assert!(!h.forget(99), "unknown seq is a no-op");
+        assert_eq!(h.outstanding(), 1);
+        assert_eq!(h.stats().cells_forgotten, 2);
+        // No RTT sample, no feedback count, and the surviving in-flight
+        // cell still confirms normally.
+        assert_eq!(h.rtt().count(), 0);
+        assert_eq!(h.stats().feedback_received, 0);
+        assert!(h.on_feedback(0, t(9)).is_ok());
+        assert_eq!(h.outstanding(), 0);
+        // A forgotten cell can no longer be confirmed.
+        assert_eq!(h.on_feedback(2, t(9)), Err(FeedbackError::UnknownSeq(2)));
     }
 
     #[test]

@@ -11,15 +11,21 @@
 //! transfer to quiescence, so setup cost is included — as it is in real
 //! experiment sweeps, which construct thousands of short-lived worlds.
 
+use std::sync::Arc;
+
 use backtap::config::CcConfig;
 use circuitstart::Algorithm;
 use cs_bench::harness::Report;
 use netsim::bandwidth::Bandwidth;
 use netsim::link::LinkConfig;
 use relaynet::builder::{fixed_window_factory, PathScenario, StarScenario};
+use relaynet::pool::PayloadPool;
+use relaynet::runtime::{FactoryMaker, ShardedStar};
 use relaynet::selection::{all_policies, SelectionPolicy};
 use relaynet::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
 use relaynet::{CcFactory, DirectoryConfig, WorldConfig};
+use simcore::event::QueueKind;
+use simcore::exec::{DeterministicExecutor, Executor, ThreadedExecutor};
 use simcore::time::SimDuration;
 
 /// Transfer size per iteration; 512 KiB = 1058 DATA cells through 4 links.
@@ -161,6 +167,84 @@ fn bench_policies(report: &mut Report) {
     }
 }
 
+/// The async-runtime scaling case: the churning star of
+/// `star_churn_4x3x2`, sharded 8 ways and run across a work-stealing
+/// pool at 1/2/4/8 workers. Each shard is a full deterministic world
+/// (the oracle the differential suite compares against), so the rate
+/// measures what the runtime seam buys: end-to-end experiment
+/// throughput — the resource policy-evaluation sweeps are bounded by —
+/// as a function of cores.
+fn async_experiment() -> ShardedStar {
+    ShardedStar {
+        scenario: churn_scenario(),
+        shards: 8,
+        seed: 1,
+        queue: QueueKind::default(),
+    }
+}
+
+/// One full sharded sweep on `workers` workers; returns total DATA
+/// cells delivered. Doubles as the pool-sizing smoke: with the
+/// scenario-sized idle cap, steady-state allocations must stay flat
+/// (bounded by in-flight peaks, reuse-dominated) instead of thrashing
+/// alloc/free against the cap.
+fn run_async_once(exp: &ShardedStar, exec: &dyn Executor) -> u64 {
+    let maker: FactoryMaker = Arc::new(|| Algorithm::CircuitStart.factory(CcConfig::default()));
+    let sweep = exp.run(exec, maker);
+    assert_eq!(sweep.stats.protocol_errors, 0);
+    assert!(sweep.stats.rebuilds > 0, "churn must actually churn");
+    let cap = PayloadPool::scenario_max_idle(exp.scenario.circuits);
+    for s in &sweep.shards {
+        let (allocated, reused, _returned, _idle, idle_hwm) = s.fingerprint.pool;
+        assert!(
+            idle_hwm < cap,
+            "shard {}: pool hit its idle cap ({idle_hwm} >= {cap}) — reclaims were dropped",
+            s.shard
+        );
+        // "Flat" means: fresh allocations are bounded by the peak
+        // in-flight payload population (circuits × window bound), never
+        // by the number of cells transferred — transferring more data
+        // must not allocate more.
+        let flat_bound = exp.scenario.circuits * PayloadPool::CELLS_PER_CIRCUIT;
+        assert!(
+            (allocated as usize) <= flat_bound,
+            "shard {}: {allocated} fresh allocations exceed the in-flight \
+             bound {flat_bound} — the pool is thrashing",
+            s.shard
+        );
+        assert!(reused > 0, "shard {}: the pool was never reused", s.shard);
+    }
+    sweep.cells_delivered
+}
+
+fn bench_async(report: &mut Report) {
+    let exp = async_experiment();
+    // The in-thread oracle first: the seam's own overhead is the gap
+    // between this and the 1-worker threaded case.
+    let det = DeterministicExecutor;
+    let cells = run_async_once(&exp, &det);
+    report.bench_with_rate(
+        "overlay/star_async_8shard/det",
+        cells as f64,
+        "cells/s",
+        || {
+            std::hint::black_box(run_async_once(&exp, &det));
+        },
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let exec = ThreadedExecutor::new(workers);
+        let cells = run_async_once(&exp, &exec);
+        report.bench_with_rate(
+            &format!("overlay/star_async_8shard/{workers}w"),
+            cells as f64,
+            "cells/s",
+            || {
+                std::hint::black_box(run_async_once(&exp, &exec));
+            },
+        );
+    }
+}
+
 fn main() {
     let mut report = Report::new();
     bench_algorithm(&mut report, "circuitstart", || {
@@ -174,5 +258,6 @@ fn main() {
         Algorithm::CircuitStart.factory(CcConfig::default())
     });
     bench_policies(&mut report);
+    bench_async(&mut report);
     report.finish("bench_overlay");
 }

@@ -258,6 +258,10 @@ impl StarScenario {
             factory,
             master.derive("handshakes"),
         );
+        // Size the payload pool from the scenario: with many concurrent
+        // circuits the default idle cap would sit below the steady-state
+        // in-flight population and thrash alloc/free.
+        world.set_payload_pool_cap(crate::pool::PayloadPool::scenario_max_idle(self.circuits));
         let relay_overlays: Vec<_> = (0..directory.len())
             .map(|i| world.add_overlay(star.leaves[i], NodeRole::Relay, &format!("relay-{i}")))
             .collect();

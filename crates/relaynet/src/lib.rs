@@ -15,8 +15,15 @@
 //! * relay directories with sampled bandwidths and **pluggable path
 //!   selection** ([`selection`]): a [`selection::PathSelection`] policy
 //!   seam with uniform, Tor-style bandwidth-weighted, latency-aware,
-//!   and congestion-aware policies over live load telemetry, and
-//! * the two evaluation topologies (explicit path, nstor-style star).
+//!   and congestion-aware policies over live load telemetry,
+//! * the two evaluation topologies (explicit path, nstor-style star),
+//!   and
+//! * the **async relay runtime** ([`runtime`]): sharded experiments
+//!   run across a work-stealing thread pool behind the
+//!   `simcore::exec::Executor` seam, with the deterministic
+//!   single-threaded `World` as the bit-exact oracle, plus the stage
+//!   contracts as one-task-per-relay message passing over bounded
+//!   channels.
 //!
 //! The congestion-control algorithm is injected through
 //! [`node::CcFactory`], so this crate knows nothing about CircuitStart
@@ -35,6 +42,7 @@ pub mod network;
 pub mod node;
 pub mod pool;
 pub mod router;
+pub mod runtime;
 pub mod scheduler;
 pub mod selection;
 pub mod wire;
@@ -57,6 +65,10 @@ pub mod prelude {
     pub use crate::node::{CcFactory, HopCtx, NodeRole};
     pub use crate::pool::PayloadPool;
     pub use crate::router::Router;
+    pub use crate::runtime::{
+        fingerprint, FactoryMaker, ShardReport, ShardedStar, StagePipeline, StageReport,
+        SweepReport, WorldFingerprint,
+    };
     pub use crate::scheduler::LinkScheduler;
     pub use crate::selection::{
         all_policies, BandwidthWeighted, CongestionAware, DirectoryView, LatencyAware,
@@ -82,6 +94,10 @@ pub use network::{
 pub use node::{CcFactory, HopCtx, NodeRole};
 pub use pool::PayloadPool;
 pub use router::Router;
+pub use runtime::{
+    fingerprint, FactoryMaker, ShardReport, ShardedStar, StagePipeline, StageReport, SweepReport,
+    WorldFingerprint,
+};
 pub use scheduler::LinkScheduler;
 pub use selection::{
     all_policies, BandwidthWeighted, CongestionAware, DirectoryView, LatencyAware, PathSelection,

@@ -506,8 +506,81 @@ impl TorNetwork {
         }
     }
 
+    /// Discards every cell of the closing circuit already handed to its
+    /// egress scheduler(s). Those cells left the hop queues and were
+    /// registered on a transport, but have not begun serializing — left
+    /// alone they would burn link time only to be dropped at the
+    /// receiver. Each drained cell pays its owed confirm, returns its
+    /// payload to the pool, and is retired from the transport that
+    /// registered it ([`HopTransport::forget`]) so the teardown
+    /// quiescence proof is not waiting on feedback that can never come.
+    ///
+    /// Both hop directions may share one egress link (a star leaf's
+    /// uplink), so the drain runs once per distinct link and dispatches
+    /// each frame to its transport by destination.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_scheduled(
+        net: &mut Net<crate::wire::WireFrame>,
+        link_sched: &mut [LinkScheduler],
+        router: &Router,
+        net_node_of: &[NodeId],
+        stats: &mut WorldStats,
+        pool: &mut PayloadPool,
+        ctx: &mut Context<'_, TorEvent>,
+        my_net: NodeId,
+        nc: &mut NodeCircuit,
+    ) {
+        let circ = nc.circ;
+        let link_of = |h: &HopDir| router.next_link(my_net, net_node_of[h.neighbor.index()]);
+        let fwd_link = nc.fwd.as_ref().map(link_of);
+        let bwd_link = nc.bwd.as_ref().map(link_of);
+        let links = [fwd_link, bwd_link.filter(|b| Some(*b) != fwd_link)];
+        for link in links.into_iter().flatten() {
+            for frame in link_sched[link.index()].drain_circuit(circ) {
+                stats.cells_drained += 1;
+                let crate::wire::FramePayload::Cell { cell, hop_seq } = frame.payload else {
+                    debug_assert!(false, "feedback frames are never queued per circuit");
+                    continue;
+                };
+                let hopdir = nc
+                    .fwd
+                    .as_mut()
+                    .filter(|h| net_node_of[h.neighbor.index()] == frame.dst)
+                    .or_else(|| {
+                        nc.bwd
+                            .as_mut()
+                            .filter(|h| net_node_of[h.neighbor.index()] == frame.dst)
+                    });
+                match hopdir {
+                    Some(h) => {
+                        let forgotten = h.transport.forget(hop_seq);
+                        debug_assert!(forgotten, "drained cell was not outstanding");
+                    }
+                    None => debug_assert!(false, "drained cell matches no hop direction"),
+                }
+                if let CellBody::Relay(rc) = cell.body {
+                    pool.reclaim(rc.data);
+                }
+                if let Some(cf) = frame.confirm {
+                    Self::send_feedback(
+                        net,
+                        link_sched,
+                        router,
+                        net_node_of,
+                        stats,
+                        ctx,
+                        my_net,
+                        cf,
+                    );
+                }
+            }
+        }
+    }
+
     /// Marks a participation closed: queues drain (paying confirms,
-    /// reclaiming payloads) and the client stops generating cells.
+    /// reclaiming payloads) — both the hop queues and the cells this
+    /// circuit already handed to its egress link scheduler(s) — and the
+    /// client stops generating cells.
     #[allow(clippy::too_many_arguments)]
     fn close_participation(
         net: &mut Net<crate::wire::WireFrame>,
@@ -525,6 +598,17 @@ impl TorNetwork {
         if let Some(app) = nc.client.as_mut() {
             app.stage = ClientStage::Closed;
         }
+        Self::drain_scheduled(
+            net,
+            link_sched,
+            router,
+            net_node_of,
+            stats,
+            pool,
+            ctx,
+            my_net,
+            nc,
+        );
         if let Some(h) = nc.fwd.as_mut() {
             Self::drain_hopdir(
                 net,

@@ -101,7 +101,12 @@ impl Default for WorldConfig {
 }
 
 /// Global protocol counters.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Mergeable: a sharded experiment (see `relaynet::runtime`) runs many
+/// worlds and folds their counters with [`WorldStats::merge`] into one
+/// experiment-level record — every field must therefore stay a plain
+/// sum-friendly count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WorldStats {
     /// Cell frames handed to the link layer.
     pub cells_sent: u64,
@@ -122,6 +127,35 @@ pub struct WorldStats {
     pub slots_reclaimed: u64,
     /// Circuit rebuilds performed by the churn engine.
     pub rebuilds: u64,
+}
+
+impl WorldStats {
+    /// Folds another world's counters into this record — the shard
+    /// aggregation of the async runtime. Addition is associative and
+    /// commutative, so any merge order yields the same totals.
+    pub fn merge(&mut self, other: &WorldStats) {
+        // Exhaustive destructure (no `..`): adding a counter to
+        // WorldStats without deciding how it merges is a compile error
+        // here, not a silently-zero experiment aggregate.
+        let WorldStats {
+            cells_sent,
+            feedback_sent,
+            protocol_errors,
+            cells_dropped_closed,
+            destroys_sent,
+            cells_drained,
+            slots_reclaimed,
+            rebuilds,
+        } = *other;
+        self.cells_sent += cells_sent;
+        self.feedback_sent += feedback_sent;
+        self.protocol_errors += protocol_errors;
+        self.cells_dropped_closed += cells_dropped_closed;
+        self.destroys_sent += destroys_sent;
+        self.cells_drained += cells_drained;
+        self.slots_reclaimed += slots_reclaimed;
+        self.rebuilds += rebuilds;
+    }
 }
 
 /// The deterministic fill pattern for DATA payloads: byte `i` of cell
@@ -570,6 +604,25 @@ impl TorNetwork {
         &self.payload_pool
     }
 
+    /// Installs a scenario-sized payload-pool idle cap (see
+    /// [`PayloadPool::scenario_max_idle`]). Builders call this before
+    /// any traffic flows; at the circuit counts the async runtime
+    /// targets, the default cap would sit below the steady-state
+    /// in-flight payload population and thrash alloc/free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has already handed out buffers — resizing
+    /// mid-run would corrupt the conservation telemetry.
+    pub fn set_payload_pool_cap(&mut self, max_idle: usize) {
+        assert_eq!(
+            self.payload_pool.acquired(),
+            0,
+            "payload pool cap must be set before traffic"
+        );
+        self.payload_pool = PayloadPool::with_max_idle(max_idle);
+    }
+
     /// The static record of a circuit.
     pub fn circuit_info(&self, circ: CircId) -> &CircuitInfo {
         &self.circuits[circ.index()]
@@ -616,6 +669,11 @@ impl TorNetwork {
     /// An overlay node.
     pub fn node(&self, id: OverlayId) -> &OverlayNode {
         &self.nodes[id.index()]
+    }
+
+    /// Number of overlay nodes (clients + relays + servers).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     /// The client's forward hop transport of a circuit, if built.

@@ -1,0 +1,659 @@
+//! The async relay runtime: the same protocol code on one thread or
+//! across cores, with the deterministic `World` as the oracle.
+//!
+//! # Why and what (DESIGN.md §10)
+//!
+//! The paper's claims are about emergent multi-hop dynamics, which only
+//! show up at experiment scale — millions of circuits, many seeds, many
+//! policies. One deterministic event loop cannot provide that
+//! throughput, but it *is* the correctness story: every observable of a
+//! run must stay bit-for-bit reproducible. This module squares the two:
+//!
+//! * **Sharding.** A large experiment is decomposed into independent
+//!   **shards** — each a complete [`StarScenario`] world (its relays,
+//!   clients, servers, circuits, placement state and randomness streams
+//!   are derived from the shard index), executed by the unmodified
+//!   single-threaded [`simcore::sim::Simulator`]. Per-relay state is
+//!   owned by whichever task runs the shard; nothing is shared.
+//! * **The runtime seam.** [`ShardedStar::run`] hands the shard jobs to
+//!   any [`Executor`]: [`DeterministicExecutor`]
+//!   runs them in order on the calling thread (the oracle),
+//!   [`ThreadedExecutor`] spreads them over a
+//!   work-stealing pool whose results stream back through bounded
+//!   channels. Outputs are re-ordered by shard index, so **the executor
+//!   choice is unobservable**: `tests/async_runtime.rs` asserts the
+//!   threaded runtime reproduces the deterministic fingerprints —
+//!   flows, slabs, pool, counters — bit for bit, across seeds and
+//!   policies.
+//! * **Mergeable aggregation.** Shard outcomes fold into experiment
+//!   totals: [`WorldStats::merge`] for counters,
+//!   concatenated-and-sorted completion samples for the flow CDF.
+//!
+//! # Stage tasks over bounded channels
+//!
+//! [`StagePipeline`] is the intra-world half of the story: the
+//! `conn → recognition → consume` stage contract expressed as
+//! communicating tasks — one task per relay plus the two endpoints,
+//! SPSC data channels whose bounded capacity plays the role of link
+//! serialization (a full channel blocks the producer), and a feedback
+//! channel per hop carrying window credit upstream. It runs the
+//! windowed forwarding discipline of `network::conn::pump_dir` /
+//! `network::feedback` over real OS threads and proves the fabric's two
+//! load-bearing properties, which the full protocol port will inherit:
+//!
+//! 1. **Deadlock freedom under a backpressure cycle.** Data flows
+//!    forward, credit flows backward — a cycle. It cannot deadlock
+//!    because (a) a hop's unconfirmed cells never exceed its window, so
+//!    a feedback channel with `capacity == window` never fills, and
+//!    (b) the sink always consumes; induction up the path unblocks
+//!    every data send.
+//! 2. **Window-bounded relay queues.** A relay confirms a cell only
+//!    when it *forwards* it, so its local queue can never hold more
+//!    than the predecessor's window — the same backpressure bound
+//!    `tests/backprop.rs` pins for the event-driven pipeline.
+//!
+//! Porting the full cell protocol (onion layers, control plane,
+//! teardown) onto these per-relay tasks is the recorded follow-on; the
+//! sharded runtime above is what the ROADMAP's million-circuit
+//! experiments actually consume today.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use simcore::chan;
+use simcore::event::QueueKind;
+use simcore::exec::{execute_typed, Executor};
+use simcore::rng::SimRng;
+use simcore::sim::{RunLimits, StopReason};
+use simcore::time::{SimDuration, SimTime};
+
+use crate::builder::StarScenario;
+use crate::network::{TorNetwork, WorldStats};
+use crate::node::CcFactory;
+
+/// Safety horizon for shard runs: a healthy shard quiesces long before
+/// this; hitting it means a protocol deadlock, which must fail loudly.
+const MAX_SHARD_SIM_TIME_S: u64 = 3_600;
+/// Safety cap on events per shard (same rationale).
+const MAX_SHARD_EVENTS: u64 = 2_000_000_000;
+
+/// Constructs the congestion-control factory inside each shard task.
+/// [`CcFactory`] itself is a `Box<dyn Fn>` and neither `Clone` nor
+/// `Send`, so shards share the *maker* and build their own.
+pub type FactoryMaker = Arc<dyn Fn() -> CcFactory + Send + Sync>;
+
+/// Everything observable about one finished world, in exact (integer /
+/// fixed-point) form: per-flow outcomes, per-node slab telemetry,
+/// route-table and pool state, protocol counters, event count, and the
+/// placement load view. Two runs are "the same run" iff their
+/// fingerprints are equal — this is the currency of every differential
+/// suite (queue × queue, runtime × runtime).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorldFingerprint {
+    /// Per flow: (requested, delivered, cells, completion time).
+    pub flows: Vec<(u64, u64, u64, Option<SimDuration>)>,
+    /// Circuit records registered (every incarnation counts).
+    pub incarnations: usize,
+    /// Per overlay node: (slab capacity, reclaimed free slots).
+    pub node_slabs: Vec<(usize, usize)>,
+    /// Link-route table size (slots, live or free).
+    pub link_route_slots: usize,
+    /// Reclaimed link-local ids awaiting reuse.
+    pub free_link_routes: usize,
+    /// Payload pool: (allocated, reused, returned, idle, idle high-water).
+    pub pool: (u64, u64, u64, usize, usize),
+    /// Global protocol counters.
+    pub stats: WorldStats,
+    /// Events the simulator processed.
+    pub events_processed: u64,
+    /// Live per-relay circuit loads (placement seam), empty without one.
+    pub relay_loads: Vec<u32>,
+    /// Per-relay load high-water marks, empty without a placement seam.
+    pub relay_load_hwms: Vec<u32>,
+}
+
+/// Captures the full fingerprint of a finished world.
+pub fn fingerprint(world: &TorNetwork, events_processed: u64) -> WorldFingerprint {
+    let pool = world.payload_pool();
+    let (allocated, reused) = pool.stats();
+    WorldFingerprint {
+        flows: world
+            .flows()
+            .iter()
+            .map(|f| {
+                (
+                    f.requested,
+                    f.delivered,
+                    f.cells_delivered,
+                    f.completion_time(),
+                )
+            })
+            .collect(),
+        incarnations: world.circuit_count(),
+        node_slabs: (0..world.node_count())
+            .map(|i| {
+                let n = world.node(crate::ids::OverlayId(i as u32));
+                (n.slab_len(), n.free_slot_count())
+            })
+            .collect(),
+        link_route_slots: world.link_route_slots(),
+        free_link_routes: world.free_link_routes(),
+        pool: (
+            allocated,
+            reused,
+            pool.returned(),
+            pool.idle(),
+            pool.idle_hwm(),
+        ),
+        stats: *world.stats(),
+        events_processed,
+        relay_loads: world.relay_loads().map(<[_]>::to_vec).unwrap_or_default(),
+        relay_load_hwms: world
+            .relay_load_hwms()
+            .map(<[_]>::to_vec)
+            .unwrap_or_default(),
+    }
+}
+
+/// The outcome of one shard: its fingerprint plus the aggregates the
+/// experiment level consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index within the experiment.
+    pub shard: usize,
+    /// The seed the shard's world was built from.
+    pub seed: u64,
+    /// The full observable state of the finished world.
+    pub fingerprint: WorldFingerprint,
+    /// DATA cells delivered across the shard's flows.
+    pub cells_delivered: u64,
+    /// Payload bytes delivered across the shard's flows.
+    pub bytes_delivered: u64,
+    /// Request-to-last-byte completion times of the completed flows.
+    pub flow_completions: Vec<SimDuration>,
+}
+
+/// Experiment-level aggregation of every shard (see [`ShardedStar::run`]).
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Per-shard outcomes, in shard order regardless of which worker
+    /// finished first.
+    pub shards: Vec<ShardReport>,
+    /// Merged protocol counters ([`WorldStats::merge`]).
+    pub stats: WorldStats,
+    /// Total DATA cells delivered.
+    pub cells_delivered: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl SweepReport {
+    /// All shards' flow completion times, sorted — the experiment-level
+    /// CDF samples (sorting makes the merge order-independent).
+    pub fn completion_samples(&self) -> Vec<SimDuration> {
+        let mut all: Vec<SimDuration> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.flow_completions.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// The merged flow-completion CDF, if any flow completed.
+    pub fn completion_cdf(&self) -> Option<simstats::cdf::Cdf> {
+        simstats::cdf::Cdf::from_samples(
+            self.completion_samples()
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .collect(),
+        )
+    }
+}
+
+/// A star experiment decomposed into independent shards — the unit of
+/// parallelism of the async runtime. Shard `i` runs `scenario` under a
+/// seed derived from `(seed, i)`, so the decomposition itself is part
+/// of the experiment definition: the same spec run on any executor, or
+/// shard by shard by hand, produces the same worlds.
+#[derive(Clone)]
+pub struct ShardedStar {
+    /// The per-shard world template.
+    pub scenario: StarScenario,
+    /// Number of independent worlds.
+    pub shards: usize,
+    /// Master seed; shard seeds derive from it.
+    pub seed: u64,
+    /// Event-queue implementation every shard runs on.
+    pub queue: QueueKind,
+}
+
+impl ShardedStar {
+    /// The derived seed of shard `shard`.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        SimRng::seed_from(self.seed)
+            .derive_indexed("shard", shard as u64)
+            .u64()
+    }
+
+    /// Runs one shard to quiescence on the calling thread — the
+    /// single-threaded oracle. The executor path runs exactly this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard fails to quiesce within the safety limits or
+    /// records a protocol error.
+    pub fn run_shard(&self, shard: usize, factory: CcFactory) -> ShardReport {
+        assert!(shard < self.shards, "shard index out of range");
+        let seed = self.shard_seed(shard);
+        let (mut sim, _circuits) = self.scenario.build_with_queue(factory, seed, self.queue);
+        let report = sim.run_with_limits(RunLimits {
+            until: Some(SimTime::from_secs(MAX_SHARD_SIM_TIME_S)),
+            max_events: Some(MAX_SHARD_EVENTS),
+        });
+        assert_eq!(
+            report.reason,
+            StopReason::QueueEmpty,
+            "shard {shard} (seed {seed}) did not quiesce: {report:?}"
+        );
+        let events = sim.events_processed();
+        let world = sim.world();
+        assert_eq!(
+            world.stats().protocol_errors,
+            0,
+            "shard {shard} (seed {seed}) recorded protocol errors"
+        );
+        let fingerprint = fingerprint(world, events);
+        let cells_delivered = world.flows().iter().map(|f| f.cells_delivered).sum();
+        let bytes_delivered = world.flows().iter().map(|f| f.delivered).sum();
+        let flow_completions = world
+            .flows()
+            .iter()
+            .filter_map(|f| f.completion_time())
+            .collect();
+        ShardReport {
+            shard,
+            seed,
+            fingerprint,
+            cells_delivered,
+            bytes_delivered,
+            flow_completions,
+        }
+    }
+
+    /// Runs every shard on `exec` and merges the outcomes. Shard
+    /// reports come back in shard order and each shard's world is
+    /// driven by the deterministic event loop, so the result is
+    /// bit-identical across executors and worker counts — the property
+    /// the differential suite pins.
+    pub fn run(&self, exec: &dyn Executor, make_factory: FactoryMaker) -> SweepReport {
+        let jobs: Vec<Box<dyn FnOnce() -> ShardReport + Send>> = (0..self.shards)
+            .map(|shard| {
+                let spec = self.clone();
+                let make = make_factory.clone();
+                Box::new(move || spec.run_shard(shard, make()))
+                    as Box<dyn FnOnce() -> ShardReport + Send>
+            })
+            .collect();
+        let shards = execute_typed(exec, jobs);
+        let mut stats = WorldStats::default();
+        let mut cells_delivered = 0;
+        let mut bytes_delivered = 0;
+        for s in &shards {
+            stats.merge(&s.fingerprint.stats);
+            cells_delivered += s.cells_delivered;
+            bytes_delivered += s.bytes_delivered;
+        }
+        SweepReport {
+            shards,
+            stats,
+            cells_delivered,
+            bytes_delivered,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage tasks over bounded channels
+// ---------------------------------------------------------------------
+
+/// A message on a stage task's data channel (the forward direction of
+/// the `conn → recognition → consume` contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageMsg {
+    /// One cell, identified by its circuit-aggregate index.
+    Cell {
+        /// Send-order index (the sink asserts FIFO delivery).
+        id: u64,
+    },
+    /// End of stream: the sender has forwarded everything.
+    Close,
+}
+
+/// The windowed 3-stage relay pipeline as communicating tasks — see the
+/// [module docs](self) for what this models and proves.
+#[derive(Clone, Copy, Debug)]
+pub struct StagePipeline {
+    /// Relay tasks between the client and server endpoints.
+    pub relays: usize,
+    /// Cells the client originates.
+    pub cells: u64,
+    /// Per-hop window: unconfirmed cells a sender may have outstanding.
+    pub window: u32,
+    /// Capacity of each data channel — the serialization analogue. A
+    /// capacity below the window is what makes backpressure engage.
+    pub link_capacity: usize,
+}
+
+/// What one pipeline run observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageReport {
+    /// Cells the server consumed (must equal the spec's `cells`).
+    pub delivered: u64,
+    /// Window credits processed across all hops.
+    pub confirms: u64,
+    /// Times a data-channel send blocked on a full channel — proof the
+    /// bounded capacity actually throttled a producer.
+    pub blocked_sends: u64,
+    /// Largest relay-local queue observed; bounded by the predecessor's
+    /// window (the backpressure property).
+    pub relay_queue_hwm: usize,
+}
+
+/// One stage task's contribution to the report.
+struct TaskReport {
+    confirms: u64,
+    blocked_sends: u64,
+    queue_hwm: usize,
+    delivered: u64,
+}
+
+impl StagePipeline {
+    /// Number of OS tasks the pipeline spawns (client + relays + server).
+    pub fn tasks(&self) -> usize {
+        self.relays + 2
+    }
+
+    /// Runs the pipeline on `exec` until every cell is consumed and
+    /// every credit returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec` has fewer workers than the pipeline has tasks —
+    /// the tasks block on each other's channels, so each needs its own
+    /// worker (a sequential executor would deadlock by construction).
+    pub fn run(&self, exec: &dyn Executor) -> StageReport {
+        assert!(self.cells > 0 && self.window > 0 && self.link_capacity > 0);
+        let tasks = self.tasks();
+        assert!(
+            exec.workers() >= tasks,
+            "stage pipeline needs one worker per task ({tasks} tasks, {} workers)",
+            exec.workers()
+        );
+        let hops = self.relays + 1;
+        let window = self.window;
+        let cells = self.cells;
+
+        let mut data_tx = Vec::with_capacity(hops);
+        let mut data_rx = VecDeque::with_capacity(hops);
+        let mut fb_tx = VecDeque::with_capacity(hops);
+        let mut fb_rx = Vec::with_capacity(hops);
+        for _ in 0..hops {
+            let (tx, rx) = chan::bounded::<StageMsg>(self.link_capacity);
+            data_tx.push(tx);
+            data_rx.push_back(rx);
+            // capacity == window: a hop's unconfirmed cells never exceed
+            // its window, so this channel can never fill — the credit
+            // path cannot join a deadlock cycle.
+            let (tx, rx) = chan::bounded::<u64>(window as usize);
+            fb_tx.push_back(tx);
+            fb_rx.push(rx);
+        }
+
+        let mut jobs: Vec<Box<dyn FnOnce() -> TaskReport + Send>> = Vec::with_capacity(tasks);
+        // Client: originates `cells`, gated by its window.
+        {
+            let tx_down = data_tx.remove(0);
+            let rx_fb = fb_rx.remove(0);
+            jobs.push(Box::new(move || {
+                let mut in_flight = 0u32;
+                let mut confirms = 0u64;
+                for id in 0..cells {
+                    while in_flight >= window {
+                        rx_fb.recv().expect("credit path died");
+                        in_flight -= 1;
+                        confirms += 1;
+                    }
+                    tx_down.send(StageMsg::Cell { id }).expect("data path died");
+                    in_flight += 1;
+                }
+                tx_down.send(StageMsg::Close).expect("data path died");
+                while in_flight > 0 {
+                    rx_fb.recv().expect("credit path died");
+                    in_flight -= 1;
+                    confirms += 1;
+                }
+                TaskReport {
+                    confirms,
+                    blocked_sends: tx_down.stats().blocked_sends,
+                    queue_hwm: 0,
+                    delivered: 0,
+                }
+            }));
+        }
+        // Relays: receive, queue, forward under their own window,
+        // confirming upstream at forward time (strict credit priority,
+        // as the LinkScheduler orders feedback frames first).
+        for _ in 0..self.relays {
+            let rx_up = data_rx.pop_front().expect("one data rx per hop");
+            let tx_fb_up = fb_tx.pop_front().expect("one credit tx per hop");
+            let tx_down = data_tx.remove(0);
+            let rx_fb_down = fb_rx.remove(0);
+            jobs.push(Box::new(move || {
+                let mut queue: VecDeque<u64> = VecDeque::new();
+                let mut queue_hwm = 0usize;
+                let mut in_flight = 0u32;
+                let mut confirms = 0u64;
+                let mut closing = false;
+                loop {
+                    // Credit first.
+                    if rx_fb_down.try_recv().is_ok() {
+                        in_flight -= 1;
+                        confirms += 1;
+                        continue;
+                    }
+                    // Forward while the window allows.
+                    if in_flight < window {
+                        if let Some(id) = queue.pop_front() {
+                            tx_down.send(StageMsg::Cell { id }).expect("data path died");
+                            in_flight += 1;
+                            // Taking the cell out of the queue is the
+                            // moment the confirm is owed upstream.
+                            tx_fb_up.send(id).expect("credit path died");
+                            continue;
+                        }
+                    }
+                    match rx_up.try_recv() {
+                        Ok(StageMsg::Cell { id }) => {
+                            queue.push_back(id);
+                            queue_hwm = queue_hwm.max(queue.len());
+                            continue;
+                        }
+                        Ok(StageMsg::Close) => {
+                            closing = true;
+                            continue;
+                        }
+                        Err(chan::TryRecvError::Empty | chan::TryRecvError::Disconnected) => {}
+                    }
+                    if closing && queue.is_empty() {
+                        while in_flight > 0 {
+                            rx_fb_down.recv().expect("credit path died");
+                            in_flight -= 1;
+                            confirms += 1;
+                        }
+                        tx_down.send(StageMsg::Close).expect("data path died");
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                TaskReport {
+                    confirms,
+                    blocked_sends: tx_down.stats().blocked_sends,
+                    queue_hwm,
+                    delivered: 0,
+                }
+            }));
+        }
+        // Server: consumes in order and returns credit immediately.
+        {
+            let rx_up = data_rx.pop_front().expect("server data rx");
+            let tx_fb_up = fb_tx.pop_front().expect("server credit tx");
+            jobs.push(Box::new(move || {
+                let mut delivered = 0u64;
+                while let StageMsg::Cell { id } = rx_up.recv().expect("data path died") {
+                    assert_eq!(id, delivered, "cells must arrive in send order");
+                    delivered += 1;
+                    tx_fb_up.send(id).expect("credit path died");
+                }
+                TaskReport {
+                    confirms: 0,
+                    blocked_sends: 0,
+                    queue_hwm: 0,
+                    delivered,
+                }
+            }));
+        }
+
+        let reports = execute_typed(exec, jobs);
+        let mut out = StageReport {
+            delivered: 0,
+            confirms: 0,
+            blocked_sends: 0,
+            relay_queue_hwm: 0,
+        };
+        for r in reports {
+            out.delivered += r.delivered;
+            out.confirms += r.confirms;
+            out.blocked_sends += r.blocked_sends;
+            out.relay_queue_hwm = out.relay_queue_hwm.max(r.queue_hwm);
+        }
+        assert_eq!(out.delivered, cells, "pipeline lost or duplicated cells");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::fixed_window_factory;
+    use crate::directory::DirectoryConfig;
+    use crate::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
+    use simcore::exec::{DeterministicExecutor, ThreadedExecutor};
+
+    fn small_sharded() -> ShardedStar {
+        ShardedStar {
+            scenario: StarScenario {
+                circuits: 2,
+                file_bytes: 20_000,
+                directory: DirectoryConfig {
+                    relays: 6,
+                    bandwidth_mbps: (20.0, 60.0),
+                    delay_ms: (2.0, 6.0),
+                },
+                workload: WorkloadSpec {
+                    streams_per_circuit: 2,
+                    arrival: ArrivalSpec::Immediate,
+                    churn: Some(ChurnSpec {
+                        teardown_after_ms: (30.0, 60.0),
+                        rebuild_delay_ms: 5.0,
+                        cycles: 1,
+                    }),
+                },
+                ..Default::default()
+            },
+            shards: 3,
+            seed: 77,
+            queue: QueueKind::default(),
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_stable() {
+        let e = small_sharded();
+        let seeds: Vec<u64> = (0..e.shards).map(|i| e.shard_seed(i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "shard seeds collided: {seeds:?}");
+        assert_eq!(
+            seeds,
+            (0..e.shards).map(|i| e.shard_seed(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn executor_choice_is_unobservable() {
+        let e = small_sharded();
+        let make: FactoryMaker = Arc::new(|| fixed_window_factory(8));
+        let oracle = e.run(&DeterministicExecutor, make.clone());
+        let threaded = e.run(&ThreadedExecutor::new(4), make);
+        assert_eq!(oracle.shards, threaded.shards, "threaded run diverged");
+        assert_eq!(oracle.stats, threaded.stats);
+        assert_eq!(oracle.cells_delivered, threaded.cells_delivered);
+    }
+
+    #[test]
+    fn executor_path_runs_the_oracle_code() {
+        let e = small_sharded();
+        let make: FactoryMaker = Arc::new(|| fixed_window_factory(8));
+        let sweep = e.run(&DeterministicExecutor, make);
+        for (i, s) in sweep.shards.iter().enumerate() {
+            let direct = e.run_shard(i, fixed_window_factory(8));
+            assert_eq!(*s, direct, "shard {i} diverged from a direct run");
+        }
+        // Merged counters equal the per-shard sums.
+        let mut stats = WorldStats::default();
+        for s in &sweep.shards {
+            stats.merge(&s.fingerprint.stats);
+        }
+        assert_eq!(stats, sweep.stats);
+        assert!(sweep.completion_cdf().is_some());
+        assert!(sweep.bytes_delivered > 0);
+    }
+
+    #[test]
+    fn stage_pipeline_conserves_cells_under_tight_links() {
+        let spec = StagePipeline {
+            relays: 2,
+            cells: 2_000,
+            window: 8,
+            link_capacity: 2,
+        };
+        let report = spec.run(&ThreadedExecutor::new(spec.tasks()));
+        assert_eq!(report.delivered, 2_000);
+        assert!(
+            report.blocked_sends > 0,
+            "2-slot links under an 8-cell window must backpressure"
+        );
+        assert!(
+            report.relay_queue_hwm <= 8,
+            "relay queue {} exceeded the predecessor window",
+            report.relay_queue_hwm
+        );
+        // Every cell is confirmed once per hop it was forwarded on
+        // (client hop + relay hops).
+        assert_eq!(report.confirms, 2_000 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one worker per task")]
+    fn stage_pipeline_rejects_undersized_pools() {
+        let spec = StagePipeline {
+            relays: 2,
+            cells: 10,
+            window: 4,
+            link_capacity: 2,
+        };
+        let _ = spec.run(&DeterministicExecutor);
+    }
+}

@@ -149,10 +149,33 @@ fn assert_path_fits(view: &DirectoryView<'_>, path_len: usize) {
 /// partial sum is exact, so the draw sequence is bit-identical to the
 /// historical recompute-the-sum implementation — pinned by
 /// `tests/path_selection.rs`.
+///
+/// Zero-weight entries are legal and simply unselectable: a directory
+/// may carry a dead relay (zero consensus bandwidth, a congestion
+/// weight collapsed by load) without making placement panic. Only when
+/// fewer than `path_len` entries carry positive weight is the draw
+/// impossible, and *that* panics with a message naming the shortfall.
+///
+/// # Panics
+///
+/// Panics if fewer than `path_len` weights are positive, or if any
+/// weight is negative or non-finite (a policy bug, not a directory
+/// condition).
 fn weighted_distinct(mut weights: Vec<f64>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
-    debug_assert!(path_len <= weights.len());
-    debug_assert!(weights.iter().all(|&w| w > 0.0 && w.is_finite()));
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "selection weights must be finite and non-negative"
+    );
+    let selectable = weights.iter().filter(|&&w| w > 0.0).count();
+    assert!(
+        selectable >= path_len,
+        "only {selectable} of {} relays are selectable (positive weight), \
+         but the path needs {path_len} distinct relays",
+        weights.len()
+    );
     let mut chosen: Vec<usize> = Vec::with_capacity(path_len);
+    // Zero weights contribute exactly 0.0, so the total — and therefore
+    // every draw — is bit-identical to a directory without them.
     let mut total: f64 = weights.iter().sum();
     for _ in 0..path_len {
         debug_assert!(total > 0.0);
@@ -470,6 +493,56 @@ mod tests {
                 assert_eq!(fast, slow, "seed {seed}: draw sequences diverged");
             }
         }
+    }
+
+    #[test]
+    fn zero_weight_relays_are_skipped_not_fatal() {
+        // Regression: a weight vector containing dead relays (zero
+        // weight — a zero-consensus-bandwidth entry, or any future
+        // policy that excludes relays outright) used to trip
+        // `weighted_distinct`'s everything-positive debug assertion on
+        // entry. Dead entries must instead be silently unselectable.
+        let weights = vec![5.0e6, 0.0, 3.0e6, 0.0, 2.0e6, 1.0e6];
+        let mut r = rng();
+        for _ in 0..300 {
+            let picks = weighted_distinct(weights.clone(), &mut r, 3);
+            assert_eq!(picks.len(), 3);
+            assert!(
+                picks.iter().all(|&i| weights[i] > 0.0),
+                "picked a zero-weight relay: {picks:?}"
+            );
+            let mut dedup = picks.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "repeated a relay: {picks:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_leave_the_draw_sequence_unchanged() {
+        // Dead relays contribute exactly 0.0 to every partial sum, so a
+        // directory with them interleaved must reproduce the dense
+        // directory's draw sequence bit for bit (with indices remapped).
+        let dense = vec![5.0e6, 3.0e6, 2.0e6, 7.0e6];
+        let sparse = vec![5.0e6, 0.0, 3.0e6, 2.0e6, 0.0, 7.0e6];
+        // sparse index -> dense index for the positive entries.
+        let remap = [0usize, usize::MAX, 1, 2, usize::MAX, 3];
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            let d = weighted_distinct(dense.clone(), &mut a, 2);
+            let s = weighted_distinct(sparse.clone(), &mut b, 2);
+            let s_mapped: Vec<usize> = s.iter().map(|&i| remap[i]).collect();
+            assert_eq!(d, s_mapped, "zero weights perturbed the draws");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "selectable (positive weight)")]
+    fn too_few_selectable_relays_panics_clearly() {
+        // Three relays, two of them dead: a 3-relay path is impossible
+        // and must fail loudly with the shortfall named.
+        let _ = weighted_distinct(vec![0.0, 4.0e6, 0.0], &mut rng(), 3);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Bounded channels for the threaded runtime.
+//!
+//! The async relay runtime ([`crate::exec`]) communicates exclusively
+//! through **bounded** queues: a full channel blocks the sender, which is
+//! the thread-world analogue of link serialization — a producer that
+//! outruns its consumer is throttled by the medium instead of growing an
+//! unbounded buffer. The channels here are deliberately simple
+//! (`Mutex` + two `Condvar`s, no lock-free cleverness — `unsafe` is
+//! forbidden workspace-wide) and instrumented: both endpoints expose a
+//! [`ChannelStats`] snapshot counting messages, the occupancy high-water
+//! mark, and how often a send actually blocked, so tests can prove that
+//! backpressure *engaged* rather than assume it.
+//!
+//! One implementation serves both shapes the runtime needs:
+//!
+//! * **SPSC** — one producer, one consumer (a directed link between two
+//!   stage tasks). Just don't clone the [`Sender`].
+//! * **MPSC** — clone the [`Sender`] for a many-writers inbox (worker
+//!   result collection).
+//!
+//! Disconnection is explicit: when every sender is dropped, `recv`
+//! drains the queue and then reports [`RecvError::Disconnected`]; when
+//! the receiver is dropped, `send` fails with the rejected value. There
+//! is no `select`: a task that must watch two channels polls with
+//! [`Receiver::try_recv`] (see `relaynet::runtime`'s stage tasks, which
+//! give their feedback inbox strict priority exactly as the
+//! `LinkScheduler` does for feedback frames).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Telemetry snapshot of one channel (shared by both endpoints).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages accepted into the queue so far.
+    pub sent: u64,
+    /// Largest queue occupancy ever observed.
+    pub high_water_mark: usize,
+    /// Number of times a `send` found the channel full and had to block
+    /// (each wait-wakeup cycle counts once) — the backpressure events.
+    pub blocked_sends: u64,
+}
+
+/// Why a blocking receive returned no value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+/// Why a non-blocking receive returned no value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty but senders remain.
+    Empty,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+/// A send rejected because the receiver is gone; carries the value back.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+    stats: ChannelStats,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// The sending endpoint. Clone it to make the channel MPSC.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving endpoint (exactly one per channel).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel holding at most `capacity` messages.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero — a zero-capacity rendezvous channel is
+/// a different synchronization primitive and nothing here needs it.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded channel needs capacity >= 1");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receiver_alive: true,
+            stats: ChannelStats::default(),
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is full. Returns the
+    /// value back if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(value);
+                state.stats.sent += 1;
+                let occupancy = state.queue.len();
+                state.stats.high_water_mark = state.stats.high_water_mark.max(occupancy);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state.stats.blocked_sends += 1;
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .expect("channel lock poisoned");
+        }
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        self.shared
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .stats
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake a receiver blocked on an empty queue so it can
+            // observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    /// Once every sender is gone the remaining queue is drained, then
+    /// [`RecvError::Disconnected`] is reported.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .expect("channel lock poisoned");
+        }
+    }
+
+    /// Dequeues the next message if one is ready, without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        if let Some(value) = state.queue.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        self.shared
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .stats
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        state.receiver_alive = false;
+        drop(state);
+        // Senders blocked on a full queue must wake to observe the
+        // disconnect instead of sleeping forever.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_within_one_sender() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_channel_blocks_sender_until_receiver_drains() {
+        let (tx, rx) = bounded(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+            tx.stats()
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        let stats = producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(
+            stats.blocked_sends > 0,
+            "a 2-slot channel under a 100-message burst must backpressure"
+        );
+        assert!(stats.high_water_mark <= 2, "capacity bound violated");
+        assert_eq!(stats.sent, 100);
+    }
+
+    #[test]
+    fn mpsc_delivers_every_message() {
+        let (tx, rx) = bounded(4);
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..50u64 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..50u64).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn recv_reports_disconnect_after_drain() {
+        let (tx, rx) = bounded(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_with_value_when_receiver_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        match tx.send(42) {
+            Err(SendError(v)) => assert_eq!(v, 42),
+            Ok(()) => panic!("send must fail without a receiver"),
+        }
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let producer = thread::spawn(move || tx.send(1));
+        // Give the producer time to block on the full queue, then kill
+        // the receiving end: the send must fail instead of hanging.
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert!(producer.join().unwrap().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = bounded::<u8>(0);
+    }
+}

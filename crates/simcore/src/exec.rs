@@ -1,0 +1,372 @@
+//! The runtime seam: deterministic or threaded execution of simulation
+//! jobs.
+//!
+//! The event loop itself ([`crate::sim::Simulator`]) stays strictly
+//! single-threaded — that is what makes a `World` bit-for-bit
+//! reproducible and lets it serve as a correctness oracle. Scale comes
+//! from *above* the loop: production-size experiments are decomposed
+//! into independent deterministic worlds (shards), and an [`Executor`]
+//! decides whether those run one after another on the calling thread or
+//! spread across a work-stealing pool. The seam mirrors the other
+//! swap-points of the stack (`PendingEvents`, `CcFactory`,
+//! `PathSelection`): callers program against the trait, differential
+//! tests drive both implementations and assert bit-identical outputs.
+//!
+//! * [`DeterministicExecutor`] — runs jobs in submission order on the
+//!   calling thread. The oracle: zero concurrency, zero ambiguity.
+//! * [`ThreadedExecutor`] — a work-stealing pool of OS threads. Jobs are
+//!   pre-distributed round-robin across per-worker deques; an idle
+//!   worker steals the back half of the fullest other deque. Finished
+//!   outputs stream back through a **bounded** [`crate::chan`] channel
+//!   (the collector applies backpressure like any other consumer) and
+//!   are re-ordered by job index, so the caller observes exactly the
+//!   deterministic executor's output sequence — scheduling interleaving
+//!   can never leak into results.
+//!
+//! # Contract
+//!
+//! Jobs must be independent **unless** the caller guarantees that every
+//! member of a communicating set (tasks blocking on each other through
+//! channels) is claimed by a distinct worker — i.e. the set is no larger
+//! than [`Executor::workers`]. `relaynet`'s stage-task pipeline asserts
+//! exactly that. Under the deterministic executor, communicating jobs
+//! would deadlock (there is one thread); it is for independent jobs
+//! only.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::chan;
+
+/// A type-erased job output (see [`execute_typed`] for the typed view).
+pub type JobOutput = Box<dyn Any + Send>;
+
+/// A type-erased job: runs once on some worker, produces an output.
+pub type Job = Box<dyn FnOnce() -> JobOutput + Send>;
+
+/// Where simulation jobs run — see the [module docs](self).
+pub trait Executor: Sync {
+    /// Stable identifier for logs and bench keys.
+    fn name(&self) -> &'static str;
+
+    /// Number of OS threads that can make progress concurrently (1 for
+    /// the deterministic executor). Communicating job sets must not
+    /// exceed this.
+    fn workers(&self) -> usize;
+
+    /// Runs every job, returning outputs **in job order** regardless of
+    /// completion order.
+    fn execute(&self, jobs: Vec<Job>) -> Vec<JobOutput>;
+}
+
+/// Typed front-end over [`Executor::execute`]: boxes the closures up,
+/// downcasts the outputs back.
+///
+/// # Panics
+///
+/// Panics if the executor returns a wrong-typed or missing output —
+/// both indicate a broken `Executor` implementation, not a caller error.
+pub fn execute_typed<T: Send + 'static>(
+    exec: &dyn Executor,
+    jobs: Vec<Box<dyn FnOnce() -> T + Send>>,
+) -> Vec<T> {
+    let boxed: Vec<Job> = jobs
+        .into_iter()
+        .map(|job| -> Job { Box::new(move || Box::new(job()) as JobOutput) })
+        .collect();
+    exec.execute(boxed)
+        .into_iter()
+        .map(|out| *out.downcast::<T>().expect("executor preserved job types"))
+        .collect()
+}
+
+/// Runs jobs in submission order on the calling thread — the oracle
+/// every threaded run is differentially tested against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeterministicExecutor;
+
+impl Executor for DeterministicExecutor {
+    fn name(&self) -> &'static str {
+        "deterministic"
+    }
+
+    fn workers(&self) -> usize {
+        1
+    }
+
+    fn execute(&self, jobs: Vec<Job>) -> Vec<JobOutput> {
+        jobs.into_iter().map(|job| job()).collect()
+    }
+}
+
+/// A work-stealing pool of OS threads (see the [module docs](self)).
+///
+/// Threads are scoped to one [`Executor::execute`] call: the pool holds
+/// no global state between calls and cannot leak threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedExecutor {
+    workers: usize,
+}
+
+impl ThreadedExecutor {
+    /// Creates a pool of `workers` threads (at least 1).
+    pub fn new(workers: usize) -> ThreadedExecutor {
+        ThreadedExecutor {
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// One worker's share of the job indices, stealable by the others.
+struct WorkerDeque {
+    queue: Mutex<VecDeque<usize>>,
+}
+
+impl WorkerDeque {
+    /// Takes the next index from the front of the own deque.
+    fn pop_front(&self) -> Option<usize> {
+        self.queue
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_front()
+    }
+
+    /// Snapshot of the deque's length (victim selection only — may be
+    /// stale by the time a steal runs).
+    fn len(&self) -> usize {
+        self.queue.lock().expect("worker deque poisoned").len()
+    }
+
+    /// Steals roughly the back half of a victim's deque, returning the
+    /// first stolen index and pushing the rest onto `into`.
+    fn steal_into(&self, into: &WorkerDeque) -> Option<usize> {
+        let mut victim = self.queue.lock().expect("worker deque poisoned");
+        let n = victim.len();
+        if n == 0 {
+            return None;
+        }
+        let take = n.div_ceil(2);
+        let mut stolen: Vec<usize> = (0..take).filter_map(|_| victim.pop_back()).collect();
+        drop(victim);
+        // pop_back reversed the order; restore it so stolen work runs
+        // oldest-first like everything else.
+        stolen.reverse();
+        let first = stolen.first().copied();
+        if stolen.len() > 1 {
+            let mut own = into.queue.lock().expect("worker deque poisoned");
+            own.extend(stolen.drain(1..));
+        }
+        first
+    }
+}
+
+impl Executor for ThreadedExecutor {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn execute(&self, jobs: Vec<Job>) -> Vec<JobOutput> {
+        let total = jobs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        // Job slots: each claimed exactly once by whichever worker pops
+        // (or steals) its index.
+        let slots: Vec<Mutex<Option<Job>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let deques: Vec<WorkerDeque> = (0..self.workers)
+            .map(|w| WorkerDeque {
+                queue: Mutex::new((w..total).step_by(self.workers).collect()),
+            })
+            .collect();
+        let claimed = AtomicUsize::new(0);
+        // Bounded result stream: finished outputs flow back through
+        // backpressured channel like any other produced value.
+        let (tx, rx) = chan::bounded::<(usize, JobOutput)>(self.workers * 2);
+
+        let mut outputs: Vec<Option<JobOutput>> = (0..total).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for w in 0..self.workers {
+                let tx = tx.clone();
+                let deques = &deques;
+                let slots = &slots;
+                let claimed = &claimed;
+                scope.spawn(move || loop {
+                    let mut idx = deques[w].pop_front();
+                    if idx.is_none() {
+                        // Steal, trying every victim fullest-first: one
+                        // racy failed steal (another thief won the same
+                        // victim) must not retire this worker while
+                        // other deques still hold jobs.
+                        let mut victims: Vec<usize> =
+                            (0..deques.len()).filter(|&v| v != w).collect();
+                        victims.sort_by_key(|&v| std::cmp::Reverse(deques[v].len()));
+                        for v in victims {
+                            if let Some(stolen) = deques[v].steal_into(&deques[w]) {
+                                idx = Some(stolen);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(idx) = idx else {
+                        // Nothing visible anywhere. Only retire once every
+                        // index is provably claimed; below that, an index
+                        // may be transiently in another thief's hands
+                        // (between its victim pop and its own push), so
+                        // yield and rescan. A stale low read just retries;
+                        // claimed == total is only ever written once all
+                        // jobs are claimed, so exit cannot be premature.
+                        if claimed.load(Ordering::Relaxed) == total {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    claimed.fetch_add(1, Ordering::Relaxed);
+                    let job = slots[idx]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    if tx.send((idx, job())).is_err() {
+                        break; // collector gone: abandon ship
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..total {
+                let (idx, out) = rx
+                    .recv()
+                    .expect("a worker panicked before delivering its job output");
+                outputs[idx] = Some(out);
+            }
+        });
+        debug_assert_eq!(claimed.load(Ordering::Relaxed), total);
+        outputs
+            .into_iter()
+            .map(|o| o.expect("every job delivered exactly one output"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares_job(i: u64) -> Box<dyn FnOnce() -> u64 + Send> {
+        Box::new(move || i * i)
+    }
+
+    #[test]
+    fn deterministic_runs_in_order() {
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                let order = order.clone();
+                Box::new(move || {
+                    order.lock().unwrap().push(i);
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = execute_typed(&DeterministicExecutor, jobs);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_preserves_job_order_in_outputs() {
+        for workers in [1, 2, 4, 8] {
+            let exec = ThreadedExecutor::new(workers);
+            assert_eq!(exec.workers(), workers);
+            let jobs: Vec<_> = (0..50u64).map(squares_job).collect();
+            let out = execute_typed(&exec, jobs);
+            assert_eq!(
+                out,
+                (0..50u64).map(|i| i * i).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_matches_deterministic_bit_for_bit() {
+        // The seam's core promise: for independent deterministic jobs the
+        // executor choice is unobservable in the outputs.
+        let make_jobs = || -> Vec<Box<dyn FnOnce() -> Vec<u64> + Send>> {
+            (0..16u64)
+                .map(|i| {
+                    Box::new(move || {
+                        // A deterministic per-job computation with state.
+                        let mut acc = Vec::new();
+                        let mut x = i + 1;
+                        for _ in 0..100 {
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            acc.push(x);
+                        }
+                        acc
+                    }) as Box<dyn FnOnce() -> Vec<u64> + Send>
+                })
+                .collect()
+        };
+        let oracle = execute_typed(&DeterministicExecutor, make_jobs());
+        for workers in [2, 4, 8] {
+            let threaded = execute_typed(&ThreadedExecutor::new(workers), make_jobs());
+            assert_eq!(oracle, threaded, "{workers} workers diverged from oracle");
+        }
+    }
+
+    #[test]
+    fn uneven_jobs_get_stolen() {
+        // Worker 0's deque holds one huge job followed by many small
+        // ones; with stealing the wall time is bounded by the huge job,
+        // and — observable without timing — every job still completes.
+        let exec = ThreadedExecutor::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..40u64)
+            .map(|i| {
+                Box::new(move || {
+                    let spins = if i == 0 { 2_000_000 } else { 1_000 };
+                    let mut x = i;
+                    for _ in 0..spins {
+                        x = x.wrapping_mul(31).wrapping_add(7);
+                    }
+                    std::hint::black_box(x);
+                    i
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let out = execute_typed(&exec, jobs);
+        assert_eq!(out, (0..40u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_job_list() {
+        assert!(ThreadedExecutor::new(4).execute(Vec::new()).is_empty());
+        assert!(DeterministicExecutor.execute(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let out = execute_typed(
+            &ThreadedExecutor::new(8),
+            (0..2u64).map(squares_job).collect(),
+        );
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_worker_request_clamps_to_one() {
+        let exec = ThreadedExecutor::new(0);
+        assert_eq!(exec.workers(), 1);
+        let out = execute_typed(&exec, (0..3u64).map(squares_job).collect());
+        assert_eq!(out, vec![0, 1, 4]);
+    }
+}

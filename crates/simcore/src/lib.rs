@@ -15,14 +15,24 @@
 //!   [`World`](sim::World) trait implemented by models.
 //! * [`rng`] — seeded, labelled-stream random numbers so experiments are
 //!   reproducible bit-for-bit.
+//! * [`exec`] — the runtime seam: an [`Executor`](exec::Executor) runs
+//!   independent deterministic worlds either sequentially (the oracle)
+//!   or across a work-stealing thread pool, with outputs re-ordered so
+//!   the choice is unobservable.
+//! * [`chan`] — bounded, instrumented channels (SPSC/MPSC) the threaded
+//!   runtime communicates through; a full channel blocks the producer,
+//!   the analogue of link serialization.
 //!
 //! ## Design rules
 //!
 //! 1. **Single ownership root.** All model state lives in one `World`
 //!    value; events carry ids, not references.
 //! 2. **Stable ordering.** Same-timestamp events fire in schedule order.
-//! 3. **No wall clock, no threads, no global state.** Two runs with the
-//!    same seed produce identical traces, byte for byte.
+//! 3. **No wall clock, no threads, no global state — inside one world.**
+//!    The event loop is strictly single-threaded: two runs with the same
+//!    seed produce identical traces, byte for byte. Parallelism lives
+//!    only *above* the loop ([`exec`]), across independent worlds, and
+//!    is differentially tested to leave every output bit unchanged.
 //!
 //! ## Example
 //!
@@ -50,7 +60,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chan;
 pub mod event;
+pub mod exec;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -58,12 +70,15 @@ pub mod time;
 /// Convenience re-exports of the items almost every user needs.
 pub mod prelude {
     pub use crate::event::{EventId, QueueKind};
+    pub use crate::exec::{DeterministicExecutor, Executor, ThreadedExecutor};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Context, RunLimits, RunReport, Simulator, StopReason, World};
     pub use crate::time::{SimDuration, SimTime};
 }
 
+pub use chan::{ChannelStats, Receiver, RecvError, SendError, Sender, TryRecvError};
 pub use event::{CalendarQueue, EventId, EventQueue, HeapQueue, PendingEvents, QueueKind};
+pub use exec::{execute_typed, DeterministicExecutor, Executor, ThreadedExecutor};
 pub use rng::SimRng;
 pub use sim::{Context, RunLimits, RunReport, Simulator, StopReason, World};
 pub use time::{SimDuration, SimTime};

@@ -22,7 +22,14 @@ cargo run -q --release --example churn_web
 echo "==> smoke: cargo run --example path_policies (selection seam: all four policies)"
 cargo run -q --release --example path_policies
 
+echo "==> smoke: cargo run --example async_sweep (threaded runtime + oracle check)"
+cargo run -q --release --example async_sweep
+
+echo "==> threaded-runtime differential suite (oracle fingerprints, deadlock stress)"
+cargo test -q --test async_runtime
+
 echo "==> bench smoke: CS_BENCH_FAST=1 (3 samples; sanity, not measurement)"
+echo "    (includes overlay/star_async_* — threaded-runtime scaling cases + pool-flatness asserts)"
 CS_BENCH_FAST=1 cargo bench -q -p cs-bench --bench bench_simcore
 CS_BENCH_FAST=1 cargo bench -q -p cs-bench --bench bench_overlay
 

@@ -186,6 +186,83 @@ fn teardown_racing_the_build_never_panics_or_leaks() {
 }
 
 #[test]
+fn scheduler_queued_cells_drop_at_destroy_without_burning_link_time() {
+    // Regression: cells a circuit had already handed to its egress link
+    // scheduler used to serialize onto the wire after the circuit
+    // closed, just to be dropped at the receiver — burning link time
+    // and, critically, queueing the DESTROY *behind* them. Setup: the
+    // client's own access link is the bottleneck (2 Mbit/s ≈ 2 ms per
+    // cell), so a 16-cell window parks ~15 DATA cells in the client's
+    // link scheduler. At teardown those must be drained in place: their
+    // payloads return to the pool immediately and the DESTROY wave
+    // completes within a couple of RTTs instead of waiting out ~30 ms
+    // of dead serialization.
+    let scenario = PathScenario {
+        hops: vec![hop(2, 2), hop(100, 1), hop(100, 1)],
+        file_bytes: 500_000,
+        workload: WorkloadSpec {
+            streams_per_circuit: 1,
+            arrival: ArrivalSpec::Immediate,
+            churn: Some(ChurnSpec {
+                teardown_after_ms: (50.0, 50.0),
+                rebuild_delay_ms: 400.0,
+                cycles: 1,
+            }),
+        },
+        world: WorldConfig::default(),
+    };
+    let (mut sim, h) = scenario.build(fixed_window_factory(16), 19);
+    // Pause 25 ms after the teardown: far less than the ~30 ms the
+    // drained backlog would have needed on the wire, ample for the
+    // DESTROY round trip over the fast relay links.
+    let report = sim.run_with_limits(RunLimits {
+        until: Some(SimTime::from_millis(75)),
+        max_events: None,
+    });
+    assert_ne!(report.reason, StopReason::QueueEmpty, "rebuild still due");
+    let world = sim.world();
+    assert_eq!(world.stats().protocol_errors, 0);
+    assert!(
+        world.stats().cells_drained >= 10,
+        "the scheduler backlog must be drained, not serialized (drained {})",
+        world.stats().cells_drained
+    );
+    // Post-DESTROY link time: had the backlog serialized, the wave
+    // could not have completed yet — full slot reclamation this early
+    // proves the queued cells never occupied the wire.
+    assert_eq!(
+        world.stats().slots_reclaimed,
+        4,
+        "teardown must quiesce within the DESTROY round trip"
+    );
+    assert_eq!(world.stats().destroys_sent, 2 * 3);
+    assert_eq!(world.stats().rebuilds, 0, "rebuild delayed past the pause");
+    // No pooled payload leaked: everything the client ever acquired is
+    // back at rest — including the buffers drained out of the link
+    // scheduler.
+    let pool = world.payload_pool();
+    assert_eq!(pool.returned(), pool.acquired(), "buffers leaked in flight");
+    assert_eq!(pool.idle(), pool.stats().0 as usize, "all buffers at rest");
+
+    // The rebuilt incarnation still delivers every byte.
+    let report = sim.run();
+    assert_eq!(report.reason, StopReason::QueueEmpty);
+    let world = sim.world();
+    assert_eq!(world.stats().protocol_errors, 0);
+    assert_eq!(world.stats().rebuilds, 1);
+    assert!(world.flows().iter().all(|f| f.complete()));
+    assert_eq!(
+        world.flows().iter().map(|f| f.delivered).sum::<u64>(),
+        500_000
+    );
+    assert_eq!(
+        world.payload_pool().returned(),
+        world.payload_pool().acquired()
+    );
+    assert!(!world.result_of(h.circ).completed);
+}
+
+#[test]
 fn destroy_count_scales_with_cycles() {
     // Two full post-build teardowns of a 4-node path: 2 cycles × 2
     // waves × 3 hops = 12 DESTROYs, 2 × 4 slots reclaimed.

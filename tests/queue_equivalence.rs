@@ -5,6 +5,14 @@
 //! changes *nothing observable*: event ordering, WorldStats counters,
 //! cwnd traces, per-cell RTT samples, and completion times all match,
 //! across seeds and for both evaluation topologies.
+//!
+//! Workload runs fingerprint through the shared
+//! [`relaynet::runtime::WorldFingerprint`] — the same exact-observables
+//! record the async-runtime differential suite (`tests/async_runtime.rs`)
+//! compares across executors, so the queue seam and the runtime seam
+//! are pinned against one definition of "the same run". The
+//! queue × runtime product matrix itself lives in that suite
+//! (`queue_and_runtime_seams_compose`).
 
 use circuitstart::prelude::*;
 use relaynet::builder::{PathScenario, StarScenario};
@@ -151,43 +159,9 @@ fn baseline_algorithms_also_match() {
 /// per-flow outcomes, slab telemetry, counters, event count. Churn is
 /// the first workload that reclaims and reuses circuit-id slots, route
 /// slots, and pooled payload buffers mid-run, so the fingerprint pins
-/// all of that too.
-#[derive(PartialEq, Debug)]
-struct WorkloadFingerprint {
-    flows: Vec<(u64, u64, Option<f64>)>, // (requested, delivered, completion)
-    incarnations: usize,
-    link_route_slots: usize,
-    free_link_routes: usize,
-    pool: (u64, u64, u64), // (allocated, reused, returned)
-    stats: (u64, u64, u64, u64, u64, u64, u64, u64),
-    events_processed: u64,
-}
-
-fn workload_fingerprint(
-    world: &relaynet::TorNetwork,
-    events_processed: u64,
-) -> WorkloadFingerprint {
-    let (allocated, reused) = world.payload_pool().stats();
-    WorkloadFingerprint {
-        flows: world
-            .flows()
-            .iter()
-            .map(|f| {
-                (
-                    f.requested,
-                    f.delivered,
-                    f.completion_time().map(|d| d.as_secs_f64()),
-                )
-            })
-            .collect(),
-        incarnations: world.circuit_count(),
-        link_route_slots: world.link_route_slots(),
-        free_link_routes: world.free_link_routes(),
-        pool: (allocated, reused, world.payload_pool().returned()),
-        stats: stats_tuple(world.stats()),
-        events_processed,
-    }
-}
+/// all of that too — via the shared exact-observables record of the
+/// async runtime.
+use relaynet::runtime::fingerprint as workload_fingerprint;
 
 fn churn_workload() -> WorkloadSpec {
     WorkloadSpec {
@@ -225,7 +199,7 @@ fn churn_path_runs_identically_on_both_queues_across_seeds() {
         let cal = run(seed, QueueKind::Calendar);
         let heap = run(seed, QueueKind::BinaryHeap);
         assert!(
-            cal.stats.7 >= 1,
+            cal.stats.rebuilds >= 1,
             "seed {seed}: churn must actually rebuild (got {cal:?})"
         );
         assert_eq!(
@@ -260,7 +234,10 @@ fn churn_star_runs_identically_on_both_queues_across_seeds() {
     for seed in [5u64, 41, 83] {
         let cal = run(seed, QueueKind::Calendar);
         let heap = run(seed, QueueKind::BinaryHeap);
-        assert!(cal.stats.7 >= 1, "seed {seed}: churn must actually rebuild");
+        assert!(
+            cal.stats.rebuilds >= 1,
+            "seed {seed}: churn must actually rebuild"
+        );
         assert_eq!(
             cal, heap,
             "seed {seed}: churn star experiment diverges between queues"
@@ -331,7 +308,7 @@ fn selection_policies_run_identically_on_both_queues_across_seeds() {
             let cal = run_star(seed, QueueKind::Calendar);
             let heap = run_star(seed, QueueKind::BinaryHeap);
             assert!(
-                cal.0.stats.7 >= 1,
+                cal.0.stats.rebuilds >= 1,
                 "{} seed {seed}: churn must actually rebuild",
                 policy.name()
             );
