@@ -167,6 +167,88 @@ fn bench_policies(report: &mut Report) {
     }
 }
 
+/// The consensus-scale selection case: the incremental engine over a
+/// 7000-relay directory (the size of the real Tor consensus), linear
+/// scan vs Fenwick tree behind the same congestion-aware policy. Each
+/// "select" is a full placement round trip as the network performs it:
+/// a 3-relay weighted draw without replacement, load-ledger increments
+/// with point updates, and the retirement (decrement) of an old
+/// circuit's relays — so the rate is placements/s at steady churn, not
+/// an isolated draw. Both cases consume identical RNG streams (the
+/// pick-equivalence contract), so the ratio is pure data-structure win.
+fn bench_selection(report: &mut Report) {
+    use relaynet::directory::Directory;
+    use relaynet::sampler::SamplerKind;
+    use relaynet::selection::{CongestionAware, DirectoryView, SelectionEngine};
+    use simcore::rng::SimRng;
+
+    const RELAYS: usize = 7000;
+    const SELECTS_PER_ITER: usize = 64;
+    const LIVE_CIRCUITS: usize = 64;
+
+    let dir = Directory::generate(
+        &DirectoryConfig {
+            relays: RELAYS,
+            ..DirectoryConfig::default()
+        },
+        &SimRng::seed_from(9),
+    );
+    let policy = CongestionAware;
+    for (key, kind) in [
+        ("linear", SamplerKind::Linear),
+        ("fenwick", SamplerKind::Fenwick),
+    ] {
+        let mut load = vec![0u32; RELAYS];
+        let mut engine = SelectionEngine::new(&policy, &DirectoryView::new(&dir, &load), kind);
+        assert_eq!(engine.sampler_name(), key);
+        let mut rng = SimRng::seed_from(4242);
+        let mut history: std::collections::VecDeque<[usize; 3]> =
+            std::collections::VecDeque::with_capacity(LIVE_CIRCUITS + 1);
+        let round = |engine: &mut SelectionEngine,
+                     load: &mut Vec<u32>,
+                     history: &mut std::collections::VecDeque<[usize; 3]>,
+                     rng: &mut SimRng| {
+            let mut picks = [0usize; 3];
+            picks.copy_from_slice(engine.select(&policy, &DirectoryView::new(&dir, load), rng, 3));
+            for &r in &picks {
+                load[r] += 1;
+                engine.load_changed(&policy, &DirectoryView::new(&dir, load), r);
+            }
+            history.push_back(picks);
+            if history.len() > LIVE_CIRCUITS {
+                let old = history.pop_front().expect("non-empty");
+                for &r in &old {
+                    load[r] -= 1;
+                    engine.load_changed(&policy, &DirectoryView::new(&dir, load), r);
+                }
+            }
+        };
+        // Warm-up past the point every scratch buffer reaches its
+        // high-water mark, then pin the footprint: the steady state
+        // must be allocation-flat (perf_opt acceptance criterion).
+        for _ in 0..SELECTS_PER_ITER {
+            round(&mut engine, &mut load, &mut history, &mut rng);
+        }
+        let footprint = engine.scratch_footprint();
+        report.bench_with_rate(
+            &format!("overlay/selection_7k/{key}"),
+            SELECTS_PER_ITER as f64,
+            "selects/s",
+            || {
+                for _ in 0..SELECTS_PER_ITER {
+                    round(&mut engine, &mut load, &mut history, &mut rng);
+                }
+                std::hint::black_box(&load);
+            },
+        );
+        assert_eq!(
+            engine.scratch_footprint(),
+            footprint,
+            "{key}: selection scratch grew after warm-up — the fast path allocated"
+        );
+    }
+}
+
 /// The async-runtime scaling case: the churning star of
 /// `star_churn_4x3x2`, sharded 8 ways and run across a work-stealing
 /// pool at 1/2/4/8 workers. Each shard is a full deterministic world
@@ -258,6 +340,7 @@ fn main() {
         Algorithm::CircuitStart.factory(CcConfig::default())
     });
     bench_policies(&mut report);
+    bench_selection(&mut report);
     bench_async(&mut report);
     report.finish("bench_overlay");
 }

@@ -31,8 +31,9 @@ use crate::ids::{CircId, Direction};
 use crate::network::{TorNetwork, WorldConfig};
 use crate::node::{CcFactory, NodeRole};
 use crate::router::Router;
+use crate::sampler::SamplerKind;
 use crate::selection::{SelectionPolicy, Uniform};
-use crate::workload::WorkloadSpec;
+use crate::workload::{EpochSpec, WorkloadSpec};
 
 /// A single circuit over an explicit chain of links.
 #[derive(Clone, Debug)]
@@ -172,6 +173,16 @@ pub struct StarScenario {
     /// circuit (resolved independently per circuit from the master
     /// seed). Default: one immediate bulk stream, no churn.
     pub workload: WorkloadSpec,
+    /// Consensus epoch churn (see [`EpochSpec`]): relays join/leave the
+    /// live set at epoch boundaries, tearing down crossing circuits.
+    /// `None` (the default) keeps every relay live forever — and keeps
+    /// the run bit-identical to pre-epoch builds (the "epochs" RNG
+    /// stream is only derived when this is set).
+    pub epochs: Option<EpochSpec>,
+    /// Which weighted-sampler implementation backs the selection engine
+    /// (picks are identical either way; see [`crate::sampler`]).
+    /// Default: [`SamplerKind::Auto`].
+    pub sampler: SamplerKind,
     /// World switches.
     pub world: WorldConfig,
 }
@@ -188,6 +199,8 @@ impl Default for StarScenario {
             start_jitter_ms: 50.0,
             selection: Arc::new(Uniform),
             workload: WorkloadSpec::default(),
+            epochs: None,
+            sampler: SamplerKind::Auto,
             world: WorldConfig::default(),
         }
     }
@@ -213,14 +226,23 @@ impl StarScenario {
             "need at least one relay per circuit"
         );
         let master = SimRng::seed_from(seed);
-        let directory = Directory::generate(&self.directory, &master.derive("directory"));
+        let mut directory = Directory::generate(&self.directory, &master.derive("directory"));
+        let relay_count = directory.len();
         let mut endpoint_rng = master.derive("endpoints");
         let mut jitter_rng = master.derive("start-jitter");
+        // The epoch schedule is drawn from its own labelled stream, and
+        // that stream is only derived when epochs are configured — a
+        // no-epoch build consumes exactly the randomness it always did.
+        let epoch_schedule = self.epochs.as_ref().map(|spec| {
+            let mut rng = master.derive("epochs");
+            spec.resolve(relay_count, self.relays_per_circuit, &mut rng)
+        });
 
         // Leaves: all relays first, then client/server pairs per circuit.
+        // Every provisioned relay keeps its access link — epochs only
+        // toggle liveness, never the physical topology.
         let mut accesses: Vec<AccessConfig> = directory
-            .relays()
-            .iter()
+            .iter_specs()
             .map(|r| AccessConfig {
                 rate: r.bandwidth,
                 delay: r.delay,
@@ -262,26 +284,34 @@ impl StarScenario {
         // circuits the default idle cap would sit below the steady-state
         // in-flight population and thrash alloc/free.
         world.set_payload_pool_cap(crate::pool::PayloadPool::scenario_max_idle(self.circuits));
-        let relay_overlays: Vec<_> = (0..directory.len())
+        let relay_overlays: Vec<_> = (0..relay_count)
             .map(|i| world.add_overlay(star.leaves[i], NodeRole::Relay, &format!("relay-{i}")))
             .collect();
-        // The placement seam: the network owns the relay view, the
+        // The initial standby pool goes dark before placement installs,
+        // so the first circuits already select from the live set only.
+        if let Some(sched) = &epoch_schedule {
+            for &r in &sched.initial_dark {
+                directory.set_live(r as usize, false);
+            }
+        }
+        // The placement seam: the network owns the relay store, the
         // policy, and the "paths" stream, so both the initial placement
         // below and churn-driven rebuilds select through the same
         // policy — each placement seeing the load left by its
         // predecessors.
-        world.install_placement(
-            directory.relays().to_vec(),
+        world.install_placement_with_sampler(
+            directory,
             relay_overlays,
             self.selection.clone(),
             master.derive("paths"),
+            self.sampler,
         );
 
         let mut circuits = Vec::with_capacity(self.circuits);
         let mut sim_events: Vec<(SimTime, CircId)> = Vec::with_capacity(self.circuits);
         for c in 0..self.circuits {
-            let client_leaf = star.leaves[directory.len() + 2 * c];
-            let server_leaf = star.leaves[directory.len() + 2 * c + 1];
+            let client_leaf = star.leaves[relay_count + 2 * c];
+            let server_leaf = star.leaves[relay_count + 2 * c + 1];
             let client = world.add_overlay(client_leaf, NodeRole::Client, &format!("client-{c}"));
             let server = world.add_overlay(server_leaf, NodeRole::Server, &format!("server-{c}"));
             let picks = world.select_relays(self.relays_per_circuit);
@@ -303,9 +333,21 @@ impl StarScenario {
             circuits.push(circ);
         }
 
+        if let Some(sched) = epoch_schedule {
+            world.install_epochs(sched.deltas);
+        }
         let mut sim = Simulator::with_queue(world, queue);
         for (t, circ) in sim_events {
             sim.schedule_at(t, TorEvent::StartCircuit(circ));
+        }
+        if let Some(spec) = &self.epochs {
+            let interval = spec.interval();
+            for i in 0..spec.epochs {
+                sim.schedule_at(
+                    SimTime::ZERO + interval * u64::from(i + 1),
+                    TorEvent::Epoch(i),
+                );
+            }
         }
         (sim, circuits)
     }

@@ -21,6 +21,11 @@ pub struct CircuitInfo {
     pub workload: CircuitWorkload,
     /// Which rebuild cycle this incarnation is (0 = original build).
     pub incarnation: u32,
+    /// Whether this incarnation currently holds a +1 in the placement
+    /// load ledger (set when placed, cleared exactly once at reclaim —
+    /// the flag that lets epoch churn and the ledger verifier reason
+    /// about torn-down-but-not-yet-rebuilt circuits).
+    pub accounted: bool,
 }
 
 /// Measured outcome of one circuit's transfer.

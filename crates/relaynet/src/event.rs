@@ -26,6 +26,10 @@ pub enum TorEvent {
     /// A fully torn-down circuit's unfinished flows are re-attached to a
     /// fresh circuit over the same path (churn rebuild).
     Rebuild(CircId),
+    /// A consensus epoch boundary: the network applies directory delta
+    /// `epoch` (relays join/leave), tearing down circuits that cross a
+    /// departing relay so their flows rebuild under the live policy.
+    Epoch(u32),
     /// Change a link's rate mid-run (bandwidth-change experiments for the
     /// paper's future-work extension).
     SetLinkRate {

@@ -43,6 +43,7 @@ pub mod node;
 pub mod pool;
 pub mod router;
 pub mod runtime;
+pub mod sampler;
 pub mod scheduler;
 pub mod selection;
 pub mod wire;
@@ -55,7 +56,7 @@ pub mod prelude {
         PathScenario, StarScenario,
     };
     pub use crate::circuit::{CircuitInfo, CircuitResult};
-    pub use crate::directory::{Directory, DirectoryConfig, RelaySpec};
+    pub use crate::directory::{Directory, DirectoryConfig, EpochDelta, RelaySpec};
     pub use crate::event::TorEvent;
     pub use crate::ids::{CircId, Direction, OverlayId};
     pub use crate::network::{
@@ -69,14 +70,16 @@ pub mod prelude {
         fingerprint, FactoryMaker, ShardReport, ShardedStar, StagePipeline, StageReport,
         SweepReport, WorldFingerprint,
     };
+    pub use crate::sampler::{FenwickSampler, LinearSampler, Sampler, SamplerKind};
     pub use crate::scheduler::LinkScheduler;
     pub use crate::selection::{
         all_policies, BandwidthWeighted, CongestionAware, DirectoryView, LatencyAware,
-        PathSelection, SelectionPolicy, Uniform,
+        PathSelection, SelectionEngine, SelectionPolicy, Uniform,
     };
     pub use crate::wire::{FramePayload, WireFrame};
     pub use crate::workload::{
-        ArrivalSpec, ChurnSpec, CircuitWorkload, FlowId, FlowState, StreamSpec, WorkloadSpec,
+        ArrivalSpec, ChurnSpec, CircuitWorkload, EpochSchedule, EpochSpec, FlowId, FlowState,
+        StreamSpec, WorkloadSpec,
     };
 }
 
@@ -85,7 +88,7 @@ pub use builder::{
     PathScenario, StarScenario,
 };
 pub use circuit::{CircuitInfo, CircuitResult};
-pub use directory::{Directory, DirectoryConfig, RelaySpec};
+pub use directory::{Directory, DirectoryConfig, EpochDelta, RelaySpec};
 pub use event::TorEvent;
 pub use ids::{CircId, Direction, OverlayId};
 pub use network::{
@@ -98,12 +101,14 @@ pub use runtime::{
     fingerprint, FactoryMaker, ShardReport, ShardedStar, StagePipeline, StageReport, SweepReport,
     WorldFingerprint,
 };
+pub use sampler::{FenwickSampler, LinearSampler, Sampler, SamplerKind};
 pub use scheduler::LinkScheduler;
 pub use selection::{
     all_policies, BandwidthWeighted, CongestionAware, DirectoryView, LatencyAware, PathSelection,
-    SelectionPolicy, Uniform,
+    SelectionEngine, SelectionPolicy, Uniform,
 };
 pub use wire::{FramePayload, WireFrame};
 pub use workload::{
-    ArrivalSpec, ChurnSpec, CircuitWorkload, FlowId, FlowState, StreamSpec, WorkloadSpec,
+    ArrivalSpec, ChurnSpec, CircuitWorkload, EpochSchedule, EpochSpec, FlowId, FlowState,
+    StreamSpec, WorkloadSpec,
 };

@@ -944,4 +944,61 @@ impl TorNetwork {
         let new = self.add_circuit_with_workload(path, workload, incarnation);
         self.start_circuit(ctx, new);
     }
+
+    /// Applies one consensus epoch delta (from a [`TorEvent::Epoch`]):
+    /// joining relays go live (selectable again, O(log n) sampler
+    /// update each), departing relays go dark, and every accounted
+    /// circuit crossing a departure is torn down through the normal
+    /// two-wave DESTROY machinery — its unfinished flows rebuild under
+    /// the live policy once teardown quiesces, exactly like
+    /// workload-driven churn.
+    pub(super) fn apply_epoch(&mut self, ctx: &mut Context<'_, TorEvent>, epoch: u32) {
+        let Some(delta) = self.epoch_deltas.get_mut(epoch as usize) else {
+            return;
+        };
+        let delta = std::mem::take(delta);
+        if delta.is_empty() {
+            self.stats.epochs_applied += 1;
+            return;
+        }
+        // Joins first: a relay must never be both dark and picked by a
+        // rebuild triggered later in this same boundary.
+        let mut joined = 0u64;
+        for &r in &delta.join {
+            if self.set_relay_live(r as usize, true) {
+                joined += 1;
+            }
+        }
+        let mut departed = 0u64;
+        for &r in &delta.leave {
+            if self.set_relay_live(r as usize, false) {
+                departed += 1;
+            }
+        }
+        self.stats.relays_joined += joined;
+        self.stats.relays_departed += departed;
+        self.stats.epochs_applied += 1;
+        // Mark the departing relays' overlay nodes, then tear down every
+        // live circuit crossing one. `teardown` no-ops on circuits
+        // already vacant or closed, so racing workload churn is safe.
+        let p = self.placement.as_ref().expect("epochs need a placement");
+        let mut leaving = vec![false; self.nodes.len()];
+        for &r in &delta.leave {
+            leaving[p.relay_overlays[r as usize].index()] = true;
+        }
+        for i in 0..self.circuits.len() {
+            let crosses = {
+                let info = &self.circuits[i];
+                info.accounted && info.path.iter().any(|n| leaving[n.index()])
+            };
+            if crosses {
+                self.stats.epoch_teardowns += 1;
+                self.teardown(ctx, CircId(i as u32));
+            }
+        }
+        debug_assert!(
+            self.verify_placement_ledger(),
+            "epoch {epoch}: placement ledger out of sync"
+        );
+    }
 }

@@ -64,14 +64,15 @@ use backtap::hop::HopTransport;
 use torcell::ids::CircuitId;
 
 use crate::circuit::{CircuitInfo, CircuitResult};
-use crate::directory::RelaySpec;
+use crate::directory::{Directory, EpochDelta};
 use crate::event::TorEvent;
 use crate::ids::{CircId, Direction, OverlayId};
 use crate::node::{CcFactory, NodeRole, OverlayNode};
 use crate::pool::PayloadPool;
 use crate::router::Router;
+use crate::sampler::SamplerKind;
 use crate::scheduler::LinkScheduler;
-use crate::selection::{DirectoryView, SelectionPolicy};
+use crate::selection::{DirectoryView, SelectionEngine, SelectionPolicy};
 use crate::wire::WireFrame;
 use crate::workload::{CircuitWorkload, FlowId, FlowState};
 
@@ -127,6 +128,15 @@ pub struct WorldStats {
     pub slots_reclaimed: u64,
     /// Circuit rebuilds performed by the churn engine.
     pub rebuilds: u64,
+    /// Consensus epoch boundaries applied (directory deltas consumed).
+    pub epochs_applied: u64,
+    /// Relays brought live by epoch deltas.
+    pub relays_joined: u64,
+    /// Relays taken dark by epoch deltas.
+    pub relays_departed: u64,
+    /// Circuit teardowns initiated because the circuit crossed a
+    /// departing relay (a subset of what feeds `rebuilds`).
+    pub epoch_teardowns: u64,
 }
 
 impl WorldStats {
@@ -146,6 +156,10 @@ impl WorldStats {
             cells_drained,
             slots_reclaimed,
             rebuilds,
+            epochs_applied,
+            relays_joined,
+            relays_departed,
+            epoch_teardowns,
         } = *other;
         self.cells_sent += cells_sent;
         self.feedback_sent += feedback_sent;
@@ -155,6 +169,10 @@ impl WorldStats {
         self.cells_drained += cells_drained;
         self.slots_reclaimed += slots_reclaimed;
         self.rebuilds += rebuilds;
+        self.epochs_applied += epochs_applied;
+        self.relays_joined += relays_joined;
+        self.relays_departed += relays_departed;
+        self.epoch_teardowns += epoch_teardowns;
     }
 }
 
@@ -225,8 +243,9 @@ pub(super) struct LinkRoute {
 /// (explicit-path scenarios) rebuild churned circuits over the original
 /// path instead of re-selecting.
 pub(super) struct PlacementState {
-    /// Relay specs, indexed by relay id (the directory order).
-    specs: Vec<RelaySpec>,
+    /// The SoA relay store: bandwidth, delay, and liveness columns,
+    /// indexed by relay id (the directory order).
+    directory: Directory,
     /// Relay id → overlay node hosting that relay.
     relay_overlays: Vec<OverlayId>,
     /// Overlay index → relay id (`u32::MAX` = not a relay). Only spans
@@ -244,6 +263,10 @@ pub(super) struct PlacementState {
     /// The placement randomness stream; policies may only draw from
     /// here (DESIGN.md §9).
     rng: SimRng,
+    /// The incremental selection engine: sampler kept in lockstep with
+    /// the load ledger and liveness column, plus reusable scratch
+    /// buffers (see [`crate::selection::SelectionEngine`]).
+    engine: SelectionEngine,
 }
 
 impl PlacementState {
@@ -253,6 +276,19 @@ impl PlacementState {
             Some(&r) if r != u32::MAX => Some(r as usize),
             _ => None,
         }
+    }
+
+    /// Propagates one relay's load-ledger change into the sampler
+    /// (O(log n); a no-op for load-insensitive policies).
+    fn note_load_change(&mut self, relay: usize) {
+        let PlacementState {
+            directory,
+            load,
+            policy,
+            engine,
+            ..
+        } = self;
+        engine.load_changed(policy.as_ref(), &DirectoryView::new(directory, load), relay);
     }
 }
 
@@ -291,6 +327,9 @@ pub struct TorNetwork {
     /// Circuit-placement seam (relay population + policy + live load);
     /// `None` for explicit-path worlds.
     pub(super) placement: Option<PlacementState>,
+    /// Pending consensus epoch deltas, indexed by epoch number; each is
+    /// consumed (taken) when its [`TorEvent::Epoch`] fires.
+    pub(super) epoch_deltas: Vec<EpochDelta>,
     pub(super) stats: WorldStats,
 }
 
@@ -324,29 +363,54 @@ impl TorNetwork {
             link_sched,
             payload_pool: PayloadPool::new(),
             placement: None,
+            epoch_deltas: Vec::new(),
             stats: WorldStats::default(),
         }
     }
 
-    /// Installs the circuit-placement seam: the relay population (specs
-    /// paired with the overlay nodes hosting them), the selection
-    /// policy, and the placement randomness stream. Must be called
-    /// before the first placement; all load counters start at zero.
+    /// Installs the circuit-placement seam: the relay store paired with
+    /// the overlay nodes hosting its relays, the selection policy, and
+    /// the placement randomness stream. Must be called before the first
+    /// placement; all load counters start at zero. The sampler backing
+    /// the selection engine is chosen automatically
+    /// ([`SamplerKind::Auto`]: linear below the crossover, Fenwick at
+    /// consensus scale) — use
+    /// [`TorNetwork::install_placement_with_sampler`] to pin one.
     ///
     /// # Panics
     ///
-    /// Panics if called twice, or if `specs` and `relay_overlays`
+    /// Panics if called twice, or if `directory` and `relay_overlays`
     /// disagree in length.
     pub fn install_placement(
         &mut self,
-        specs: Vec<RelaySpec>,
+        directory: Directory,
         relay_overlays: Vec<OverlayId>,
         policy: SelectionPolicy,
         rng: SimRng,
     ) {
+        self.install_placement_with_sampler(
+            directory,
+            relay_overlays,
+            policy,
+            rng,
+            SamplerKind::Auto,
+        );
+    }
+
+    /// [`TorNetwork::install_placement`] with an explicit sampler choice
+    /// (differential suites and benches pin linear vs Fenwick; the picks
+    /// are identical either way — see [`crate::sampler`]).
+    pub fn install_placement_with_sampler(
+        &mut self,
+        directory: Directory,
+        relay_overlays: Vec<OverlayId>,
+        policy: SelectionPolicy,
+        rng: SimRng,
+        sampler: SamplerKind,
+    ) {
         assert!(self.placement.is_none(), "placement installed twice");
         assert_eq!(
-            specs.len(),
+            directory.len(),
             relay_overlays.len(),
             "one overlay node per relay spec"
         );
@@ -361,23 +425,31 @@ impl TorNetwork {
             );
             relay_of_overlay[o.index()] = u32::try_from(r).expect("relay id fits u32");
         }
-        let load = vec![0u32; specs.len()];
+        let load = vec![0u32; directory.len()];
         let load_hwm = load.clone();
+        let engine = SelectionEngine::new(
+            policy.as_ref(),
+            &DirectoryView::new(&directory, &load),
+            sampler,
+        );
         self.placement = Some(PlacementState {
-            specs,
+            directory,
             relay_overlays,
             relay_of_overlay,
             load,
             load_hwm,
             policy,
             rng,
+            engine,
         });
     }
 
     /// Asks the installed policy for `path_len` distinct relays under
     /// the current load view, returning the overlay nodes hosting them
     /// (in path order). Used for initial placement by star builders and
-    /// by the churn engine when a torn-down circuit rebuilds.
+    /// by the churn engine when a torn-down circuit rebuilds. Runs
+    /// through the incremental [`SelectionEngine`] — no weight rebuild,
+    /// no allocation on the steady-state path.
     ///
     /// # Panics
     ///
@@ -388,28 +460,63 @@ impl TorNetwork {
             .placement
             .as_mut()
             .expect("no placement policy installed");
-        let view = DirectoryView::new(&p.specs, &p.load);
-        let picks = p.policy.select(&view, &mut p.rng, path_len);
+        let PlacementState {
+            directory,
+            load,
+            policy,
+            rng,
+            engine,
+            relay_overlays,
+            ..
+        } = p;
+        let view = DirectoryView::new(directory, load);
+        let picks = engine.select(policy.as_ref(), &view, rng, path_len);
         assert_eq!(
             picks.len(),
             path_len,
             "policy `{}` returned {} relays, wanted {path_len}",
-            p.policy.name(),
+            policy.name(),
             picks.len()
         );
         for (i, &a) in picks.iter().enumerate() {
             assert!(
-                a < p.specs.len(),
+                a < directory.len(),
                 "policy `{}` picked out-of-range relay {a}",
-                p.policy.name()
+                policy.name()
             );
             assert!(
                 !picks[..i].contains(&a),
                 "policy `{}` picked relay {a} twice",
-                p.policy.name()
+                policy.name()
             );
         }
-        picks.into_iter().map(|i| p.relay_overlays[i]).collect()
+        picks.iter().map(|&i| relay_overlays[i]).collect()
+    }
+
+    /// Toggles one relay's liveness (consensus epoch churn), updating
+    /// the store's live count and the selection engine's weight for that
+    /// relay. Returns `false` if the relay was already in that state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no placement is installed.
+    pub fn set_relay_live(&mut self, relay: usize, live: bool) -> bool {
+        let p = self
+            .placement
+            .as_mut()
+            .expect("no placement policy installed");
+        if !p.directory.set_live(relay, live) {
+            return false;
+        }
+        let PlacementState {
+            directory,
+            load,
+            policy,
+            engine,
+            ..
+        } = p;
+        engine.relay_changed(policy.as_ref(), &DirectoryView::new(directory, load), relay);
+        true
     }
 
     /// Circuits currently routed through each relay (indexed by relay
@@ -436,29 +543,85 @@ impl TorNetwork {
         self.placement.as_ref().map(|p| p.policy.name())
     }
 
+    /// The selection engine's active sampler name ("linear" /
+    /// "fenwick"), if a placement seam is installed.
+    pub fn selection_sampler_name(&self) -> Option<&'static str> {
+        self.placement.as_ref().map(|p| p.engine.sampler_name())
+    }
+
+    /// Per-relay liveness column (indexed by relay id), if a placement
+    /// seam is installed. Dark relays are never selected.
+    pub fn relay_live(&self) -> Option<&[bool]> {
+        self.placement.as_ref().map(|p| p.directory.live())
+    }
+
+    /// Installs the consensus epoch delta stream; delta `i` is applied
+    /// when [`TorEvent::Epoch`]`(i)` fires (builders schedule those at
+    /// the epoch boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if deltas were already installed.
+    pub fn install_epochs(&mut self, deltas: Vec<EpochDelta>) {
+        assert!(self.epoch_deltas.is_empty(), "epoch deltas installed twice");
+        self.epoch_deltas = deltas;
+    }
+
+    /// Checks the placement ledger invariant: every relay's load counter
+    /// equals the number of *accounted* circuit incarnations crossing
+    /// it. Returns `true` for worlds without a placement seam. The churn
+    /// and epoch property tests call this after every reclamation wave.
+    pub fn verify_placement_ledger(&self) -> bool {
+        let Some(p) = self.placement.as_ref() else {
+            return true;
+        };
+        let mut expect = vec![0u32; p.directory.len()];
+        for info in &self.circuits {
+            if !info.accounted {
+                continue;
+            }
+            for &n in &info.path {
+                if let Some(r) = p.relay_of(n) {
+                    expect[r] += 1;
+                }
+            }
+        }
+        expect == p.load
+    }
+
     /// Records `path` into the live load view (one count per relay the
-    /// circuit crosses); no-op without a placement seam.
+    /// circuit crosses), propagating each increment into the selection
+    /// engine; no-op without a placement seam.
     fn account_placement(&mut self, path: &[OverlayId]) {
         if let Some(p) = self.placement.as_mut() {
             for &n in path {
                 if let Some(r) = p.relay_of(n) {
                     p.load[r] += 1;
                     p.load_hwm[r] = p.load_hwm[r].max(p.load[r]);
+                    p.note_load_change(r);
                 }
             }
         }
     }
 
-    /// Removes `path` from the live load view (teardown reclamation);
-    /// no-op without a placement seam.
+    /// Removes `path` from the live load view (teardown reclamation),
+    /// propagating each decrement into the selection engine; no-op
+    /// without a placement seam or if the circuit's +1 was already
+    /// reclaimed.
     pub(super) fn unaccount_placement(&mut self, circ: CircId) {
         let Some(p) = self.placement.as_mut() else {
             return;
         };
-        for &n in &self.circuits[circ.index()].path {
+        let info = &mut self.circuits[circ.index()];
+        if !info.accounted {
+            return;
+        }
+        info.accounted = false;
+        for &n in &info.path {
             if let Some(r) = p.relay_of(n) {
                 debug_assert!(p.load[r] > 0, "placement load underflow");
                 p.load[r] = p.load[r].saturating_sub(1);
+                p.note_load_change(r);
             }
         }
     }
@@ -585,6 +748,7 @@ impl TorNetwork {
             started_at: None,
             workload,
             incarnation,
+            accounted: self.placement.is_some(),
         });
         id
     }
@@ -796,6 +960,7 @@ impl World for TorNetwork {
             TorEvent::Teardown(circ) => self.teardown(ctx, circ),
             TorEvent::StreamArrival { circ, stream } => self.stream_arrival(ctx, circ, stream),
             TorEvent::Rebuild(circ) => self.rebuild_circuit(ctx, circ),
+            TorEvent::Epoch(epoch) => self.apply_epoch(ctx, epoch),
             TorEvent::SetLinkRate { link, rate } => self.net.set_link_rate(link, rate),
         }
     }

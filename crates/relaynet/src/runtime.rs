@@ -110,6 +110,9 @@ pub struct WorldFingerprint {
     pub relay_loads: Vec<u32>,
     /// Per-relay load high-water marks, empty without a placement seam.
     pub relay_load_hwms: Vec<u32>,
+    /// Per-relay liveness at run end (epoch churn), empty without a
+    /// placement seam.
+    pub relay_live: Vec<bool>,
 }
 
 /// Captures the full fingerprint of a finished world.
@@ -152,6 +155,7 @@ pub fn fingerprint(world: &TorNetwork, events_processed: u64) -> WorldFingerprin
             .relay_load_hwms()
             .map(<[_]>::to_vec)
             .unwrap_or_default(),
+        relay_live: world.relay_live().map(<[_]>::to_vec).unwrap_or_default(),
     }
 }
 

@@ -9,13 +9,15 @@
 //! network calls it for every placement, and experiments swap policies
 //! without touching protocol code.
 //!
-//! A policy sees a [`DirectoryView`]: the generated relay specs
-//! ([`RelaySpec`] bandwidth + access delay) **plus live load telemetry**
-//! — the number of circuits currently routed through each relay,
-//! maintained by [`crate::network::TorNetwork`] as circuits are placed
-//! and torn down. Initial placement therefore already feeds back (each
-//! circuit sees its predecessors), and churn rebuilds re-select under
-//! the load left by the surviving circuits.
+//! A policy sees a [`DirectoryView`]: the SoA relay store
+//! ([`crate::directory::Directory`] — bandwidth, access delay, liveness
+//! columns) **plus live load telemetry** — the number of circuits
+//! currently routed through each relay, maintained by
+//! [`crate::network::TorNetwork`] as circuits are placed and torn down.
+//! Initial placement therefore already feeds back (each circuit sees its
+//! predecessors), and churn rebuilds re-select under the load left by
+//! the surviving circuits. Dark (non-live) relays weigh zero and are
+//! never selected.
 //!
 //! # Determinism contract
 //!
@@ -26,20 +28,41 @@
 //! network validates this and panics on a violating policy. See
 //! DESIGN.md §9.
 //!
+//! # Weights are integer-valued
+//!
+//! [`PathSelection::relay_weight`] must return integer-valued `f64`
+//! weights (quantize with `round()`), keeping every draw exact and
+//! therefore identical between the linear and Fenwick samplers and
+//! between incremental updates and full rebuilds — the contract
+//! [`crate::sampler`] documents and asserts.
+//!
+//! # The selection engine
+//!
+//! [`PathSelection::select`]'s default implementation rebuilds the
+//! weight vector per call — fine at 30 relays, the hot path at 7k.
+//! [`SelectionEngine`] is the consensus-scale path the network actually
+//! drives: it owns a [`Sampler`] fed *incrementally* by load-ledger and
+//! liveness changes (O(log n) per update with the Fenwick tree) and
+//! reusable scratch buffers, so a steady-state selection allocates
+//! nothing. Pick equivalence with the default implementation is exact
+//! (see [`crate::sampler`]) and differentially tested.
+//!
 //! # Shipped policies
 //!
 //! | policy | weight of relay `i` | models |
 //! |---|---|---|
 //! | [`Uniform`] | 1 | unweighted sampling |
 //! | [`BandwidthWeighted`] | `bw_i` | Tor's consensus-bandwidth weighting |
-//! | [`LatencyAware`] | `1 / delay_i²` | ShorTor-style latency-driven choice |
-//! | [`CongestionAware`] | `bw_i / (1 + load_i)` | Imani et al.-style congestion avoidance |
+//! | [`LatencyAware`] | `round(1 / delay_i²)` | ShorTor-style latency-driven choice |
+//! | [`CongestionAware`] | `round(bw_i / (1 + load_i))` | Imani et al.-style congestion avoidance |
 
 use std::sync::Arc;
 
 use simcore::rng::SimRng;
+use simcore::time::SimDuration;
 
-use crate::directory::RelaySpec;
+use crate::directory::{Directory, RelaySpec};
+use crate::sampler::{Sampler, SamplerKind};
 
 /// A selection policy as scenarios carry it: shared, cheaply cloneable,
 /// usable both at build time and by the network's churn rebuilds.
@@ -57,52 +80,81 @@ pub fn all_policies() -> [SelectionPolicy; 4] {
     ]
 }
 
-/// What a policy sees when asked to place a circuit: the relay
-/// population plus a snapshot of live load. The snapshot is taken at
-/// call time — a policy must not assume it stays valid across calls
-/// (churn changes it between placements).
+/// What a policy sees when asked to place a circuit: the relay store's
+/// columns plus a snapshot of live load. The snapshot is taken at call
+/// time — a policy must not assume it stays valid across calls (churn
+/// changes it between placements).
 #[derive(Clone, Copy, Debug)]
 pub struct DirectoryView<'a> {
-    specs: &'a [RelaySpec],
+    directory: &'a Directory,
     load: &'a [u32],
 }
 
 impl<'a> DirectoryView<'a> {
-    /// Pairs relay specs with their live circuit counts.
+    /// Pairs the relay store with its live circuit counts.
     ///
     /// # Panics
     ///
-    /// Panics if the slices disagree in length or are empty.
-    pub fn new(specs: &'a [RelaySpec], load: &'a [u32]) -> DirectoryView<'a> {
-        assert_eq!(specs.len(), load.len(), "one load counter per relay spec");
-        assert!(!specs.is_empty(), "a directory view needs relays");
-        DirectoryView { specs, load }
+    /// Panics if `load` does not hold one counter per relay.
+    pub fn new(directory: &'a Directory, load: &'a [u32]) -> DirectoryView<'a> {
+        assert_eq!(
+            directory.len(),
+            load.len(),
+            "one load counter per relay spec"
+        );
+        DirectoryView { directory, load }
     }
 
-    /// Number of relays.
+    /// Number of relays in the provisioned universe.
     #[inline]
     pub fn len(&self) -> usize {
-        self.specs.len()
+        self.directory.len()
     }
 
     /// Whether the view holds no relays. Always `false` for a
-    /// constructed view (construction rejects empty relay sets), kept
+    /// constructed view (directories reject empty relay sets), kept
     /// for the standard `len`/`is_empty` pairing.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.specs.is_empty()
+        self.directory.is_empty()
     }
 
-    /// All relay specs, indexed by relay id.
-    #[inline]
-    pub fn specs(&self) -> &'a [RelaySpec] {
-        self.specs
-    }
-
-    /// One relay's access-link characteristics.
+    /// One relay's access-link characteristics (materialized from the
+    /// SoA columns).
     #[inline]
     pub fn spec(&self, relay: usize) -> RelaySpec {
-        self.specs[relay]
+        self.directory.spec(relay)
+    }
+
+    /// One relay's access-link rate, bit/s (column read).
+    #[inline]
+    pub fn bandwidth_bps(&self, relay: usize) -> u64 {
+        self.directory.bandwidths_bps()[relay]
+    }
+
+    /// One relay's one-way access delay (column read).
+    #[inline]
+    pub fn delay(&self, relay: usize) -> SimDuration {
+        self.directory.delays()[relay]
+    }
+
+    /// Whether `relay` is in the live set (dark relays weigh zero).
+    #[inline]
+    pub fn is_live(&self, relay: usize) -> bool {
+        self.directory.is_live(relay)
+    }
+
+    /// Number of live relays (O(1) — maintained by the store).
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.directory.live_count()
+    }
+
+    /// Whether every provisioned relay is live (the common no-churn
+    /// case, enabling the uniform fast path).
+    #[inline]
+    pub fn all_live(&self) -> bool {
+        self.directory.live_count() == self.directory.len()
     }
 
     /// Circuits currently routed through each relay, indexed by relay id.
@@ -121,17 +173,80 @@ impl<'a> DirectoryView<'a> {
 /// The path-selection seam: maps a directory view to `path_len`
 /// distinct relay indices (in path order, client side first).
 ///
-/// See the [module docs](self) for the determinism contract.
+/// A policy is defined by its **per-relay weight**
+/// ([`PathSelection::relay_weight`], integer-valued — see the module
+/// docs); [`PathSelection::select`]'s default implementation performs
+/// the weighted draw, and [`SelectionEngine`] performs the same draw
+/// incrementally at consensus scale. A policy whose selection logic is
+/// *not* expressible as independent per-relay weights may override
+/// `select` and return `false` from [`PathSelection::incremental`] so
+/// the engine falls back to calling it.
 pub trait PathSelection: std::fmt::Debug + Send + Sync {
     /// Stable identifier used in experiment labels and bench keys.
     fn name(&self) -> &'static str;
 
-    /// Selects `path_len` **distinct** relay indices.
+    /// The selection weight of one **live** relay (the caller zeroes
+    /// dark relays). Must be finite, non-negative, and integer-valued.
+    fn relay_weight(&self, view: &DirectoryView<'_>, relay: usize) -> f64;
+
+    /// Whether the weight depends on the live load view. Load-ledger
+    /// changes only propagate into a [`SelectionEngine`]'s sampler for
+    /// policies that return `true` — the others skip the per-relay
+    /// update entirely.
+    fn load_sensitive(&self) -> bool {
+        false
+    }
+
+    /// Whether all live relays weigh the same, enabling the
+    /// allocation-free Fisher–Yates fast path (which reproduces
+    /// [`SimRng::sample_distinct`] pick for pick).
+    fn draws_uniform(&self) -> bool {
+        false
+    }
+
+    /// Whether [`PathSelection::select`]'s behaviour is fully described
+    /// by [`PathSelection::relay_weight`] (true for every shipped
+    /// policy). Policies overriding `select` with bespoke logic must
+    /// return `false`, making the engine call `select` instead of its
+    /// incremental sampler.
+    fn incremental(&self) -> bool {
+        true
+    }
+
+    /// Selects `path_len` **distinct** relay indices. The default
+    /// implementation draws by [`PathSelection::relay_weight`] (dark
+    /// relays weigh zero), rebuilding the weight vector per call — the
+    /// reference behaviour [`SelectionEngine`] reproduces exactly.
     ///
     /// # Panics
     ///
-    /// Panics if `path_len` exceeds the number of relays in `view`.
-    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize>;
+    /// Panics if fewer than `path_len` relays are selectable (live with
+    /// positive weight).
+    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+        if self.draws_uniform() && view.all_live() {
+            assert_path_fits(view, path_len);
+            return rng.sample_distinct(view.len(), path_len);
+        }
+        // One fused pass: weights and the selectable count together
+        // (historically `assert_path_fits` and `weighted_distinct` each
+        // re-scanned the directory).
+        let mut selectable = 0usize;
+        let weights: Vec<f64> = (0..view.len())
+            .map(|i| {
+                let w = if view.is_live(i) {
+                    self.relay_weight(view, i)
+                } else {
+                    0.0
+                };
+                if w > 0.0 {
+                    selectable += 1;
+                }
+                w
+            })
+            .collect();
+        assert_selectable(selectable, view.len(), path_len);
+        weighted_distinct_precounted(weights, rng, path_len)
+    }
 }
 
 fn assert_path_fits(view: &DirectoryView<'_>, path_len: usize) {
@@ -142,37 +257,53 @@ fn assert_path_fits(view: &DirectoryView<'_>, path_len: usize) {
     );
 }
 
-/// Repeated weighted draws without replacement, shared by every weighted
-/// policy. The total is maintained as a running sum, decremented as
-/// picks are zeroed (O(n) per draw for the scan, no O(n) re-summation).
-/// For integer-valued weights below 2⁵³ (bandwidths in bit/s) every
-/// partial sum is exact, so the draw sequence is bit-identical to the
-/// historical recompute-the-sum implementation — pinned by
-/// `tests/path_selection.rs`.
+fn assert_selectable(selectable: usize, relays: usize, path_len: usize) {
+    assert!(
+        selectable >= path_len,
+        "only {selectable} of {relays} relays are selectable (positive weight), \
+         but the path needs {path_len} distinct relays"
+    );
+}
+
+/// Repeated weighted draws without replacement — the legacy linear-scan
+/// entry point, kept as the differential oracle for the sampler seam
+/// (see [`crate::sampler`]). Validates and counts, then runs the scan.
 ///
 /// Zero-weight entries are legal and simply unselectable: a directory
-/// may carry a dead relay (zero consensus bandwidth, a congestion
-/// weight collapsed by load) without making placement panic. Only when
-/// fewer than `path_len` entries carry positive weight is the draw
-/// impossible, and *that* panics with a message naming the shortfall.
+/// may carry a dead relay (zero consensus bandwidth, a dark epoch
+/// departure) without making placement panic. Only when fewer than
+/// `path_len` entries carry positive weight is the draw impossible, and
+/// *that* panics with a message naming the shortfall.
 ///
 /// # Panics
 ///
 /// Panics if fewer than `path_len` weights are positive, or if any
 /// weight is negative or non-finite (a policy bug, not a directory
 /// condition).
-fn weighted_distinct(mut weights: Vec<f64>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
+#[cfg_attr(not(test), allow(dead_code))] // oracle: exercised by the differential tests
+fn weighted_distinct(weights: Vec<f64>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
     assert!(
         weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
         "selection weights must be finite and non-negative"
     );
     let selectable = weights.iter().filter(|&&w| w > 0.0).count();
-    assert!(
-        selectable >= path_len,
-        "only {selectable} of {} relays are selectable (positive weight), \
-         but the path needs {path_len} distinct relays",
-        weights.len()
-    );
+    assert_selectable(selectable, weights.len(), path_len);
+    weighted_distinct_precounted(weights, rng, path_len)
+}
+
+/// The draw core behind [`weighted_distinct`], with validation and the
+/// selectable count already done by the caller (the fused weight pass).
+/// The total is maintained as a running sum, decremented as picks are
+/// zeroed (O(n) per draw for the scan, no O(n) re-summation). For
+/// integer-valued weights below 2⁵³ every partial sum is exact, so the
+/// draw sequence is bit-identical to the historical recompute-the-sum
+/// implementation — pinned by `tests/path_selection.rs` — and to the
+/// Fenwick sampler's tree descent.
+fn weighted_distinct_precounted(
+    mut weights: Vec<f64>,
+    rng: &mut SimRng,
+    path_len: usize,
+) -> Vec<usize> {
     let mut chosen: Vec<usize> = Vec::with_capacity(path_len);
     // Zero weights contribute exactly 0.0, so the total — and therefore
     // every draw — is bit-identical to a directory without them.
@@ -202,6 +333,165 @@ fn weighted_distinct(mut weights: Vec<f64>, rng: &mut SimRng, path_len: usize) -
     chosen
 }
 
+/// The consensus-scale selection path: a [`Sampler`] maintained
+/// incrementally plus reusable scratch buffers, owned by the network's
+/// placement state. One engine serves one `(policy, directory)` pair;
+/// the caller routes load-ledger and liveness changes through
+/// [`SelectionEngine::load_changed`] / [`SelectionEngine::relay_changed`]
+/// so the sampler's weights always mirror what the policy would compute
+/// from scratch.
+///
+/// Steady-state [`SelectionEngine::select`] calls allocate nothing: the
+/// uniform fast path permutes a persistent identity buffer and undoes
+/// its swaps (reproducing [`SimRng::sample_distinct`] pick for pick),
+/// and the weighted path draws from the sampler into a reusable pick
+/// buffer. [`SelectionEngine::scratch_footprint`] exposes the buffer
+/// capacities so benches can assert flatness.
+#[derive(Debug)]
+pub struct SelectionEngine {
+    sampler: Sampler,
+    load_sensitive: bool,
+    uniform_fast: bool,
+    incremental: bool,
+    /// Persistent `0..n` buffer for the uniform Fisher–Yates fast path.
+    identity: Vec<usize>,
+    /// Swap log of the current uniform draw, undone after each select.
+    swaps: Vec<(usize, usize)>,
+    /// Reusable output buffer.
+    picks: Vec<usize>,
+}
+
+impl SelectionEngine {
+    /// Builds the engine for `policy` over the current view, seeding the
+    /// sampler with the policy's weights (dark relays weigh zero).
+    pub fn new(
+        policy: &dyn PathSelection,
+        view: &DirectoryView<'_>,
+        kind: SamplerKind,
+    ) -> SelectionEngine {
+        let weights: Vec<f64> = (0..view.len())
+            .map(|i| effective_weight(policy, view, i))
+            .collect();
+        SelectionEngine {
+            sampler: Sampler::build(kind, &weights),
+            load_sensitive: policy.load_sensitive(),
+            uniform_fast: policy.draws_uniform(),
+            incremental: policy.incremental(),
+            identity: (0..view.len()).collect(),
+            swaps: Vec::new(),
+            picks: Vec::new(),
+        }
+    }
+
+    /// The active sampler implementation ("linear" / "fenwick") —
+    /// experiment labels and bench keys.
+    pub fn sampler_name(&self) -> &'static str {
+        self.sampler.name()
+    }
+
+    /// Number of relays with positive weight (O(1)).
+    pub fn selectable(&self) -> usize {
+        self.sampler.selectable()
+    }
+
+    /// Re-derives one relay's weight after *any* change (liveness flip,
+    /// load change on a load-sensitive policy) and point-updates the
+    /// sampler — O(log n) with the Fenwick tree.
+    pub fn relay_changed(
+        &mut self,
+        policy: &dyn PathSelection,
+        view: &DirectoryView<'_>,
+        relay: usize,
+    ) {
+        if !self.incremental {
+            return;
+        }
+        self.sampler
+            .set(relay, effective_weight(policy, view, relay));
+    }
+
+    /// Routes a load-ledger change: only load-sensitive policies have
+    /// load in their weight, so everyone else skips the update.
+    pub fn load_changed(
+        &mut self,
+        policy: &dyn PathSelection,
+        view: &DirectoryView<'_>,
+        relay: usize,
+    ) {
+        if self.load_sensitive {
+            self.relay_changed(policy, view, relay);
+        }
+    }
+
+    /// Selects `path_len` distinct relay indices — the same picks
+    /// `policy.select(view, rng, path_len)` would return (exactly: the
+    /// two consume identical randomness), without rebuilding weights or
+    /// allocating. The returned slice borrows the engine's pick buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `path_len` relays are selectable.
+    pub fn select(
+        &mut self,
+        policy: &dyn PathSelection,
+        view: &DirectoryView<'_>,
+        rng: &mut SimRng,
+        path_len: usize,
+    ) -> &[usize] {
+        if !self.incremental {
+            // Bespoke-select policy: delegate (allocates, by design).
+            let picks = policy.select(view, rng, path_len);
+            self.picks.clear();
+            self.picks.extend_from_slice(&picks);
+            return &self.picks;
+        }
+        if self.uniform_fast && view.all_live() {
+            assert_path_fits(view, path_len);
+            // `SimRng::sample_distinct` without its O(n) allocation:
+            // the same `range_usize(i, n)` swap sequence on the
+            // persistent identity buffer, undone afterwards (a swap is
+            // its own inverse, so reversing the log restores 0..n).
+            let n = view.len();
+            self.picks.clear();
+            for i in 0..path_len {
+                let j = rng.range_usize(i, n);
+                self.identity.swap(i, j);
+                self.swaps.push((i, j));
+            }
+            self.picks.extend_from_slice(&self.identity[..path_len]);
+            while let Some((i, j)) = self.swaps.pop() {
+                self.identity.swap(i, j);
+            }
+        } else {
+            assert_selectable(self.sampler.selectable(), view.len(), path_len);
+            self.sampler.draw_distinct(rng, path_len, &mut self.picks);
+        }
+        &self.picks
+    }
+
+    /// Scratch-buffer capacities `(picks, swaps, sampler undo)` — the
+    /// flat-allocation telemetry the selection bench asserts on: after
+    /// warm-up these must not grow, or the "zero-alloc fast path" has
+    /// silently regressed to per-call allocation.
+    pub fn scratch_footprint(&self) -> (usize, usize, usize) {
+        (
+            self.picks.capacity(),
+            self.swaps.capacity(),
+            self.sampler.scratch_capacity(),
+        )
+    }
+}
+
+/// The weight the sampler must carry for `relay` right now: the
+/// policy's weight for live relays, zero for dark ones.
+fn effective_weight(policy: &dyn PathSelection, view: &DirectoryView<'_>, relay: usize) -> f64 {
+    if view.is_live(relay) {
+        policy.relay_weight(view, relay)
+    } else {
+        0.0
+    }
+}
+
 /// Every relay is equally likely — the paper's default placement.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Uniform;
@@ -211,9 +501,12 @@ impl PathSelection for Uniform {
         "uniform"
     }
 
-    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
-        assert_path_fits(view, path_len);
-        rng.sample_distinct(view.len(), path_len)
+    fn relay_weight(&self, _view: &DirectoryView<'_>, _relay: usize) -> f64 {
+        1.0
+    }
+
+    fn draws_uniform(&self) -> bool {
+        true
     }
 }
 
@@ -227,26 +520,24 @@ impl PathSelection for BandwidthWeighted {
         "bandwidth"
     }
 
-    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
-        assert_path_fits(view, path_len);
-        let weights = view
-            .specs()
-            .iter()
-            .map(|r| r.bandwidth.bps() as f64)
-            .collect();
-        weighted_distinct(weights, rng, path_len)
+    fn relay_weight(&self, view: &DirectoryView<'_>, relay: usize) -> f64 {
+        // Bit/s rates are integers below 2^53: already quantized.
+        view.bandwidth_bps(relay) as f64
     }
 }
 
 /// Prefer low access-delay relays (cf. ShorTor's latency-driven routing
-/// in PAPERS.md): weight `1 / delay²`. The inverse-square emphasis makes
-/// the preference decisive over the narrow delay ranges directories
-/// generate, while never excluding a relay outright.
+/// in PAPERS.md): weight `round(1 / delay²)`. The inverse-square
+/// emphasis makes the preference decisive over the narrow delay ranges
+/// directories generate, while never excluding a relay outright (the
+/// delay floor keeps the rounded weight ≥ 1 for every sub-second
+/// delay).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LatencyAware;
 
 /// Floor applied to access delays before inverting, so a zero-delay
-/// test relay cannot produce an infinite weight.
+/// test relay cannot produce an infinite weight (cap: 1e12, far below
+/// the sampler's 2⁵³ exactness bound even at 7k relays).
 const MIN_DELAY_S: f64 = 1e-6;
 
 impl PathSelection for LatencyAware {
@@ -254,25 +545,18 @@ impl PathSelection for LatencyAware {
         "latency"
     }
 
-    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
-        assert_path_fits(view, path_len);
-        let weights = view
-            .specs()
-            .iter()
-            .map(|r| {
-                let d = r.delay.as_secs_f64().max(MIN_DELAY_S);
-                1.0 / (d * d)
-            })
-            .collect();
-        weighted_distinct(weights, rng, path_len)
+    fn relay_weight(&self, view: &DirectoryView<'_>, relay: usize) -> f64 {
+        let d = view.delay(relay).as_secs_f64().max(MIN_DELAY_S);
+        (1.0 / (d * d)).round()
     }
 }
 
 /// Penalize relays by active-circuit load per unit bandwidth (cf. Imani
 /// et al.'s congestion-aware relay choice in PAPERS.md): weight
-/// `bw / (1 + load)`, i.e. bandwidth-proportional selection discounted
-/// by the circuits already routed through the relay. With zero load
-/// everywhere this intentionally reduces to [`BandwidthWeighted`]; load
+/// `round(bw / (1 + load))`, i.e. bandwidth-proportional selection
+/// discounted by the circuits already routed through the relay. With
+/// zero load everywhere this intentionally reduces to
+/// [`BandwidthWeighted`] (the rounding is exact at load 0); load
 /// feedback is what differentiates it mid-experiment.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CongestionAware;
@@ -282,24 +566,20 @@ impl PathSelection for CongestionAware {
         "congestion"
     }
 
-    fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
-        assert_path_fits(view, path_len);
-        let weights = view
-            .specs()
-            .iter()
-            .zip(view.loads())
-            .map(|(r, &load)| r.bandwidth.bps() as f64 / (1.0 + f64::from(load)))
-            .collect();
-        weighted_distinct(weights, rng, path_len)
+    fn relay_weight(&self, view: &DirectoryView<'_>, relay: usize) -> f64 {
+        (view.bandwidth_bps(relay) as f64 / (1.0 + f64::from(view.load(relay)))).round()
+    }
+
+    fn load_sensitive(&self) -> bool {
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::directory::{Directory, DirectoryConfig};
+    use crate::directory::DirectoryConfig;
     use netsim::bandwidth::Bandwidth;
-    use simcore::time::SimDuration;
 
     fn rng() -> SimRng {
         SimRng::seed_from(42)
@@ -312,6 +592,10 @@ mod tests {
         }
     }
 
+    fn dir_of(specs: Vec<RelaySpec>) -> Directory {
+        Directory::from_specs(specs)
+    }
+
     #[test]
     fn every_policy_returns_distinct_in_range_indices() {
         let dir = Directory::generate(&DirectoryConfig::default(), &rng());
@@ -319,7 +603,7 @@ mod tests {
         for policy in all_policies() {
             let mut r = rng();
             for _ in 0..100 {
-                let view = DirectoryView::new(dir.relays(), &load);
+                let view = dir.view(&load);
                 let p = policy.select(&view, &mut r, 3);
                 assert_eq!(p.len(), 3, "{}", policy.name());
                 let mut q = p.clone();
@@ -338,7 +622,7 @@ mod tests {
         let mut a = rng();
         let mut b = rng();
         for _ in 0..50 {
-            let view = DirectoryView::new(dir.relays(), &load);
+            let view = dir.view(&load);
             assert_eq!(
                 Uniform.select(&view, &mut a, 3),
                 b.sample_distinct(dir.len(), 3)
@@ -352,11 +636,12 @@ mod tests {
         // in nearly every 1-relay path.
         let mut specs = vec![spec(1, 10); 10];
         specs[4] = spec(1000, 10);
-        let load = vec![0u32; specs.len()];
+        let dir = dir_of(specs);
+        let load = vec![0u32; dir.len()];
         let mut r = rng();
         let hits = (0..200)
             .filter(|_| {
-                let view = DirectoryView::new(&specs, &load);
+                let view = dir.view(&load);
                 BandwidthWeighted.select(&view, &mut r, 1)[0] == 4
             })
             .count();
@@ -369,11 +654,12 @@ mod tests {
         // weight gives it ~99% of the mass.
         let mut specs = vec![spec(50, 30); 10];
         specs[7] = spec(50, 1);
-        let load = vec![0u32; specs.len()];
+        let dir = dir_of(specs);
+        let load = vec![0u32; dir.len()];
         let mut r = rng();
         let hits = (0..200)
             .filter(|_| {
-                let view = DirectoryView::new(&specs, &load);
+                let view = dir.view(&load);
                 LatencyAware.select(&view, &mut r, 1)[0] == 7
             })
             .count();
@@ -382,16 +668,16 @@ mod tests {
 
     #[test]
     fn latency_aware_tolerates_zero_delay() {
-        let specs = vec![
+        let dir = dir_of(vec![
             RelaySpec {
                 bandwidth: Bandwidth::from_mbps(10),
                 delay: SimDuration::ZERO,
             };
             4
-        ];
+        ]);
         let load = vec![0u32; 4];
         let mut r = rng();
-        let view = DirectoryView::new(&specs, &load);
+        let view = dir.view(&load);
         let p = LatencyAware.select(&view, &mut r, 2);
         assert_eq!(p.len(), 2);
     }
@@ -403,7 +689,7 @@ mod tests {
         let mut a = rng();
         let mut b = rng();
         for _ in 0..50 {
-            let view = DirectoryView::new(dir.relays(), &load);
+            let view = dir.view(&load);
             assert_eq!(
                 CongestionAware.select(&view, &mut a, 3),
                 BandwidthWeighted.select(&view, &mut b, 3),
@@ -416,13 +702,13 @@ mod tests {
     fn congestion_aware_avoids_loaded_relays() {
         // Equal bandwidths, but relay 2 already carries 50 circuits: its
         // weight collapses to ~2% of an idle relay's.
-        let specs = vec![spec(20, 5); 8];
+        let dir = dir_of(vec![spec(20, 5); 8]);
         let mut load = vec![0u32; 8];
         load[2] = 50;
         let mut r = rng();
         let hits = (0..400)
             .filter(|_| {
-                let view = DirectoryView::new(&specs, &load);
+                let view = dir.view(&load);
                 CongestionAware.select(&view, &mut r, 1)[0] == 2
             })
             .count();
@@ -435,12 +721,12 @@ mod tests {
         // A 100 Mbit/s relay carrying 9 circuits weighs 10 Mbit/s
         // effective — exactly an idle 10 Mbit/s relay. A 3× idle relay
         // must then dominate both.
-        let specs = vec![spec(100, 5), spec(30, 5), spec(10, 5)];
+        let dir = dir_of(vec![spec(100, 5), spec(30, 5), spec(10, 5)]);
         let load = vec![9u32, 0, 0];
         let mut r = rng();
         let mut counts = [0usize; 3];
         for _ in 0..600 {
-            let view = DirectoryView::new(&specs, &load);
+            let view = dir.view(&load);
             counts[CongestionAware.select(&view, &mut r, 1)[0]] += 1;
         }
         assert!(
@@ -480,11 +766,7 @@ mod tests {
                 },
                 &SimRng::seed_from(seed),
             );
-            let weights: Vec<f64> = dir
-                .relays()
-                .iter()
-                .map(|r| r.bandwidth.bps() as f64)
-                .collect();
+            let weights: Vec<f64> = dir.bandwidths_bps().iter().map(|&bps| bps as f64).collect();
             let mut a = SimRng::seed_from(seed ^ 0xABCD);
             let mut b = a.clone();
             for _ in 0..200 {
@@ -538,6 +820,109 @@ mod tests {
     }
 
     #[test]
+    fn dark_relays_are_never_selected() {
+        // Half the directory goes dark: every policy must route around
+        // it — including Uniform, whose fast path only covers all-live.
+        let mut dir = dir_of(vec![spec(20, 5); 10]);
+        for r in [1usize, 3, 5, 7, 9] {
+            dir.set_live(r, false);
+        }
+        let load = vec![0u32; 10];
+        for policy in all_policies() {
+            let mut r = rng();
+            for _ in 0..50 {
+                let view = dir.view(&load);
+                let picks = policy.select(&view, &mut r, 3);
+                assert!(
+                    picks.iter().all(|&i| dir.is_live(i)),
+                    "{} picked a dark relay: {picks:?}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reproduces_policy_selects() {
+        // The incremental engine and the per-call default implementation
+        // must consume identical randomness and return identical picks,
+        // for every shipped policy and both sampler implementations —
+        // including under load changes and liveness flips between
+        // selects.
+        for kind in [SamplerKind::Linear, SamplerKind::Fenwick] {
+            for policy in all_policies() {
+                let dir_rng = SimRng::seed_from(7);
+                let mut dir = Directory::generate(
+                    &DirectoryConfig {
+                        relays: 25,
+                        ..DirectoryConfig::default()
+                    },
+                    &dir_rng,
+                );
+                let mut load = vec![0u32; dir.len()];
+                let mut engine = SelectionEngine::new(policy.as_ref(), &dir.view(&load), kind);
+                let mut a = SimRng::seed_from(99);
+                let mut b = a.clone();
+                let mut mutate = SimRng::seed_from(5);
+                for round in 0..60 {
+                    let view = dir.view(&load);
+                    let want = policy.select(&view, &mut a, 3);
+                    let got = engine.select(policy.as_ref(), &view, &mut b, 3);
+                    assert_eq!(
+                        got,
+                        want.as_slice(),
+                        "{} {:?} round {round}",
+                        policy.name(),
+                        kind
+                    );
+                    // Mutate load and liveness like the network would,
+                    // keeping the engine in the loop.
+                    let r = mutate.range_usize(0, dir.len());
+                    load[r] = (load[r] + 1) % 7;
+                    engine.load_changed(policy.as_ref(), &dir.view(&load), r);
+                    if round % 10 == 9 {
+                        let d = mutate.range_usize(0, dir.len());
+                        let next = !dir.is_live(d);
+                        dir.set_live(d, next);
+                        engine.relay_changed(policy.as_ref(), &dir.view(&load), d);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_scratch_stays_flat() {
+        let dir = Directory::generate(
+            &DirectoryConfig {
+                relays: 100,
+                ..DirectoryConfig::default()
+            },
+            &rng(),
+        );
+        let load = vec![0u32; dir.len()];
+        for policy in all_policies() {
+            let mut engine =
+                SelectionEngine::new(policy.as_ref(), &dir.view(&load), SamplerKind::Fenwick);
+            let mut r = rng();
+            // Warm up, then assert capacities never move again.
+            for _ in 0..5 {
+                engine.select(policy.as_ref(), &dir.view(&load), &mut r, 3);
+            }
+            let warm = engine.scratch_footprint();
+            for _ in 0..200 {
+                engine.select(policy.as_ref(), &dir.view(&load), &mut r, 3);
+            }
+            assert_eq!(
+                engine.scratch_footprint(),
+                warm,
+                "{}: scratch buffers must stop growing after warm-up",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "selectable (positive weight)")]
     fn too_few_selectable_relays_panics_clearly() {
         // Three relays, two of them dead: a 3-relay path is impossible
@@ -548,17 +933,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "distinct relays")]
     fn path_longer_than_directory_panics() {
-        let specs = vec![spec(1, 0)];
+        let dir = dir_of(vec![spec(1, 0)]);
         let load = vec![0u32];
-        let view = DirectoryView::new(&specs, &load);
+        let view = dir.view(&load);
         let _ = Uniform.select(&view, &mut rng(), 2);
     }
 
     #[test]
     #[should_panic(expected = "one load counter per relay")]
     fn mismatched_load_slice_rejected() {
-        let specs = vec![spec(1, 1); 3];
+        let dir = dir_of(vec![spec(1, 1); 3]);
         let load = vec![0u32; 2];
-        let _ = DirectoryView::new(&specs, &load);
+        let _ = DirectoryView::new(&dir, &load);
     }
 }

@@ -25,6 +25,8 @@
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 
+use crate::directory::EpochDelta;
+
 /// Index of a flow within one [`crate::network::TorNetwork`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId(pub u32);
@@ -305,6 +307,116 @@ impl WorkloadSpec {
     }
 }
 
+/// Scenario-level knob for consensus epoch churn: how often the
+/// directory publishes a delta, how many relays move per epoch, and how
+/// large the standby (dark) pool is. Like [`WorkloadSpec`], the spec is
+/// resolved once at build time with a dedicated [`SimRng`] stream, so
+/// the whole join/leave schedule is drawn up front and the run stays
+/// bit-identical across event-queue implementations.
+///
+/// The relay universe is fixed at provisioning time (every relay keeps
+/// its access link); epochs only toggle *liveness*. A fraction of the
+/// universe starts dark as the standby pool new joiners are drawn from
+/// — the membership-as-a-stream shape of real consensus documents.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochSpec {
+    /// Simulated time between consecutive epoch boundaries (ms).
+    pub interval_ms: f64,
+    /// Number of epoch boundaries to schedule.
+    pub epochs: u32,
+    /// Relays leaving (and, standby pool permitting, joining) per epoch.
+    pub churn: usize,
+    /// Fraction of the provisioned universe that starts dark, forming
+    /// the standby pool joiners are drawn from. Clamped to `[0, 0.9]`.
+    pub standby_fraction: f64,
+}
+
+impl Default for EpochSpec {
+    fn default() -> Self {
+        EpochSpec {
+            interval_ms: 200.0,
+            epochs: 3,
+            churn: 2,
+            standby_fraction: 0.2,
+        }
+    }
+}
+
+/// The fully resolved epoch schedule: which relays start dark, and one
+/// [`EpochDelta`] per boundary.
+#[derive(Clone, Debug, Default)]
+pub struct EpochSchedule {
+    /// Relays dark at t=0 (the initial standby pool).
+    pub initial_dark: Vec<u32>,
+    /// Directory deltas, in boundary order.
+    pub deltas: Vec<EpochDelta>,
+}
+
+impl EpochSpec {
+    /// The epoch interval as a [`SimDuration`].
+    pub fn interval(&self) -> SimDuration {
+        assert!(
+            self.interval_ms > 0.0,
+            "epoch interval must be positive, got {} ms",
+            self.interval_ms
+        );
+        SimDuration::from_secs_f64(self.interval_ms / 1e3)
+    }
+
+    /// Draws the whole join/leave schedule for a `relays`-sized
+    /// universe. Departures are clamped so at least `min_live` relays
+    /// stay live after every epoch (circuits must keep finding paths);
+    /// joins are drawn from the relays dark *before* the boundary, so a
+    /// relay never leaves and rejoins in the same delta.
+    pub fn resolve(&self, relays: usize, min_live: usize, rng: &mut SimRng) -> EpochSchedule {
+        assert!(relays > 0, "an epoch schedule needs relays");
+        assert!(
+            min_live <= relays,
+            "cannot keep {min_live} relays live out of {relays}"
+        );
+        let standby = ((relays as f64) * self.standby_fraction.clamp(0.0, 0.9)) as usize;
+        let standby = standby.min(relays - min_live);
+        let initial_dark: Vec<u32> = rng
+            .sample_distinct(relays, standby)
+            .into_iter()
+            .map(|r| r as u32)
+            .collect();
+        // Track the live/dark partition while drawing, so each delta is
+        // consistent with the state the run will actually be in.
+        let mut dark: Vec<u32> = initial_dark.clone();
+        let mut live: Vec<u32> = (0..relays as u32).filter(|r| !dark.contains(r)).collect();
+        let mut deltas = Vec::with_capacity(self.epochs as usize);
+        for _ in 0..self.epochs {
+            // Joins first, from the pool dark before this boundary.
+            let joins = self.churn.min(dark.len());
+            let mut join = Vec::with_capacity(joins);
+            for _ in 0..joins {
+                let i = rng.range_usize(0, dark.len());
+                join.push(dark.swap_remove(i));
+            }
+            // Leaves are drawn from the *pre-join* live set — a relay
+            // never joins and leaves in the same delta — clamped so the
+            // post-epoch population keeps the floor.
+            let leaves = self
+                .churn
+                .min((live.len() + join.len()).saturating_sub(min_live))
+                .min(live.len());
+            let mut leave = Vec::with_capacity(leaves);
+            for _ in 0..leaves {
+                let i = rng.range_usize(0, live.len());
+                leave.push(live.swap_remove(i));
+            }
+            live.extend_from_slice(&join);
+            dark.extend_from_slice(&leave);
+            deltas.push(EpochDelta { leave, join });
+        }
+        EpochSchedule {
+            initial_dark,
+            deltas,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +516,56 @@ mod tests {
             assert!(t >= SimDuration::from_millis(10) && t <= SimDuration::from_millis(30));
         }
         assert_eq!(wl.rebuild_delay, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn epoch_schedule_is_consistent_and_seeded() {
+        let spec = EpochSpec {
+            interval_ms: 100.0,
+            epochs: 8,
+            churn: 3,
+            standby_fraction: 0.25,
+        };
+        let a = spec.resolve(40, 10, &mut SimRng::seed_from(5));
+        let b = spec.resolve(40, 10, &mut SimRng::seed_from(5));
+        assert_eq!(a.initial_dark, b.initial_dark, "same seed, same schedule");
+        assert_eq!(a.deltas, b.deltas);
+        assert_eq!(a.deltas.len(), 8);
+        // Replay the schedule and check the invariants: live floor held,
+        // no join from the live set, no leave from the dark set, no
+        // relay both joining and leaving in one delta.
+        let mut live = [true; 40];
+        for &r in &a.initial_dark {
+            live[r as usize] = false;
+        }
+        for delta in &a.deltas {
+            for &j in &delta.join {
+                assert!(!live[j as usize], "join drawn from a live relay");
+                assert!(!delta.leave.contains(&j), "join and leave in one delta");
+                live[j as usize] = true;
+            }
+            for &l in &delta.leave {
+                assert!(live[l as usize], "leave drawn from a dark relay");
+                live[l as usize] = false;
+            }
+            let alive = live.iter().filter(|&&x| x).count();
+            assert!(alive >= 10, "live floor violated: {alive}");
+        }
+    }
+
+    #[test]
+    fn epoch_schedule_clamps_when_the_pool_runs_dry() {
+        // No standby pool and a floor right at the starting population:
+        // nothing can ever leave, and nothing can join.
+        let spec = EpochSpec {
+            interval_ms: 50.0,
+            epochs: 4,
+            churn: 5,
+            standby_fraction: 0.0,
+        };
+        let sched = spec.resolve(12, 12, &mut SimRng::seed_from(9));
+        assert!(sched.initial_dark.is_empty());
+        assert!(sched.deltas.iter().all(|d| d.is_empty()));
     }
 
     #[test]

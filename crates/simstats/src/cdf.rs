@@ -87,6 +87,19 @@ impl Cdf {
         self.quantile(0.5)
     }
 
+    /// The 99th percentile (`quantile(0.99)`) — the standard tail-latency
+    /// headline. With fewer than 100 samples this is the max (lower
+    /// interpolation), so report it alongside `len()`.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile (`quantile(0.999)`) — the deep tail.
+    /// Meaningless below ~1000 samples (it collapses onto the max).
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
     /// Arithmetic mean of the samples.
     pub fn mean(&self) -> f64 {
         self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
@@ -187,6 +200,20 @@ mod tests {
         assert_eq!(c.quantile(0.5), 3.0);
         assert_eq!(c.quantile(1.0), 5.0);
         assert_eq!(c.median(), 3.0);
+    }
+
+    #[test]
+    fn tail_percentile_helpers() {
+        // 1000 samples 1..=1000: p99 = 990, p999 = 999 under lower
+        // interpolation (smallest v with F(v) >= q).
+        let c = cdf((1..=1000).map(f64::from).collect());
+        assert_eq!(c.p99(), 990.0);
+        assert_eq!(c.p999(), 999.0);
+        // Tiny sample sets collapse the tail onto the max — documented
+        // behaviour, not an error.
+        let small = cdf(vec![1.0, 2.0, 3.0]);
+        assert_eq!(small.p99(), 3.0);
+        assert_eq!(small.p999(), 3.0);
     }
 
     #[test]

@@ -68,8 +68,15 @@ fn main() {
          3 streams/circuit with on/off arrivals + 1 churn cycle"
     );
     println!(
-        "\n{:>12}  {:>9}  {:>9}  {:>9}  {:>8}  {:>13}",
-        "policy", "p50 [s]", "p90 [s]", "worst [s]", "rebuilds", "peak relay load"
+        "\n{:>12}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>8}  {:>13}",
+        "policy",
+        "p50 [s]",
+        "p90 [s]",
+        "p99 [s]",
+        "p999 [s]",
+        "worst [s]",
+        "rebuilds",
+        "peak relay load"
     );
 
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
@@ -107,11 +114,15 @@ fn main() {
             }
         }
         let cdf = Cdf::from_samples(samples).expect("flows completed");
+        // p99/p999 collapse onto the max at small sample counts (lower
+        // interpolation) — honest tail reporting needs enough flows.
         println!(
-            "{:>12}  {:>9.3}  {:>9.3}  {:>9.3}  {:>8}  {:>13}",
+            "{:>12}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}  {:>8}  {:>13}",
             policy.name(),
             cdf.median(),
             cdf.quantile(0.9),
+            cdf.p99(),
+            cdf.p999(),
             cdf.max(),
             rebuilds,
             peak_load,

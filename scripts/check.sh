@@ -25,6 +25,9 @@ cargo run -q --release --example path_policies
 echo "==> smoke: cargo run --example async_sweep (threaded runtime + oracle check)"
 cargo run -q --release --example async_sweep
 
+echo "==> smoke: cargo run --example consensus_scale (7k-relay directory + epoch churn)"
+cargo run -q --release --example consensus_scale
+
 echo "==> threaded-runtime differential suite (oracle fingerprints, deadlock stress)"
 cargo test -q --test async_runtime
 
