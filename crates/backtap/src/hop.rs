@@ -189,6 +189,19 @@ impl HopTransport {
         removed
     }
 
+    /// Retires **every** outstanding cell at once, with the same
+    /// semantics as [`HopTransport::forget`] (no RTT sample, no
+    /// controller callback, no trace entry). For force-abandon: when the
+    /// neighbour has crashed, none of the in-flight cells will ever be
+    /// fed back, and the circuit cannot reach quiescence until they are
+    /// written off wholesale. Returns how many cells were forgotten.
+    pub fn forget_all(&mut self) -> u32 {
+        let forgotten = u32::try_from(self.in_flight.len()).expect("outstanding exceeds u32");
+        self.in_flight.clear();
+        self.stats.cells_forgotten += u64::from(forgotten);
+        forgotten
+    }
+
     /// Cells sent but not yet fed back.
     pub fn outstanding(&self) -> u32 {
         u32::try_from(self.in_flight.len()).expect("outstanding exceeds u32")
@@ -354,6 +367,24 @@ mod tests {
         assert_eq!(h.outstanding(), 0);
         // A forgotten cell can no longer be confirmed.
         assert_eq!(h.on_feedback(2, t(9)), Err(FeedbackError::UnknownSeq(2)));
+    }
+
+    #[test]
+    fn forget_all_writes_off_every_outstanding_cell() {
+        let mut h = fixed(5);
+        h.register_send(t(0));
+        h.register_send(t(0));
+        h.register_send(t(0));
+        h.on_feedback(0, t(4)).unwrap();
+        assert_eq!(h.forget_all(), 2);
+        assert_eq!(h.outstanding(), 0);
+        assert_eq!(h.stats().cells_forgotten, 2);
+        assert_eq!(h.forget_all(), 0, "idempotent on an empty set");
+        // No RTT/controller side effects beyond the one real feedback.
+        assert_eq!(h.rtt().count(), 1);
+        assert_eq!(h.stats().feedback_received, 1);
+        // Forgotten cells can no longer confirm.
+        assert_eq!(h.on_feedback(1, t(9)), Err(FeedbackError::UnknownSeq(1)));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use relaynet::builder::{fixed_window_factory, PathScenario, StarScenario};
 use relaynet::pool::PayloadPool;
 use relaynet::runtime::{FactoryMaker, ShardedStar};
 use relaynet::selection::{all_policies, SelectionPolicy};
-use relaynet::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
+use relaynet::workload::{ArrivalSpec, ChurnSpec, FaultSpec, WorkloadSpec};
 use relaynet::{CcFactory, DirectoryConfig, WorldConfig};
 use simcore::event::QueueKind;
 use simcore::exec::{DeterministicExecutor, Executor, ThreadedExecutor};
@@ -249,6 +249,67 @@ fn bench_selection(report: &mut Report) {
     }
 }
 
+/// The fault-recovery case: the churning star of `star_churn_4x3x2`
+/// with two relay crashes and a transient stall injected mid-run
+/// (DESIGN.md §12). The rate covers the full recovery loop — timer
+/// chains, blame-driven re-selection, backoff rebuilds, reap/retire
+/// reclamation — under the same cells/s metric; the fault-free star
+/// cases staying flat against the previous trajectory point is the
+/// proof the fault seam costs nothing when unconfigured.
+fn faults_scenario() -> StarScenario {
+    StarScenario {
+        faults: Some(FaultSpec {
+            crashes: 2,
+            crash_window_ms: (40.0, 120.0),
+            stalls: 1,
+            stall_window_ms: (40.0, 120.0),
+            stall_duration_ms: 60.0,
+            stall_factor: 200.0,
+            build_timeout_ms: 300.0,
+            liveness_timeout_ms: 600.0,
+            ..Default::default()
+        }),
+        directory: DirectoryConfig {
+            relays: 16,
+            bandwidth_mbps: (30.0, 90.0),
+            delay_ms: (2.0, 6.0),
+        },
+        ..churn_scenario()
+    }
+}
+
+/// One full faulty experiment; returns delivered DATA cells. Every flow
+/// must still complete — the bench doubles as a recovery smoke.
+fn run_faults_once(factory: CcFactory) -> u64 {
+    let (mut sim, _) = faults_scenario().build(factory, 1);
+    sim.run();
+    let world = sim.world();
+    assert_eq!(world.stats().protocol_errors, 0);
+    assert!(
+        world.stats().crashes_injected > 0,
+        "fault schedule must fire"
+    );
+    let mut cells = 0;
+    for f in world.flows() {
+        assert!(f.complete(), "recovery must complete the bench workload");
+        cells += f.cells_delivered;
+    }
+    cells
+}
+
+fn bench_faults(report: &mut Report) {
+    let factory = || Algorithm::CircuitStart.factory(CcConfig::default());
+    let cells = run_faults_once(factory());
+    report.bench_with_rate(
+        "overlay/star_faults/circuitstart",
+        cells as f64,
+        "cells/s",
+        || {
+            std::hint::black_box(run_faults_once(factory()));
+        },
+    );
+}
+
 /// The async-runtime scaling case: the churning star of
 /// `star_churn_4x3x2`, sharded 8 ways and run across a work-stealing
 /// pool at 1/2/4/8 workers. Each shard is a full deterministic world
@@ -340,6 +401,7 @@ fn main() {
         Algorithm::CircuitStart.factory(CcConfig::default())
     });
     bench_policies(&mut report);
+    bench_faults(&mut report);
     bench_selection(&mut report);
     bench_async(&mut report);
     report.finish("bench_overlay");

@@ -33,7 +33,7 @@ use crate::node::{CcFactory, NodeRole};
 use crate::router::Router;
 use crate::sampler::SamplerKind;
 use crate::selection::{SelectionPolicy, Uniform};
-use crate::workload::{EpochSpec, WorkloadSpec};
+use crate::workload::{EpochSpec, FaultSpec, WorkloadSpec};
 
 /// A single circuit over an explicit chain of links.
 #[derive(Clone, Debug)]
@@ -47,6 +47,14 @@ pub struct PathScenario {
     /// Stream multiplexing, arrival process, and churn (default: one
     /// immediate bulk stream, no churn — the paper's shape).
     pub workload: WorkloadSpec,
+    /// Fault injection (see [`FaultSpec`]): relay crashes and transient
+    /// link stalls, with the client's timer/backoff machinery armed.
+    /// `None` (the default) keeps the run bit-identical to pre-fault
+    /// builds (the "faults" RNG stream is only derived when this is
+    /// set). With no placement seam, a crashed relay stays on the
+    /// rebuild path — the lineage retries under backoff until the retry
+    /// cap parks it, deterministically.
+    pub faults: Option<FaultSpec>,
     /// World switches.
     pub world: WorldConfig,
 }
@@ -57,6 +65,7 @@ impl Default for PathScenario {
             hops: Vec::new(),
             file_bytes: 1 << 20,
             workload: WorkloadSpec::default(),
+            faults: None,
             world: WorldConfig::default(),
         }
     }
@@ -132,8 +141,50 @@ impl PathScenario {
             .workload
             .resolve(self.file_bytes, &mut wl_rng, |bytes| world.add_flow(bytes));
         let circ = world.add_circuit_with_workload(overlay_path.clone(), workload, 0);
+        // Like epochs, the fault schedule draws from a stream that is
+        // only derived when faults are configured — a fault-free build
+        // consumes exactly the randomness it always did.
+        let fault_schedule = self.faults.as_ref().map(|spec| {
+            let frng = master.derive("faults");
+            let mut srng = frng.derive("schedule");
+            // Interior relays, named by overlay id directly (no
+            // placement seam in a path world).
+            let candidates: Vec<u32> = (1..last as u32).collect();
+            let schedule = spec.resolve(&candidates, &mut srng);
+            world.install_faults(*spec, frng.derive("backoff"));
+            schedule
+        });
         let mut sim = Simulator::with_queue(world, queue);
         sim.schedule_at(SimTime::ZERO, TorEvent::StartCircuit(circ));
+        if let Some(schedule) = fault_schedule {
+            let spec = self.faults.as_ref().expect("schedule implies spec");
+            for (at, relay) in schedule.crashes {
+                sim.schedule_at(SimTime::ZERO + at, TorEvent::RelayCrash { relay });
+            }
+            for s in schedule.stalls {
+                // Relay overlay id `r` sits between hops `r-1` and `r`:
+                // throttle its upstream hop in both directions, then
+                // restore the provisioned rate.
+                let r = s.relay as usize;
+                let full = self.hops[r - 1].rate;
+                let throttled = Bandwidth::from_bps(
+                    ((full.bps() as f64 / spec.stall_factor.max(1.0)).floor() as u64).max(1),
+                );
+                for &link in &[topo.fwd[r - 1], topo.rev[r - 1]] {
+                    sim.schedule_at(
+                        SimTime::ZERO + s.at,
+                        TorEvent::SetLinkRate {
+                            link,
+                            rate: throttled,
+                        },
+                    );
+                    sim.schedule_at(
+                        SimTime::ZERO + s.at + s.duration,
+                        TorEvent::SetLinkRate { link, rate: full },
+                    );
+                }
+            }
+        }
         let handles = PathHandles {
             circ,
             fwd_links: topo.fwd,
@@ -183,6 +234,12 @@ pub struct StarScenario {
     /// (picks are identical either way; see [`crate::sampler`]).
     /// Default: [`SamplerKind::Auto`].
     pub sampler: SamplerKind,
+    /// Fault injection (see [`FaultSpec`]): relay crashes and transient
+    /// access-link stalls drawn from the initially-live relay set, with
+    /// the client-side timer/backoff/blame recovery loop armed. `None`
+    /// (the default) keeps the run bit-identical to pre-fault builds
+    /// (the "faults" RNG stream is only derived when this is set).
+    pub faults: Option<FaultSpec>,
     /// World switches.
     pub world: WorldConfig,
 }
@@ -201,6 +258,7 @@ impl Default for StarScenario {
             workload: WorkloadSpec::default(),
             epochs: None,
             sampler: SamplerKind::Auto,
+            faults: None,
             world: WorldConfig::default(),
         }
     }
@@ -306,6 +364,31 @@ impl StarScenario {
             master.derive("paths"),
             self.sampler,
         );
+        // Like epochs, the fault schedule draws from a stream that is
+        // only derived when faults are configured — a fault-free build
+        // consumes exactly the randomness it always did. Victims come
+        // from the initially-live set so faults hit relays circuits can
+        // actually cross.
+        let relay_rates: Vec<Bandwidth> = accesses[..relay_count].iter().map(|a| a.rate).collect();
+        let fault_schedule = self.faults.as_ref().map(|spec| {
+            let frng = master.derive("faults");
+            let mut srng = frng.derive("schedule");
+            let dark: Vec<bool> = {
+                let mut v = vec![false; relay_count];
+                if let Some(sched) = &epoch_schedule {
+                    for &r in &sched.initial_dark {
+                        v[r as usize] = true;
+                    }
+                }
+                v
+            };
+            let candidates: Vec<u32> = (0..relay_count as u32)
+                .filter(|&r| !dark[r as usize])
+                .collect();
+            let schedule = spec.resolve(&candidates, &mut srng);
+            world.install_faults(*spec, frng.derive("backoff"));
+            schedule
+        });
 
         let mut circuits = Vec::with_capacity(self.circuits);
         let mut sim_events: Vec<(SimTime, CircId)> = Vec::with_capacity(self.circuits);
@@ -347,6 +430,36 @@ impl StarScenario {
                     SimTime::ZERO + interval * u64::from(i + 1),
                     TorEvent::Epoch(i),
                 );
+            }
+        }
+        if let Some(schedule) = fault_schedule {
+            let spec = self.faults.as_ref().expect("schedule implies spec");
+            for (at, relay) in schedule.crashes {
+                sim.schedule_at(SimTime::ZERO + at, TorEvent::RelayCrash { relay });
+            }
+            for s in schedule.stalls {
+                // A stalled relay's access link (both directions) drops
+                // to `rate / stall_factor`, restoring at the end of the
+                // stall — the "slow relay" failure mode, recoverable
+                // without blame.
+                let r = s.relay as usize;
+                let full = relay_rates[r];
+                let throttled = Bandwidth::from_bps(
+                    ((full.bps() as f64 / spec.stall_factor.max(1.0)).floor() as u64).max(1),
+                );
+                for &link in &[star.up[r], star.down[r]] {
+                    sim.schedule_at(
+                        SimTime::ZERO + s.at,
+                        TorEvent::SetLinkRate {
+                            link,
+                            rate: throttled,
+                        },
+                    );
+                    sim.schedule_at(
+                        SimTime::ZERO + s.at + s.duration,
+                        TorEvent::SetLinkRate { link, rate: full },
+                    );
+                }
             }
         }
         (sim, circuits)
@@ -706,6 +819,7 @@ mod tests {
                 arrival: ArrivalSpec::UniformJitter { max_ms: 20.0 },
                 churn: None,
             },
+            faults: None,
             world: WorldConfig::default(),
         };
         let (mut sim, h) = scenario.build(fixed_window_factory(8), 5);
@@ -746,6 +860,7 @@ mod tests {
                     cycles: 2,
                 }),
             },
+            faults: None,
             world: WorldConfig::default(),
         };
         let (mut sim, h) = scenario.build(baseline_factory(CcConfig::default()), 23);

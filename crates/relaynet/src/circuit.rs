@@ -26,6 +26,11 @@ pub struct CircuitInfo {
     /// the flag that lets epoch churn and the ledger verifier reason
     /// about torn-down-but-not-yet-rebuilt circuits).
     pub accounted: bool,
+    /// Consecutive timeout-driven abandons charged against this flow
+    /// lineage (carried across incarnations; reset when a rebuild
+    /// completes its transfer or a parked lineage resumes). Drives the
+    /// exponential backoff law and the retry cap.
+    pub retries: u32,
 }
 
 /// Measured outcome of one circuit's transfer.

@@ -6,6 +6,17 @@ use netsim::net::NetEvent;
 
 use crate::ids::CircId;
 
+/// Which client-side circuit timer a [`TorEvent::CircTimeout`] carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerKind {
+    /// The build-completion timer: armed when the circuit build starts,
+    /// genuine if the circuit is still telescoping when it fires.
+    Build,
+    /// The liveness timer: armed with a progress snapshot, genuine if
+    /// the snapshot has not advanced when it fires.
+    Liveness,
+}
+
 /// Everything that can happen in a [`crate::network::TorNetwork`].
 #[derive(Clone, Copy, Debug)]
 pub enum TorEvent {
@@ -37,6 +48,30 @@ pub enum TorEvent {
         link: LinkId,
         /// The new rate.
         rate: Bandwidth,
+    },
+    /// A relay crashes: from this instant it silently drops every frame
+    /// addressed to it — no DESTROY, no graceful teardown. Clients only
+    /// learn of the failure through their own timers.
+    RelayCrash {
+        /// Directory index of the crashing relay.
+        relay: u32,
+    },
+    /// A client-armed circuit timer fired: if the circuit incarnation it
+    /// was armed against is still pending (build timer) or has made no
+    /// progress (liveness timer), the client abandons and recovers.
+    /// Stale timers — the circuit completed, was torn down, or was
+    /// rebuilt into a later incarnation — are no-ops.
+    CircTimeout {
+        /// The circuit the timer was armed on.
+        circ: CircId,
+        /// Incarnation the timer belongs to; mismatch means stale.
+        incarnation: u32,
+        /// Client progress snapshot when the timer was armed (cells
+        /// acknowledged end-to-end); equal progress at expiry means the
+        /// circuit has stalled.
+        progress: u64,
+        /// Which timer this is (build completion vs. liveness).
+        kind: TimerKind,
     },
 }
 

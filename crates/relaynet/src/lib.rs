@@ -57,7 +57,7 @@ pub mod prelude {
     };
     pub use crate::circuit::{CircuitInfo, CircuitResult};
     pub use crate::directory::{Directory, DirectoryConfig, EpochDelta, RelaySpec};
-    pub use crate::event::TorEvent;
+    pub use crate::event::{TimerKind, TorEvent};
     pub use crate::ids::{CircId, Direction, OverlayId};
     pub use crate::network::{
         fill_pattern, fill_pattern_extend, fill_pattern_into, verify_fill_pattern, TorNetwork,
@@ -78,8 +78,8 @@ pub mod prelude {
     };
     pub use crate::wire::{FramePayload, WireFrame};
     pub use crate::workload::{
-        ArrivalSpec, ChurnSpec, CircuitWorkload, EpochSchedule, EpochSpec, FlowId, FlowState,
-        StreamSpec, WorkloadSpec,
+        ArrivalSpec, ChurnSpec, CircuitWorkload, EpochSchedule, EpochSpec, FaultSchedule,
+        FaultSpec, FlowId, FlowState, LinkStall, StreamSpec, WorkloadSpec,
     };
 }
 
@@ -89,7 +89,7 @@ pub use builder::{
 };
 pub use circuit::{CircuitInfo, CircuitResult};
 pub use directory::{Directory, DirectoryConfig, EpochDelta, RelaySpec};
-pub use event::TorEvent;
+pub use event::{TimerKind, TorEvent};
 pub use ids::{CircId, Direction, OverlayId};
 pub use network::{
     fill_pattern, fill_pattern_into, verify_fill_pattern, TorNetwork, WorldConfig, WorldStats,
@@ -109,6 +109,6 @@ pub use selection::{
 };
 pub use wire::{FramePayload, WireFrame};
 pub use workload::{
-    ArrivalSpec, ChurnSpec, CircuitWorkload, EpochSchedule, EpochSpec, FlowId, FlowState,
-    StreamSpec, WorkloadSpec,
+    ArrivalSpec, ChurnSpec, CircuitWorkload, EpochSchedule, EpochSpec, FaultSchedule, FaultSpec,
+    FlowId, FlowState, LinkStall, StreamSpec, WorkloadSpec,
 };

@@ -39,7 +39,7 @@ use crate::workload::{CircuitWorkload, StreamSpec};
 
 use backtap::hop::HopTransport;
 
-use super::{TorNetwork, WorldStats, DESTROY_REASON_FINISHED};
+use super::{FaultState, TorNetwork, WorldStats, DESTROY_REASON_FINISHED, DESTROY_REASON_REFUSED};
 
 impl TorNetwork {
     /// Handshake blob: global circuit id (instrumentation channel for the
@@ -137,6 +137,20 @@ impl TorNetwork {
             nc,
             Direction::Forward,
         );
+        // With faults installed every incarnation arms a build timer —
+        // the client's only way to learn about a crash is silence.
+        if let Some(f) = self.faults.as_ref() {
+            let incarnation = self.circuits[circ.index()].incarnation;
+            ctx.schedule_in(
+                f.spec.build_timeout(),
+                TorEvent::CircTimeout {
+                    circ,
+                    incarnation,
+                    progress: 0,
+                    kind: crate::event::TimerKind::Build,
+                },
+            );
+        }
     }
 
     /// A staggered stream's arrival offset elapsed (from a
@@ -209,6 +223,41 @@ impl TorNetwork {
         };
         let is_server = position == info.path.len() - 1;
         let expected_streams = info.workload.streams.len();
+        // Under faults a CREATE can still be on the wire when its
+        // incarnation dies (crash reap, force-abandon): minting a
+        // participation now would orphan a zombie slot and collide on
+        // a recycled link id. Confirm the consumed frame so a
+        // still-draining predecessor stays exact, and refuse.
+        if self.faults.is_some() {
+            let client = &self.nodes[info.path[0].index()];
+            let dead = match client.local_idx(global) {
+                None => true,
+                Some(l) => client.circuit_at(l).closed,
+            };
+            if dead {
+                Self::stale_or_protocol_error(
+                    &self.faults,
+                    &mut self.stats,
+                    "CREATE for dead incarnation",
+                );
+                let my_net = self.nodes[to.index()].net_node;
+                Self::send_feedback(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    ctx,
+                    my_net,
+                    PendingConfirm {
+                        neighbor: from,
+                        circ_id: link_id,
+                        seq: hop_seq,
+                    },
+                );
+                return;
+            }
+        }
 
         let hop_ctx = HopCtx {
             circuit: global,
@@ -278,7 +327,13 @@ impl TorNetwork {
         hop_seq: u64,
     ) {
         let Some((global, local, _)) = self.route_of(to, from, link_id) else {
-            Self::protocol_error(&mut self.stats, "CREATED on unknown route");
+            // Under faults a CREATED can race a crash-reap that already
+            // cleared this route end.
+            Self::stale_or_protocol_error(
+                &self.faults,
+                &mut self.stats,
+                "CREATED on unknown route",
+            );
             return;
         };
         let my_net = self.nodes[to.index()].net_node;
@@ -482,9 +537,12 @@ impl TorNetwork {
 
     /// Discards everything queued on one hop direction of a closing
     /// circuit: owed feedback is still paid (upstream windows must
-    /// drain) and DATA payload buffers return to the pool.
+    /// drain) and DATA payload buffers return to the pool. A silently
+    /// reaped participation (a crashed relay, or an orphan stranded
+    /// beyond one) passes `pay_confirms = false` — a dead node must not
+    /// signal anyone.
     #[allow(clippy::too_many_arguments)]
-    fn drain_hopdir(
+    pub(super) fn drain_hopdir(
         net: &mut Net<crate::wire::WireFrame>,
         link_sched: &mut [LinkScheduler],
         router: &Router,
@@ -494,11 +552,23 @@ impl TorNetwork {
         ctx: &mut Context<'_, TorEvent>,
         my_net: NodeId,
         hopdir: &mut HopDir,
+        pay_confirms: bool,
     ) {
         while let Some(qc) = hopdir.queue.pop_front() {
             stats.cells_drained += 1;
             if let Some(cf) = qc.confirm {
-                Self::send_feedback(net, link_sched, router, net_node_of, stats, ctx, my_net, cf);
+                if pay_confirms {
+                    Self::send_feedback(
+                        net,
+                        link_sched,
+                        router,
+                        net_node_of,
+                        stats,
+                        ctx,
+                        my_net,
+                        cf,
+                    );
+                }
             }
             if let CellBody::Relay(rc) = qc.cell.body {
                 pool.reclaim(rc.data);
@@ -519,7 +589,7 @@ impl TorNetwork {
     /// uplink), so the drain runs once per distinct link and dispatches
     /// each frame to its transport by destination.
     #[allow(clippy::too_many_arguments)]
-    fn drain_scheduled(
+    pub(super) fn drain_scheduled(
         net: &mut Net<crate::wire::WireFrame>,
         link_sched: &mut [LinkScheduler],
         router: &Router,
@@ -529,6 +599,7 @@ impl TorNetwork {
         ctx: &mut Context<'_, TorEvent>,
         my_net: NodeId,
         nc: &mut NodeCircuit,
+        pay_confirms: bool,
     ) {
         let circ = nc.circ;
         let link_of = |h: &HopDir| router.next_link(my_net, net_node_of[h.neighbor.index()]);
@@ -562,16 +633,18 @@ impl TorNetwork {
                     pool.reclaim(rc.data);
                 }
                 if let Some(cf) = frame.confirm {
-                    Self::send_feedback(
-                        net,
-                        link_sched,
-                        router,
-                        net_node_of,
-                        stats,
-                        ctx,
-                        my_net,
-                        cf,
-                    );
+                    if pay_confirms {
+                        Self::send_feedback(
+                            net,
+                            link_sched,
+                            router,
+                            net_node_of,
+                            stats,
+                            ctx,
+                            my_net,
+                            cf,
+                        );
+                    }
                 }
             }
         }
@@ -582,7 +655,7 @@ impl TorNetwork {
     /// circuit already handed to its egress link scheduler(s) — and the
     /// client stops generating cells.
     #[allow(clippy::too_many_arguments)]
-    fn close_participation(
+    pub(super) fn close_participation(
         net: &mut Net<crate::wire::WireFrame>,
         link_sched: &mut [LinkScheduler],
         router: &Router,
@@ -608,6 +681,7 @@ impl TorNetwork {
             ctx,
             my_net,
             nc,
+            true,
         );
         if let Some(h) = nc.fwd.as_mut() {
             Self::drain_hopdir(
@@ -620,6 +694,7 @@ impl TorNetwork {
                 ctx,
                 my_net,
                 h,
+                true,
             );
         }
         if let Some(h) = nc.bwd.as_mut() {
@@ -633,6 +708,7 @@ impl TorNetwork {
                 ctx,
                 my_net,
                 h,
+                true,
             );
         }
     }
@@ -640,15 +716,20 @@ impl TorNetwork {
     /// Enqueues a DESTROY on `dir`'s hop and pumps it, returning whether
     /// a neighbour was actually notified. A hop whose transport never
     /// sent anything (a drained, never-sent CREATE) has no peer to
-    /// notify — the wave reflects instead.
+    /// notify — the wave reflects instead. A hop whose neighbour has
+    /// **crashed** likewise reflects: the DESTROY could never be
+    /// confirmed and no echo can come back, so everything outstanding
+    /// toward the dead neighbour is written off
+    /// ([`HopTransport::forget_all`]) and the wave turns around here.
     #[allow(clippy::too_many_arguments)]
-    fn propagate_destroy(
+    pub(super) fn propagate_destroy(
         net: &mut Net<crate::wire::WireFrame>,
         link_sched: &mut [LinkScheduler],
         router: &Router,
         net_node_of: &[NodeId],
         stats: &mut WorldStats,
         pool: &mut PayloadPool,
+        faults: &Option<FaultState>,
         ctx: &mut Context<'_, TorEvent>,
         my_net: NodeId,
         nc: &mut NodeCircuit,
@@ -662,6 +743,13 @@ impl TorNetwork {
         let Some(hd) = hopdir else {
             return false;
         };
+        if faults
+            .as_ref()
+            .is_some_and(|f| f.is_crashed(hd.neighbor.index()))
+        {
+            hd.transport.forget_all();
+            return false;
+        }
         if hd.transport.next_seq() == 0 && hd.queue.is_empty() {
             // Never contacted that neighbour (its CREATE/CREATED was
             // drained unsent): nothing to tear down there.
@@ -702,7 +790,61 @@ impl TorNetwork {
         hop_seq: u64,
     ) {
         let Some((_global, local, wave)) = self.route_of(to, from, link_id) else {
-            Self::protocol_error(&mut self.stats, "DESTROY on unknown route");
+            // Under faults a DESTROY can land on a void: a crash-reap or
+            // force-abandon cleared this route end, or the participation
+            // was never minted (its CREATE was stale-dropped by the
+            // dead-incarnation gate while the teardown wave chased the
+            // build wave down the telescope). The sender's confirm is
+            // still owed, and — as a real relay refusing a circuit would
+            // — the void answers with a REFUSED DESTROY so the wave can
+            // turn around instead of dying here; a REFUSED echo is never
+            // itself answered, so two voids cannot volley forever.
+            Self::stale_or_protocol_error(
+                &self.faults,
+                &mut self.stats,
+                "DESTROY on unknown route",
+            );
+            if self.faults.is_some() {
+                let my_net = self.nodes[to.index()].net_node;
+                Self::send_feedback(
+                    &mut self.net,
+                    &mut self.link_sched,
+                    &self.router,
+                    &self.net_node_of,
+                    &mut self.stats,
+                    ctx,
+                    my_net,
+                    PendingConfirm {
+                        neighbor: from,
+                        circ_id: link_id,
+                        seq: hop_seq,
+                    },
+                );
+                if reason != DESTROY_REASON_REFUSED {
+                    let dst = self.net_node_of[from.index()];
+                    let frame = crate::wire::WireFrame {
+                        src: my_net,
+                        dst,
+                        payload: crate::wire::FramePayload::Cell {
+                            cell: Cell::destroy(link_id, DESTROY_REASON_REFUSED),
+                            // The void has no hop transport; the peer's
+                            // confirm for this seq dead-ends as a counted
+                            // stale feedback frame.
+                            hop_seq: 0,
+                        },
+                        confirm: None,
+                    };
+                    Self::sched_send(
+                        &mut self.net,
+                        &mut self.link_sched,
+                        ctx,
+                        self.router.next_link(my_net, dst),
+                        frame,
+                        None,
+                    );
+                    self.stats.destroys_sent += 1;
+                }
+            }
             return;
         };
         let my_net = self.nodes[to.index()].net_node;
@@ -746,6 +888,7 @@ impl TorNetwork {
                     &self.net_node_of,
                     &mut self.stats,
                     &mut self.payload_pool,
+                    &self.faults,
                     ctx,
                     my_net,
                     nc,
@@ -762,6 +905,7 @@ impl TorNetwork {
                         &self.net_node_of,
                         &mut self.stats,
                         &mut self.payload_pool,
+                        &self.faults,
                         ctx,
                         my_net,
                         nc,
@@ -780,6 +924,7 @@ impl TorNetwork {
                     &self.net_node_of,
                     &mut self.stats,
                     &mut self.payload_pool,
+                    &self.faults,
                     ctx,
                     my_net,
                     nc,
@@ -797,16 +942,40 @@ impl TorNetwork {
 
     /// Client-initiated teardown (from a [`TorEvent::Teardown`]).
     pub(super) fn teardown(&mut self, ctx: &mut Context<'_, TorEvent>, circ: CircId) {
+        self.teardown_with_reason(ctx, circ, DESTROY_REASON_FINISHED);
+    }
+
+    /// [`TorNetwork::teardown`] carrying an explicit DESTROY reason code
+    /// (the recovery loop sends [`super::DESTROY_REASON_TIMEOUT`]).
+    pub(super) fn teardown_with_reason(
+        &mut self,
+        ctx: &mut Context<'_, TorEvent>,
+        circ: CircId,
+        reason: u8,
+    ) {
         let client_id = self.circuits[circ.index()].path[0];
-        let node = &mut self.nodes[client_id.index()];
-        let my_net = node.net_node;
-        let Some(local) = node.local_idx(circ) else {
+        let Some(local) = self.nodes[client_id.index()].local_idx(circ) else {
             return;
         };
-        let nc = node.circuit_at_mut(local);
-        if nc.closed {
+        if self.nodes[client_id.index()].circuit_at(local).closed {
             return;
         }
+        // Participations stranded beyond a crashed hop can never hear
+        // the DESTROY wave (the crash gate swallows every frame at the
+        // dead relay's door): reap them silently now, standing in for
+        // the idle timers real relays would run. The wave itself
+        // reflects at the last live hop via `propagate_destroy`.
+        if self.faults.is_some() {
+            let path = self.circuits[circ.index()].path.clone();
+            if let Some(k) = path.iter().position(|&n| self.is_crashed(n)) {
+                for &n in &path[k + 1..] {
+                    self.reap_participation(ctx, n, circ);
+                }
+            }
+        }
+        let node = &mut self.nodes[client_id.index()];
+        let my_net = node.net_node;
+        let nc = node.circuit_at_mut(local);
         Self::close_participation(
             &mut self.net,
             &mut self.link_sched,
@@ -826,15 +995,16 @@ impl TorNetwork {
             &self.net_node_of,
             &mut self.stats,
             &mut self.payload_pool,
+            &self.faults,
             ctx,
             my_net,
             nc,
             Direction::Forward,
-            DESTROY_REASON_FINISHED,
+            reason,
         );
         if !propagated {
-            // No neighbour was ever contacted; the teardown is already
-            // complete.
+            // No neighbour was ever contacted (or the first hop is
+            // dead); the teardown is already complete.
             nc.destroy_bwd = true;
         }
         self.maybe_reclaim(ctx, client_id, local);
@@ -900,6 +1070,35 @@ impl TorNetwork {
         let old_info = &self.circuits[old.index()];
         let old_path = old_info.path.clone();
         let incarnation = old_info.incarnation + 1;
+        let old_retries = old_info.retries;
+        // Graceful degradation: a lineage that exhausted its retry cap,
+        // or a world whose selectable relay set fell below the interior
+        // path length, parks its unfinished flows instead of rebuilding
+        // (and instead of panicking inside `select_relays`). Parked
+        // circuits resume when the next epoch join replenishes the set.
+        if let Some(f) = self.faults.as_ref() {
+            let interior = old_path.len().saturating_sub(2);
+            let over_cap = old_retries > f.spec.max_retries;
+            let too_thin = self.selectable_relays().is_some_and(|live| live < interior);
+            if over_cap || too_thin {
+                let parked = self.circuits[old.index()]
+                    .workload
+                    .streams
+                    .iter()
+                    .filter(|s| !self.flows[s.flow.index()].complete())
+                    .count() as u64;
+                if parked == 0 {
+                    return;
+                }
+                self.stats.flows_parked += parked;
+                self.faults
+                    .as_mut()
+                    .expect("checked above")
+                    .parked
+                    .push(old);
+                return;
+            }
+        }
         let path = if self.placement.is_some() && old_path.len() > 2 {
             let relays = self.select_relays(old_path.len() - 2);
             let mut path = Vec::with_capacity(old_path.len());
@@ -942,6 +1141,9 @@ impl TorNetwork {
         };
         self.stats.rebuilds += 1;
         let new = self.add_circuit_with_workload(path, workload, incarnation);
+        // Timeout charges carry across incarnations: the backoff law and
+        // the retry cap apply to the flow lineage, not to one circuit.
+        self.circuits[new.index()].retries = old_retries;
         self.start_circuit(ctx, new);
     }
 
@@ -978,6 +1180,19 @@ impl TorNetwork {
         self.stats.relays_joined += joined;
         self.stats.relays_departed += departed;
         self.stats.epochs_applied += 1;
+        // Fresh capacity joined the consensus: wake every parked lineage
+        // with a clean retry budget. If the set is still too thin the
+        // rebuild simply re-parks — no event loop.
+        if joined > 0 {
+            if let Some(f) = self.faults.as_mut() {
+                let parked = std::mem::take(&mut f.parked);
+                for &c in &parked {
+                    let delay = self.circuits[c.index()].workload.rebuild_delay;
+                    self.circuits[c.index()].retries = 0;
+                    ctx.schedule_in(delay, TorEvent::Rebuild(c));
+                }
+            }
+        }
         // Mark the departing relays' overlay nodes, then tear down every
         // live circuit crossing one. `teardown` no-ops on circuits
         // already vacant or closed, so racing workload churn is safe.

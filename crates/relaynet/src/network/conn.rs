@@ -98,6 +98,27 @@ impl TorNetwork {
             "frame endpoints must host overlay participants"
         );
         let (to, from) = (crate::ids::OverlayId(to), crate::ids::OverlayId(from));
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.is_crashed(to.index()))
+        {
+            // A crashed relay receives nothing: everything addressed to
+            // it is silently dropped (no confirm, no feedback — its
+            // neighbours' windows starve and only client timers notice).
+            // Frames it sent *before* crashing were already on the wire
+            // and deliver normally; link-id retirement guarantees their
+            // ids never resolve against a re-minted circuit. The
+            // simulator still owns the payload buffer, so DATA bodies
+            // return to the pool.
+            self.stats.crash_frames_dropped += 1;
+            if let FramePayload::Cell { cell, .. } = frame.payload {
+                if let CellBody::Relay(rc) = cell.body {
+                    self.payload_pool.reclaim(rc.data);
+                }
+            }
+            return;
+        }
         match frame.payload {
             FramePayload::Feedback(fb) => self.on_feedback(ctx, to, from, fb),
             FramePayload::Cell { cell, hop_seq } => self.on_cell(ctx, to, from, cell, hop_seq),

@@ -67,7 +67,11 @@ impl TorNetwork {
         fb: Feedback,
     ) {
         let Some((_circ, local, _)) = self.route_of(to, from, fb.circ) else {
-            Self::protocol_error(&mut self.stats, "feedback on unknown route");
+            Self::stale_or_protocol_error(
+                &self.faults,
+                &mut self.stats,
+                "feedback on unknown route",
+            );
             return;
         };
         let node = &mut self.nodes[to.index()];
@@ -80,7 +84,14 @@ impl TorNetwork {
         {
             let hopdir = nc.hopdir_toward_mut(from).expect("direction just resolved");
             if hopdir.transport.on_feedback(fb.seq, ctx.now()).is_err() {
-                Self::protocol_error(&mut self.stats, "feedback with unknown sequence");
+                // Under faults this is a write-off racing its own late
+                // feedback: a force-abandon forgets every outstanding
+                // cell, then a confirm for one of them arrives.
+                Self::stale_or_protocol_error(
+                    &self.faults,
+                    &mut self.stats,
+                    "feedback with unknown sequence",
+                );
                 return;
             }
         }

@@ -52,6 +52,7 @@
 pub(crate) mod circuit_build;
 pub(crate) mod client_xfer;
 pub(crate) mod conn;
+pub(crate) mod faults;
 pub(crate) mod feedback;
 pub(crate) mod recognition;
 
@@ -74,12 +75,23 @@ use crate::sampler::SamplerKind;
 use crate::scheduler::LinkScheduler;
 use crate::selection::{DirectoryView, SelectionEngine, SelectionPolicy};
 use crate::wire::WireFrame;
+use crate::workload::FaultSpec;
 use crate::workload::{CircuitWorkload, FlowId, FlowState};
 
 /// Reason code carried by the END cell when a transfer finishes normally.
 pub const END_REASON_DONE: u8 = 1;
 /// Reason code carried by DESTROY cells on explicit teardown.
 pub const DESTROY_REASON_FINISHED: u8 = 9;
+/// Reason code carried by DESTROY cells when a client abandons a circuit
+/// after a build or liveness timeout (pure telemetry — relays treat every
+/// reason alike).
+pub const DESTROY_REASON_TIMEOUT: u8 = 10;
+/// Reason code for a DESTROY answered by a node that has no participation
+/// in the circuit — the void's reply that lets a teardown wave turn
+/// around when its far side was dropped (a stale CREATE for a dead
+/// incarnation, a reaped orphan). A REFUSED DESTROY is itself never
+/// answered, so two voids cannot volley.
+pub const DESTROY_REASON_REFUSED: u8 = 11;
 
 /// Global behaviour switches.
 #[derive(Clone, Copy, Debug)]
@@ -137,6 +149,24 @@ pub struct WorldStats {
     /// Circuit teardowns initiated because the circuit crossed a
     /// departing relay (a subset of what feeds `rebuilds`).
     pub epoch_teardowns: u64,
+    /// Relay crashes injected by the fault engine.
+    pub crashes_injected: u64,
+    /// Client circuit timers that fired genuinely (build or liveness)
+    /// and triggered an abandon.
+    pub timeouts_fired: u64,
+    /// Timeout-driven rebuild attempts scheduled under backoff.
+    pub retries: u64,
+    /// Relays excluded from selection after being blamed for a timeout.
+    pub blamed_exclusions: u64,
+    /// Flows parked because their circuit exhausted its retry cap or the
+    /// selectable relay set fell below the path length.
+    pub flows_parked: u64,
+    /// Frames silently dropped because their destination relay crashed.
+    pub crash_frames_dropped: u64,
+    /// Frames for unknown routes or sequences dropped *because faults
+    /// are active* (stale traffic to force-abandoned circuits); without
+    /// faults these are protocol errors.
+    pub stale_frames_dropped: u64,
 }
 
 impl WorldStats {
@@ -160,6 +190,13 @@ impl WorldStats {
             relays_joined,
             relays_departed,
             epoch_teardowns,
+            crashes_injected,
+            timeouts_fired,
+            retries,
+            blamed_exclusions,
+            flows_parked,
+            crash_frames_dropped,
+            stale_frames_dropped,
         } = *other;
         self.cells_sent += cells_sent;
         self.feedback_sent += feedback_sent;
@@ -173,6 +210,13 @@ impl WorldStats {
         self.relays_joined += relays_joined;
         self.relays_departed += relays_departed;
         self.epoch_teardowns += epoch_teardowns;
+        self.crashes_injected += crashes_injected;
+        self.timeouts_fired += timeouts_fired;
+        self.retries += retries;
+        self.blamed_exclusions += blamed_exclusions;
+        self.flows_parked += flows_parked;
+        self.crash_frames_dropped += crash_frames_dropped;
+        self.stale_frames_dropped += stale_frames_dropped;
     }
 }
 
@@ -232,6 +276,12 @@ pub(super) struct RouteEnd {
 pub(super) struct LinkRoute {
     pub(super) a: Option<RouteEnd>,
     pub(super) b: Option<RouteEnd>,
+    /// Set when an end was cleared by a force-reap rather than a
+    /// quiesced teardown: the reap writes off in-flight frames that may
+    /// still carry this id, so the id is *retired* instead of returning
+    /// to the free list — a late frame then resolves to nothing (and is
+    /// stale-dropped) instead of colliding with a re-minted id.
+    pub(super) retired: bool,
 }
 
 /// Circuit-placement state: the relay population, the selection policy,
@@ -252,6 +302,10 @@ pub(super) struct PlacementState {
     /// the relay overlays; later overlays (clients/servers) fall off the
     /// end, which reads as "not a relay".
     relay_of_overlay: Vec<u32>,
+    /// Relays excluded from selection after being blamed for a circuit
+    /// timeout (the client-side failure-attribution set; orthogonal to
+    /// directory liveness, which only epochs toggle).
+    excluded: Vec<bool>,
     /// Circuits currently routed through each relay.
     load: Vec<u32>,
     /// High-water mark of `load`: the worst concentration each relay
@@ -284,11 +338,56 @@ impl PlacementState {
         let PlacementState {
             directory,
             load,
+            excluded,
             policy,
             engine,
             ..
         } = self;
-        engine.load_changed(policy.as_ref(), &DirectoryView::new(directory, load), relay);
+        engine.load_changed(
+            policy.as_ref(),
+            &DirectoryView::with_exclusions(directory, load, excluded),
+            relay,
+        );
+    }
+}
+
+/// Runtime fault-injection state: which relays have crashed, the backoff
+/// jitter stream, and the circuits parked after exhausting recovery.
+/// Installed by scenarios carrying a [`FaultSpec`]; worlds without it
+/// take none of the fault branches (the seam is free when unused).
+pub(super) struct FaultState {
+    /// The resolved timer/backoff parameters.
+    pub(super) spec: FaultSpec,
+    /// Overlay index → crashed flag (grown lazily; a crashed relay
+    /// silently drops every frame addressed to it).
+    pub(super) crashed: Vec<bool>,
+    /// Backoff jitter stream, consumed only when a timeout fires — so a
+    /// fault schedule that never fires a timer perturbs nothing.
+    pub(super) jitter: SimRng,
+    /// Circuits whose flows are parked (retry cap hit, or the selectable
+    /// relay set fell below the interior path length); resumed when the
+    /// next epoch join replenishes the live set.
+    pub(super) parked: Vec<CircId>,
+}
+
+impl FaultState {
+    /// Whether the overlay node at `idx` has crashed.
+    #[inline]
+    pub(super) fn is_crashed(&self, idx: usize) -> bool {
+        self.crashed.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Marks the overlay node at `idx` crashed; returns `false` if it
+    /// already was.
+    pub(super) fn mark_crashed(&mut self, idx: usize) -> bool {
+        if self.crashed.len() <= idx {
+            self.crashed.resize(idx + 1, false);
+        }
+        if self.crashed[idx] {
+            return false;
+        }
+        self.crashed[idx] = true;
+        true
     }
 }
 
@@ -330,6 +429,9 @@ pub struct TorNetwork {
     /// Pending consensus epoch deltas, indexed by epoch number; each is
     /// consumed (taken) when its [`TorEvent::Epoch`] fires.
     pub(super) epoch_deltas: Vec<EpochDelta>,
+    /// Fault-injection state (crashed relays, backoff jitter, parked
+    /// circuits); `None` for fault-free worlds.
+    pub(super) faults: Option<FaultState>,
     pub(super) stats: WorldStats,
 }
 
@@ -364,8 +466,46 @@ impl TorNetwork {
             payload_pool: PayloadPool::new(),
             placement: None,
             epoch_deltas: Vec::new(),
+            faults: None,
             stats: WorldStats::default(),
         }
+    }
+
+    /// Installs the fault-recovery parameters and the backoff jitter
+    /// stream. Scenarios with a [`FaultSpec`] call this before traffic;
+    /// without it, crash events still drop frames omnisciently but no
+    /// client timers arm (builders always pair the two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn install_faults(&mut self, spec: FaultSpec, jitter: SimRng) {
+        assert!(self.faults.is_none(), "faults installed twice");
+        self.faults = Some(FaultState {
+            spec,
+            crashed: Vec::new(),
+            jitter,
+            parked: Vec::new(),
+        });
+    }
+
+    /// Whether fault injection is installed (the recovery loop is
+    /// armed).
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Circuits currently parked by the recovery loop (retry cap or
+    /// thin live set), in park order.
+    pub fn parked_circuits(&self) -> &[CircId] {
+        self.faults.as_ref().map_or(&[], |f| f.parked.as_slice())
+    }
+
+    /// Whether the overlay node `id` has crashed.
+    pub fn is_crashed(&self, id: OverlayId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.is_crashed(id.index()))
     }
 
     /// Installs the circuit-placement seam: the relay store paired with
@@ -432,10 +572,12 @@ impl TorNetwork {
             &DirectoryView::new(&directory, &load),
             sampler,
         );
+        let excluded = vec![false; directory.len()];
         self.placement = Some(PlacementState {
             directory,
             relay_overlays,
             relay_of_overlay,
+            excluded,
             load,
             load_hwm,
             policy,
@@ -463,13 +605,14 @@ impl TorNetwork {
         let PlacementState {
             directory,
             load,
+            excluded,
             policy,
             rng,
             engine,
             relay_overlays,
             ..
         } = p;
-        let view = DirectoryView::new(directory, load);
+        let view = DirectoryView::with_exclusions(directory, load, excluded);
         let picks = engine.select(policy.as_ref(), &view, rng, path_len);
         assert_eq!(
             picks.len(),
@@ -511,12 +654,75 @@ impl TorNetwork {
         let PlacementState {
             directory,
             load,
+            excluded,
             policy,
             engine,
             ..
         } = p;
-        engine.relay_changed(policy.as_ref(), &DirectoryView::new(directory, load), relay);
+        engine.relay_changed(
+            policy.as_ref(),
+            &DirectoryView::with_exclusions(directory, load, excluded),
+            relay,
+        );
         true
+    }
+
+    /// Excludes one relay from future selection (blame after a circuit
+    /// timeout), propagating the weight change into the selection
+    /// engine. Returns `false` if already excluded or no placement is
+    /// installed.
+    pub fn exclude_relay(&mut self, relay: usize) -> bool {
+        let Some(p) = self.placement.as_mut() else {
+            return false;
+        };
+        if p.excluded[relay] {
+            return false;
+        }
+        p.excluded[relay] = true;
+        let PlacementState {
+            directory,
+            load,
+            excluded,
+            policy,
+            engine,
+            ..
+        } = p;
+        engine.relay_changed(
+            policy.as_ref(),
+            &DirectoryView::with_exclusions(directory, load, excluded),
+            relay,
+        );
+        true
+    }
+
+    /// Per-relay blame-exclusion column (indexed by relay id), if a
+    /// placement seam is installed.
+    pub fn relay_excluded(&self) -> Option<&[bool]> {
+        self.placement.as_ref().map(|p| p.excluded.as_slice())
+    }
+
+    /// The relay id hosted by overlay node `node`, if a placement seam is
+    /// installed and the node hosts one (blame resolution).
+    pub(super) fn relay_id_of(&self, node: OverlayId) -> Option<usize> {
+        self.placement.as_ref().and_then(|p| p.relay_of(node))
+    }
+
+    /// The overlay node hosting relay `relay`: directory index with a
+    /// placement seam, the overlay id itself without one (explicit-path
+    /// scenarios name overlay nodes directly in their fault schedules).
+    pub(super) fn overlay_of_relay(&self, relay: u32) -> OverlayId {
+        match self.placement.as_ref() {
+            Some(p) => p.relay_overlays[relay as usize],
+            None => OverlayId(relay),
+        }
+    }
+
+    /// Number of relays currently selectable (live, unexcluded, positive
+    /// weight) — O(1) via the selection engine; `None` without a
+    /// placement seam. The graceful-degradation gate in the recovery
+    /// loop compares this against the interior path length.
+    pub fn selectable_relays(&self) -> Option<usize> {
+        self.placement.as_ref().map(|p| p.engine.selectable())
     }
 
     /// Circuits currently routed through each relay (indexed by relay
@@ -648,14 +854,24 @@ impl TorNetwork {
         if entry.a.is_none() {
             entry.a = Some(end);
         } else {
-            debug_assert!(entry.b.is_none(), "link circuit id has two ends only");
+            debug_assert!(
+                entry.b.is_none(),
+                "link id {link_id:?} has two ends only: a={:?} b={:?} new={end:?}",
+                entry.a,
+                entry.b
+            );
             entry.b = Some(end);
         }
     }
 
     /// Clears `node`'s end of link-local id `link_id` (teardown
     /// reclamation). Once both ends are gone the id returns to the free
-    /// list and a later circuit build re-mints it.
+    /// list and a later circuit build re-mints it — unless any end was
+    /// force-reaped ([`LinkRoute::retired`]), in which case the id is
+    /// permanently retired: the reap wrote off in-flight frames that
+    /// may still carry it, and re-minting would let a straggler resolve
+    /// against the wrong circuit. Retirement is bounded by crashes ×
+    /// path length, so the table stays effectively flat.
     pub(super) fn clear_route_end(&mut self, link_id: CircuitId, node: OverlayId) {
         let entry = &mut self.link_routes[link_id.0 as usize];
         if entry.a.is_some_and(|e| e.node == node) {
@@ -664,9 +880,16 @@ impl TorNetwork {
         if entry.b.is_some_and(|e| e.node == node) {
             entry.b = None;
         }
-        if entry.a.is_none() && entry.b.is_none() {
+        if entry.a.is_none() && entry.b.is_none() && !entry.retired {
             self.free_link_ids.push(link_id);
         }
+    }
+
+    /// Marks a link-local id as retired (see [`LinkRoute::retired`]):
+    /// the force-reap path calls this before reclaiming, so the id never
+    /// re-enters the free list even after both ends clear.
+    pub(super) fn retire_link_id(&mut self, id: CircuitId) {
+        self.link_routes[id.0 as usize].retired = true;
     }
 
     /// Resolves an arriving cell's `(receiving node, sending neighbour,
@@ -749,6 +972,7 @@ impl TorNetwork {
             workload,
             incarnation,
             accounted: self.placement.is_some(),
+            retries: 0,
         });
         id
     }
@@ -910,6 +1134,24 @@ impl TorNetwork {
         stats.protocol_errors += 1;
         debug_assert!(false, "protocol error: {what}");
     }
+
+    /// A frame that cannot be resolved (unknown route, retired
+    /// sequence): with faults installed this is expected — stale traffic
+    /// racing a force-abandoned or crash-reaped circuit — and is counted
+    /// as a stale drop. Without faults it remains a hard protocol error:
+    /// a dropped cell must never panic the World, but a world that
+    /// cannot lose cells must not silently tolerate one either.
+    pub(super) fn stale_or_protocol_error(
+        faults: &Option<FaultState>,
+        stats: &mut WorldStats,
+        what: &str,
+    ) {
+        if faults.is_some() {
+            stats.stale_frames_dropped += 1;
+        } else {
+            Self::protocol_error(stats, what);
+        }
+    }
 }
 
 impl World for TorNetwork {
@@ -962,6 +1204,13 @@ impl World for TorNetwork {
             TorEvent::Rebuild(circ) => self.rebuild_circuit(ctx, circ),
             TorEvent::Epoch(epoch) => self.apply_epoch(ctx, epoch),
             TorEvent::SetLinkRate { link, rate } => self.net.set_link_rate(link, rate),
+            TorEvent::RelayCrash { relay } => self.relay_crash(ctx, relay),
+            TorEvent::CircTimeout {
+                circ,
+                incarnation,
+                progress,
+                kind,
+            } => self.circ_timeout(ctx, circ, incarnation, progress, kind),
         }
     }
 }

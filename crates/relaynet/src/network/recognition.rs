@@ -81,7 +81,12 @@ impl TorNetwork {
         hop_seq: u64,
     ) {
         let Some((global, local, flow)) = self.route_of(to, from, link_id) else {
-            Self::protocol_error(&mut self.stats, "relay cell on unknown route");
+            Self::stale_or_protocol_error(
+                &self.faults,
+                &mut self.stats,
+                "relay cell on unknown route",
+            );
+            self.payload_pool.reclaim(rc.data);
             return;
         };
         let node = &mut self.nodes[to.index()];

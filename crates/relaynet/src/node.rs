@@ -547,6 +547,13 @@ impl OverlayNode {
     pub fn circuit_count(&self) -> usize {
         self.by_global.len()
     }
+
+    /// Every live participation as `(global circuit, node-local index)`,
+    /// in global-id order (deterministic — the crash reaper iterates
+    /// this while mutating the slab).
+    pub fn participations(&self) -> Vec<(CircId, u32)> {
+        self.by_global.iter().map(|(&c, &l)| (c, l)).collect()
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,10 @@ pub fn all_policies() -> [SelectionPolicy; 4] {
 pub struct DirectoryView<'a> {
     directory: &'a Directory,
     load: &'a [u32],
+    /// Client-side exclusion column (relays blamed for circuit
+    /// timeouts); `None` means nothing is excluded. Orthogonal to the
+    /// store's liveness column, which consensus epochs own.
+    excluded: Option<&'a [bool]>,
 }
 
 impl<'a> DirectoryView<'a> {
@@ -102,7 +106,41 @@ impl<'a> DirectoryView<'a> {
             load.len(),
             "one load counter per relay spec"
         );
-        DirectoryView { directory, load }
+        DirectoryView {
+            directory,
+            load,
+            excluded: None,
+        }
+    }
+
+    /// [`DirectoryView::new`] plus a blame-driven exclusion column:
+    /// excluded relays weigh zero exactly like dark ones. An all-`false`
+    /// column is behaviourally identical to [`DirectoryView::new`], so
+    /// fault-free runs stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` or `excluded` do not hold one entry per relay.
+    pub fn with_exclusions(
+        directory: &'a Directory,
+        load: &'a [u32],
+        excluded: &'a [bool],
+    ) -> DirectoryView<'a> {
+        assert_eq!(
+            directory.len(),
+            load.len(),
+            "one load counter per relay spec"
+        );
+        assert_eq!(
+            directory.len(),
+            excluded.len(),
+            "one exclusion flag per relay spec"
+        );
+        DirectoryView {
+            directory,
+            load,
+            excluded: Some(excluded),
+        }
     }
 
     /// Number of relays in the provisioned universe.
@@ -155,6 +193,29 @@ impl<'a> DirectoryView<'a> {
     #[inline]
     pub fn all_live(&self) -> bool {
         self.directory.live_count() == self.directory.len()
+    }
+
+    /// Whether `relay` carries a blame-driven exclusion.
+    #[inline]
+    pub fn is_excluded(&self, relay: usize) -> bool {
+        self.excluded.is_some_and(|e| e[relay])
+    }
+
+    /// Whether `relay` may be selected at all: live and not excluded.
+    /// This — not [`DirectoryView::is_live`] — is the gate every weight
+    /// computation uses.
+    #[inline]
+    pub fn is_selectable(&self, relay: usize) -> bool {
+        self.directory.is_live(relay) && !self.is_excluded(relay)
+    }
+
+    /// Whether every provisioned relay is selectable (live and
+    /// unexcluded) — the gate for the uniform Fisher–Yates fast path.
+    /// O(1) without an exclusion column; scans it otherwise (selection
+    /// is per-placement, not per-cell, so the scan is cold).
+    #[inline]
+    pub fn all_selectable(&self) -> bool {
+        self.all_live() && self.excluded.is_none_or(|e| !e.iter().any(|&x| x))
     }
 
     /// Circuits currently routed through each relay, indexed by relay id.
@@ -223,7 +284,7 @@ pub trait PathSelection: std::fmt::Debug + Send + Sync {
     /// Panics if fewer than `path_len` relays are selectable (live with
     /// positive weight).
     fn select(&self, view: &DirectoryView<'_>, rng: &mut SimRng, path_len: usize) -> Vec<usize> {
-        if self.draws_uniform() && view.all_live() {
+        if self.draws_uniform() && view.all_selectable() {
             assert_path_fits(view, path_len);
             return rng.sample_distinct(view.len(), path_len);
         }
@@ -233,7 +294,7 @@ pub trait PathSelection: std::fmt::Debug + Send + Sync {
         let mut selectable = 0usize;
         let weights: Vec<f64> = (0..view.len())
             .map(|i| {
-                let w = if view.is_live(i) {
+                let w = if view.is_selectable(i) {
                     self.relay_weight(view, i)
                 } else {
                     0.0
@@ -445,7 +506,7 @@ impl SelectionEngine {
             self.picks.extend_from_slice(&picks);
             return &self.picks;
         }
-        if self.uniform_fast && view.all_live() {
+        if self.uniform_fast && view.all_selectable() {
             assert_path_fits(view, path_len);
             // `SimRng::sample_distinct` without its O(n) allocation:
             // the same `range_usize(i, n)` swap sequence on the
@@ -483,9 +544,10 @@ impl SelectionEngine {
 }
 
 /// The weight the sampler must carry for `relay` right now: the
-/// policy's weight for live relays, zero for dark ones.
+/// policy's weight for selectable relays, zero for dark or excluded
+/// ones.
 fn effective_weight(policy: &dyn PathSelection, view: &DirectoryView<'_>, relay: usize) -> f64 {
-    if view.is_live(relay) {
+    if view.is_selectable(relay) {
         policy.relay_weight(view, relay)
     } else {
         0.0
@@ -838,6 +900,94 @@ mod tests {
                     "{} picked a dark relay: {picks:?}",
                     policy.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_relays_are_never_selected() {
+        // Blame-driven exclusions must gate every policy — including
+        // Uniform, whose fast path must fall back to the weighted draw.
+        let dir = dir_of(vec![spec(20, 5); 10]);
+        let load = vec![0u32; 10];
+        let mut excluded = vec![false; 10];
+        for r in [2usize, 4, 6] {
+            excluded[r] = true;
+        }
+        for policy in all_policies() {
+            let mut r = rng();
+            for _ in 0..50 {
+                let view = DirectoryView::with_exclusions(&dir, &load, &excluded);
+                let picks = policy.select(&view, &mut r, 3);
+                assert!(
+                    picks.iter().all(|&i| !excluded[i]),
+                    "{} picked an excluded relay: {picks:?}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_false_exclusion_column_is_bit_identical() {
+        // The fault-path seam must be free when nothing is excluded: an
+        // all-false column consumes identical randomness and returns
+        // identical picks to a plain view.
+        let dir = Directory::generate(&DirectoryConfig::default(), &rng());
+        let load = vec![0u32; dir.len()];
+        let excluded = vec![false; dir.len()];
+        for policy in all_policies() {
+            let mut a = rng();
+            let mut b = rng();
+            for _ in 0..50 {
+                let plain = policy.select(&DirectoryView::new(&dir, &load), &mut a, 3);
+                let gated = policy.select(
+                    &DirectoryView::with_exclusions(&dir, &load, &excluded),
+                    &mut b,
+                    3,
+                );
+                assert_eq!(plain, gated, "{}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_honours_exclusions_like_the_policy() {
+        // The incremental engine must track exclusion flips exactly as
+        // the per-call default implementation sees them.
+        for kind in [SamplerKind::Linear, SamplerKind::Fenwick] {
+            for policy in all_policies() {
+                let dir = dir_of(vec![spec(20, 5); 12]);
+                let load = vec![0u32; 12];
+                let mut excluded = vec![false; 12];
+                let mut engine = SelectionEngine::new(
+                    policy.as_ref(),
+                    &DirectoryView::with_exclusions(&dir, &load, &excluded),
+                    kind,
+                );
+                let mut a = SimRng::seed_from(3);
+                let mut b = a.clone();
+                for round in 0..24 {
+                    if round % 4 == 1 && round / 4 < 12 {
+                        let r = round / 4 * 3 % 12;
+                        excluded[r] = true;
+                        engine.relay_changed(
+                            policy.as_ref(),
+                            &DirectoryView::with_exclusions(&dir, &load, &excluded),
+                            r,
+                        );
+                    }
+                    let view = DirectoryView::with_exclusions(&dir, &load, &excluded);
+                    let want = policy.select(&view, &mut a, 3);
+                    let got = engine.select(policy.as_ref(), &view, &mut b, 3);
+                    assert_eq!(
+                        got,
+                        want.as_slice(),
+                        "{} {kind:?} round {round}",
+                        policy.name()
+                    );
+                    assert!(got.iter().all(|&i| !excluded[i]));
+                }
             }
         }
     }

@@ -417,6 +417,158 @@ impl EpochSpec {
     }
 }
 
+/// Scenario-level knob for fault injection: how many relays crash (and
+/// when), how many transient link stalls occur, and how the client's
+/// detection/recovery machinery is tuned. Like [`EpochSpec`], the spec
+/// is resolved once at build time with a dedicated [`SimRng`] stream —
+/// a fault-free configuration derives no stream and stays bit-identical
+/// to a build from before faults existed.
+///
+/// Crashes are *silent*: from the crash instant the relay drops every
+/// frame addressed to it — no DESTROY, no omniscient teardown. Clients
+/// learn of the failure only through their own timers (the detection
+/// knobs below) and recover by abandoning the circuit, blaming the
+/// suspect hop, and rebuilding around it under exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Relays that crash, drawn distinct from the crashable set.
+    pub crashes: usize,
+    /// Crash instants, drawn uniformly from this window (ms).
+    pub crash_window_ms: (f64, f64),
+    /// Transient link stalls to inject (a relay's access link drops to
+    /// a trickle, then restores — the "slow relay" failure mode).
+    pub stalls: usize,
+    /// Stall onset window (ms).
+    pub stall_window_ms: (f64, f64),
+    /// How long each stall lasts (ms).
+    pub stall_duration_ms: f64,
+    /// Rate divisor while stalled: the link runs at `rate / factor`.
+    pub stall_factor: f64,
+    /// Build-completion timer: a circuit not fully established this long
+    /// after its build started is abandoned (ms).
+    pub build_timeout_ms: f64,
+    /// Liveness timer: an established circuit whose end-to-end progress
+    /// counter has not advanced over this long is declared stalled (ms).
+    pub liveness_timeout_ms: f64,
+    /// Backoff base: the first retry waits this long (ms).
+    pub backoff_base_ms: f64,
+    /// Uniform jitter added on top of the exponential delay (ms).
+    pub backoff_jitter_ms: f64,
+    /// Ceiling on the exponential delay, pre-jitter (ms).
+    pub backoff_cap_ms: f64,
+    /// Timeouts a circuit may absorb before its flows are parked rather
+    /// than retried again.
+    pub max_retries: u32,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            crashes: 1,
+            crash_window_ms: (50.0, 150.0),
+            stalls: 0,
+            stall_window_ms: (50.0, 150.0),
+            stall_duration_ms: 40.0,
+            stall_factor: 100.0,
+            build_timeout_ms: 150.0,
+            liveness_timeout_ms: 250.0,
+            backoff_base_ms: 10.0,
+            backoff_jitter_ms: 5.0,
+            backoff_cap_ms: 320.0,
+            max_retries: 6,
+        }
+    }
+}
+
+/// One transient link stall, fully resolved: relay `relay`'s access
+/// link drops to a fraction of its provisioned rate at `at`, restoring
+/// `duration` later. The builder maps the relay to its link and rates
+/// and schedules the pair as [`crate::event::TorEvent::SetLinkRate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkStall {
+    /// Stall onset.
+    pub at: SimDuration,
+    /// How long the link stays throttled.
+    pub duration: SimDuration,
+    /// The relay whose access link stalls.
+    pub relay: u32,
+}
+
+/// The fully resolved fault schedule: every crash instant, victim, and
+/// stall drawn up front from the dedicated stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// `(crash instant, relay)` pairs, in draw order.
+    pub crashes: Vec<(SimDuration, u32)>,
+    /// Transient stalls, in draw order.
+    pub stalls: Vec<LinkStall>,
+}
+
+impl FaultSpec {
+    /// The build-completion timeout as a duration.
+    pub fn build_timeout(&self) -> SimDuration {
+        assert!(
+            self.build_timeout_ms > 0.0,
+            "build timeout must be positive"
+        );
+        SimDuration::from_secs_f64(self.build_timeout_ms / 1e3)
+    }
+
+    /// The liveness timeout as a duration.
+    pub fn liveness_timeout(&self) -> SimDuration {
+        assert!(
+            self.liveness_timeout_ms > 0.0,
+            "liveness timeout must be positive"
+        );
+        SimDuration::from_secs_f64(self.liveness_timeout_ms / 1e3)
+    }
+
+    /// The backoff law: retry `retry` waits
+    /// `min(base · 2^retry, cap) + jitter_frac · jitter`, with
+    /// `jitter_frac` drawn from `[0, 1)` by the caller (the network owns
+    /// the jitter stream so fault-free runs never consume it).
+    pub fn backoff(&self, retry: u32, jitter_frac: f64) -> SimDuration {
+        let base = self.backoff_base_ms.max(0.0);
+        let exp = base * f64::powi(2.0, retry.min(24) as i32);
+        let capped = exp.min(self.backoff_cap_ms.max(base));
+        let jitter = self.backoff_jitter_ms.max(0.0) * jitter_frac.clamp(0.0, 1.0);
+        SimDuration::from_secs_f64((capped + jitter) / 1e3)
+    }
+
+    /// Draws the whole fault schedule. `candidates` are the relays that
+    /// may crash or stall (the builder passes the initially-live set so
+    /// faults hit relays that matter); victims are distinct, so a relay
+    /// crashes at most once. Crash counts clamp to the candidate pool.
+    pub fn resolve(&self, candidates: &[u32], rng: &mut SimRng) -> FaultSchedule {
+        if candidates.is_empty() {
+            return FaultSchedule::default();
+        }
+        let window = |range: (f64, f64), rng: &mut SimRng| {
+            let (lo, hi) = range;
+            assert!(lo >= 0.0 && hi >= lo, "fault window must be ordered");
+            let ms = if hi > lo { rng.range_f64(lo, hi) } else { lo };
+            SimDuration::from_secs_f64(ms / 1e3)
+        };
+        let n = self.crashes.min(candidates.len());
+        let crashes = rng
+            .sample_distinct(candidates.len(), n)
+            .into_iter()
+            .map(|i| (window(self.crash_window_ms, rng), candidates[i]))
+            .collect();
+        let stalls = (0..self.stalls)
+            .map(|_| {
+                let relay = candidates[rng.range_usize(0, candidates.len())];
+                LinkStall {
+                    at: window(self.stall_window_ms, rng),
+                    duration: SimDuration::from_secs_f64(self.stall_duration_ms.max(0.0) / 1e3),
+                    relay,
+                }
+            })
+            .collect();
+        FaultSchedule { crashes, stalls }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +718,68 @@ mod tests {
         let sched = spec.resolve(12, 12, &mut SimRng::seed_from(9));
         assert!(sched.initial_dark.is_empty());
         assert!(sched.deltas.iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    fn fault_schedule_is_distinct_bounded_and_seeded() {
+        let spec = FaultSpec {
+            crashes: 4,
+            crash_window_ms: (20.0, 80.0),
+            stalls: 3,
+            stall_window_ms: (10.0, 40.0),
+            stall_duration_ms: 15.0,
+            ..Default::default()
+        };
+        let candidates: Vec<u32> = (0..12).filter(|r| r % 2 == 0).collect();
+        let a = spec.resolve(&candidates, &mut SimRng::seed_from(21));
+        let b = spec.resolve(&candidates, &mut SimRng::seed_from(21));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.crashes.len(), 4);
+        let mut victims: Vec<u32> = a.crashes.iter().map(|&(_, r)| r).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 4, "a relay crashes at most once");
+        for &(at, r) in &a.crashes {
+            assert!(candidates.contains(&r), "victim outside the candidates");
+            assert!(at >= SimDuration::from_millis(20) && at <= SimDuration::from_millis(80));
+        }
+        assert_eq!(a.stalls.len(), 3);
+        for s in &a.stalls {
+            assert!(candidates.contains(&s.relay));
+            assert!(s.at >= SimDuration::from_millis(10) && s.at <= SimDuration::from_millis(40));
+            assert_eq!(s.duration, SimDuration::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn fault_schedule_clamps_to_the_candidate_pool() {
+        let spec = FaultSpec {
+            crashes: 10,
+            ..Default::default()
+        };
+        let sched = spec.resolve(&[3, 7], &mut SimRng::seed_from(2));
+        assert_eq!(sched.crashes.len(), 2, "clamped to the pool");
+        let empty = spec.resolve(&[], &mut SimRng::seed_from(2));
+        assert!(empty.crashes.is_empty() && empty.stalls.is_empty());
+    }
+
+    #[test]
+    fn backoff_law_is_exponential_capped_and_jittered() {
+        let spec = FaultSpec {
+            backoff_base_ms: 10.0,
+            backoff_jitter_ms: 4.0,
+            backoff_cap_ms: 100.0,
+            ..Default::default()
+        };
+        assert_eq!(spec.backoff(0, 0.0), SimDuration::from_millis(10));
+        assert_eq!(spec.backoff(1, 0.0), SimDuration::from_millis(20));
+        assert_eq!(spec.backoff(3, 0.0), SimDuration::from_millis(80));
+        // Capped: 10 · 2^4 = 160 → 100.
+        assert_eq!(spec.backoff(4, 0.0), SimDuration::from_millis(100));
+        assert_eq!(spec.backoff(30, 0.0), SimDuration::from_millis(100));
+        // Jitter rides on top of the cap.
+        assert_eq!(spec.backoff(4, 1.0), SimDuration::from_millis(104));
+        assert_eq!(spec.backoff(0, 0.5), SimDuration::from_millis(12));
     }
 
     #[test]

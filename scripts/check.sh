@@ -28,8 +28,14 @@ cargo run -q --release --example async_sweep
 echo "==> smoke: cargo run --example consensus_scale (7k-relay directory + epoch churn)"
 cargo run -q --release --example consensus_scale
 
+echo "==> smoke: cargo run --example fault_storm (crash injection + recovery loop)"
+cargo run -q --release --example fault_storm
+
 echo "==> threaded-runtime differential suite (oracle fingerprints, deadlock stress)"
 cargo test -q --test async_runtime
+
+echo "==> fault-recovery suite (conservation + fingerprint invariance under faults)"
+cargo test -q --test fault_recovery
 
 echo "==> bench smoke: CS_BENCH_FAST=1 (3 samples; sanity, not measurement)"
 echo "    (includes overlay/star_async_* — threaded-runtime scaling cases + pool-flatness asserts)"

@@ -44,6 +44,7 @@ fn midflight_destroy_returns_inflight_buffers_and_counts_one_destroy_per_hop() {
                 cycles: 1,
             }),
         },
+        faults: None,
         world: WorldConfig::default(),
     };
     let (mut sim, h) = scenario.build(fixed_window_factory(16), 7);
@@ -148,6 +149,7 @@ fn teardown_racing_the_build_never_panics_or_leaks() {
                     cycles: 1,
                 }),
             },
+            faults: None,
             world: WorldConfig::default(),
         };
         let (mut sim, _) = scenario.build(fixed_window_factory(8), 13);
@@ -209,6 +211,7 @@ fn scheduler_queued_cells_drop_at_destroy_without_burning_link_time() {
                 cycles: 1,
             }),
         },
+        faults: None,
         world: WorldConfig::default(),
     };
     let (mut sim, h) = scenario.build(fixed_window_factory(16), 19);
@@ -278,6 +281,7 @@ fn destroy_count_scales_with_cycles() {
                 cycles: 2,
             }),
         },
+        faults: None,
         world: WorldConfig::default(),
     };
     let (mut sim, _) = scenario.build(fixed_window_factory(16), 3);

@@ -66,6 +66,7 @@ fn build_and_run(
         hops,
         file_bytes,
         workload,
+        faults: None,
         world: WorldConfig::default(),
     };
     let (mut sim, _) = scenario.build(Algorithm::CircuitStart.factory(CcConfig::default()), seed);

@@ -184,6 +184,7 @@ fn churn_path_runs_identically_on_both_queues_across_seeds() {
         hops: fig1_trace(2, Algorithm::CircuitStart).hops(),
         file_bytes: 150_000,
         workload: churn_workload(),
+        faults: None,
         world: WorldConfig::default(),
     };
     let run = |seed, kind| {
@@ -260,6 +261,7 @@ fn selection_policies_run_identically_on_both_queues_across_seeds() {
         hops: fig1_trace(2, Algorithm::CircuitStart).hops(),
         file_bytes: 100_000,
         workload: churn_workload(),
+        faults: None,
         world: WorldConfig::default(),
     };
     let run_path = |seed, kind| {
