@@ -20,7 +20,7 @@ use netsim::bandwidth::Bandwidth;
 use netsim::link::LinkConfig;
 use relaynet::builder::{fixed_window_factory, PathScenario, StarScenario};
 use relaynet::pool::PayloadPool;
-use relaynet::runtime::{FactoryMaker, ShardedStar};
+use relaynet::runtime::{FactoryMaker, ShardedStar, StatsKind};
 use relaynet::selection::{all_policies, SelectionPolicy};
 use relaynet::workload::{ArrivalSpec, ChurnSpec, FaultSpec, WorkloadSpec};
 use relaynet::{CcFactory, DirectoryConfig, WorldConfig};
@@ -323,6 +323,7 @@ fn async_experiment() -> ShardedStar {
         shards: 8,
         seed: 1,
         queue: QueueKind::default(),
+        stats: StatsKind::default(),
     }
 }
 
@@ -388,6 +389,85 @@ fn bench_async(report: &mut Report) {
     }
 }
 
+/// The telemetry-aggregation case: the same experiment-level "merge 16
+/// shards' completion distributions and read the tail" done both ways —
+/// the legacy concatenate-and-sort of raw samples (O(flows) memory and
+/// O(n log n) per aggregation) versus bucket-wise sketch merge
+/// (O(buckets), independent of flow count). The rate is samples folded
+/// per second; compare the two names within one BENCH file. Also pins
+/// the O(buckets) memory claim: the merged sketch occupies exactly the
+/// bytes an empty sketch does.
+fn bench_telemetry(report: &mut Report) {
+    const SHARDS: usize = 16;
+    const PER_SHARD: usize = 50_000;
+    // Deterministic skewed "completion times" per shard (seconds),
+    // spanning three decades like a real tail.
+    let shard_samples: Vec<Vec<f64>> = (0..SHARDS)
+        .map(|s| {
+            let mut x = (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            (0..PER_SHARD)
+                .map(|_| {
+                    // xorshift64* — cheap, seedable, good enough for a
+                    // bench distribution.
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    let u =
+                        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                    0.01 + 10.0 * u * u * u
+                })
+                .collect()
+        })
+        .collect();
+    let sketches: Vec<simstats::QuantileSketch> = shard_samples
+        .iter()
+        .map(|samples| {
+            let mut sk = simstats::QuantileSketch::default();
+            for &v in samples {
+                sk.record(v);
+            }
+            sk
+        })
+        .collect();
+    let total = (SHARDS * PER_SHARD) as f64;
+
+    report.bench_with_rate("telemetry/merge_16shard/sort", total, "samples/s", || {
+        let mut all: Vec<f64> = shard_samples.iter().flatten().copied().collect();
+        all.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let cdf = simstats::Cdf::from_samples(all).unwrap();
+        std::hint::black_box(cdf.p99());
+    });
+    report.bench_with_rate("telemetry/merge_16shard/sketch", total, "samples/s", || {
+        let mut merged = simstats::QuantileSketch::default();
+        for sk in &sketches {
+            merged.merge(sk);
+        }
+        std::hint::black_box(merged.p99());
+    });
+
+    // The memory claim, asserted where the ratio is reported: 800k
+    // samples leave the sketch exactly as large as an empty one, and
+    // its tail answer stays inside the documented bound.
+    let mut merged = simstats::QuantileSketch::default();
+    for sk in &sketches {
+        merged.merge(sk);
+    }
+    let empty = simstats::QuantileSketch::default();
+    assert_eq!(merged.memory_bytes(), empty.memory_bytes());
+    assert_eq!(merged.bucket_len(), empty.bucket_len());
+    assert_eq!(merged.len(), SHARDS as u64 * PER_SHARD as u64);
+    let mut all: Vec<f64> = shard_samples.iter().flatten().copied().collect();
+    all.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let exact = simstats::Cdf::from_samples(all).unwrap();
+    for q in [0.5, 0.99, 0.999] {
+        let e = exact.quantile(q);
+        assert!(
+            (merged.quantile(q) - e).abs() <= merged.alpha() * e,
+            "merged sketch q={q} strayed outside alpha"
+        );
+    }
+}
+
 fn main() {
     let mut report = Report::new();
     bench_algorithm(&mut report, "circuitstart", || {
@@ -404,5 +484,6 @@ fn main() {
     bench_faults(&mut report);
     bench_selection(&mut report);
     bench_async(&mut report);
+    bench_telemetry(&mut report);
     report.finish("bench_overlay");
 }

@@ -11,6 +11,7 @@ use simcore::sim::{RunLimits, Simulator, StopReason};
 use simcore::time::SimDuration;
 use simstats::cdf::Cdf;
 use simstats::export::Table;
+use simstats::sketch::QuantileSketch;
 use simstats::timeseries::TimeSeries;
 use torcell::cell::CELL_LEN;
 
@@ -242,6 +243,10 @@ pub struct CdfSeries {
     pub algorithm_key: String,
     /// Transfer times, seconds, across all circuits and repetitions.
     pub cdf: Cdf,
+    /// The streaming twin of `cdf`: the same samples folded into a
+    /// fixed-size sketch, so examples can print sketch-vs-exact
+    /// quantiles side by side (DESIGN.md §13).
+    pub sketch: QuantileSketch,
     /// Circuits that failed to complete (must be 0).
     pub incomplete: u64,
 }
@@ -275,6 +280,7 @@ pub fn run_cdf(cfg: &CdfScenarioConfig) -> CdfReport {
     let mut series = Vec::with_capacity(cfg.algorithms.len());
     for algo in &cfg.algorithms {
         let mut samples: Vec<f64> = Vec::new();
+        let mut sketch = QuantileSketch::default();
         let mut incomplete = 0u64;
         for rep in 0..cfg.repetitions {
             let seed = cfg.seed.wrapping_add(u64::from(rep));
@@ -290,7 +296,11 @@ pub fn run_cdf(cfg: &CdfScenarioConfig) -> CdfReport {
             for c in circuits {
                 let r = world.result_of(c);
                 match (r.completed, r.transfer_time()) {
-                    (true, Some(t)) => samples.push(t.as_secs_f64()),
+                    (true, Some(t)) => {
+                        let secs = t.as_secs_f64();
+                        samples.push(secs);
+                        sketch.record(secs);
+                    }
                     _ => incomplete += 1,
                 }
             }
@@ -298,6 +308,7 @@ pub fn run_cdf(cfg: &CdfScenarioConfig) -> CdfReport {
         series.push(CdfSeries {
             algorithm_key: algo.key(),
             cdf: Cdf::from_samples(samples).expect("at least one completed circuit"),
+            sketch,
             incomplete,
         });
     }
@@ -397,6 +408,16 @@ mod tests {
         for s in &report.series {
             assert_eq!(s.cdf.len(), 12, "6 circuits × 2 reps");
             assert_eq!(s.incomplete, 0);
+            // The streaming twin saw exactly the same samples.
+            assert_eq!(s.sketch.len(), 12);
+            for q in [0.5, 0.9, 0.99] {
+                let exact = s.cdf.quantile(q);
+                assert!(
+                    (s.sketch.quantile(q) - exact).abs() <= s.sketch.alpha() * exact,
+                    "sketch q={q} outside the error bound for {}",
+                    s.algorithm_key
+                );
+            }
         }
         assert!(report.get("circuitstart").is_some());
         assert!(report.get("classic").is_some());

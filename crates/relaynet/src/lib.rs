@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::pool::PayloadPool;
     pub use crate::router::Router;
     pub use crate::runtime::{
-        fingerprint, FactoryMaker, ShardReport, ShardedStar, StagePipeline, StageReport,
+        fingerprint, FactoryMaker, ShardReport, ShardedStar, StagePipeline, StageReport, StatsKind,
         SweepReport, WorldFingerprint,
     };
     pub use crate::sampler::{FenwickSampler, LinearSampler, Sampler, SamplerKind};
@@ -98,8 +98,8 @@ pub use node::{CcFactory, HopCtx, NodeRole};
 pub use pool::PayloadPool;
 pub use router::Router;
 pub use runtime::{
-    fingerprint, FactoryMaker, ShardReport, ShardedStar, StagePipeline, StageReport, SweepReport,
-    WorldFingerprint,
+    fingerprint, FactoryMaker, ShardReport, ShardedStar, StagePipeline, StageReport, StatsKind,
+    SweepReport, WorldFingerprint,
 };
 pub use sampler::{FenwickSampler, LinearSampler, Sampler, SamplerKind};
 pub use scheduler::LinkScheduler;

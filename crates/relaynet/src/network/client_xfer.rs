@@ -217,6 +217,12 @@ impl TorNetwork {
                     );
                     if flow.complete() && flow.completed_at.is_none() {
                         flow.completed_at = Some(ctx.now());
+                        // Fold the completion into the streaming sketch
+                        // the moment it happens — the O(buckets) twin of
+                        // the exact per-flow CDF.
+                        if let Some(ttlb) = flow.completion_time() {
+                            self.completion_sketch.record(ttlb.as_secs_f64());
+                        }
                     }
                 } else {
                     Self::protocol_error(&mut self.stats, "DATA for stream outside the workload");

@@ -60,6 +60,8 @@ use netsim::net::{Net, NetEvent, NodeId, SendOutcome};
 use simcore::rng::SimRng;
 use simcore::sim::{Context, World};
 use simcore::time::{SimDuration, SimTime};
+use simstats::registry::MetricsRegistry;
+use simstats::sketch::QuantileSketch;
 
 use backtap::hop::HopTransport;
 use torcell::ids::CircuitId;
@@ -217,6 +219,136 @@ impl WorldStats {
         self.flows_parked += flows_parked;
         self.crash_frames_dropped += crash_frames_dropped;
         self.stale_frames_dropped += stale_frames_dropped;
+    }
+
+    /// Registers every counter in `registry` under a `cs_*_total` name
+    /// and adds this record's values — the bridge from the simulation's
+    /// plain-struct counters to the Prometheus exporter
+    /// (DESIGN.md §13).
+    pub fn export_into(&self, registry: &mut MetricsRegistry) {
+        // Exhaustive destructure (no `..`), same contract as `merge`:
+        // adding a counter to WorldStats without deciding how it exports
+        // is a compile error here, not a field missing from /metrics.
+        let WorldStats {
+            cells_sent,
+            feedback_sent,
+            protocol_errors,
+            cells_dropped_closed,
+            destroys_sent,
+            cells_drained,
+            slots_reclaimed,
+            rebuilds,
+            epochs_applied,
+            relays_joined,
+            relays_departed,
+            epoch_teardowns,
+            crashes_injected,
+            timeouts_fired,
+            retries,
+            blamed_exclusions,
+            flows_parked,
+            crash_frames_dropped,
+            stale_frames_dropped,
+        } = *self;
+        let mut emit = |name: &str, help: &str, value: u64| {
+            let id = registry.counter(name, help);
+            registry.add(id, value);
+        };
+        emit(
+            "cs_cells_sent_total",
+            "cell frames handed to the link layer",
+            cells_sent,
+        );
+        emit(
+            "cs_feedback_sent_total",
+            "feedback frames handed to the link layer",
+            feedback_sent,
+        );
+        emit(
+            "cs_protocol_errors_total",
+            "protocol violations observed",
+            protocol_errors,
+        );
+        emit(
+            "cs_cells_dropped_closed_total",
+            "relay cells dropped on torn-down circuits",
+            cells_dropped_closed,
+        );
+        emit(
+            "cs_destroys_sent_total",
+            "destroy cells handed to egress queues",
+            destroys_sent,
+        );
+        emit(
+            "cs_cells_drained_total",
+            "queued cells discarded at circuit close",
+            cells_drained,
+        );
+        emit(
+            "cs_slots_reclaimed_total",
+            "node-circuit slab slots reclaimed",
+            slots_reclaimed,
+        );
+        emit(
+            "cs_rebuilds_total",
+            "circuit rebuilds performed by the churn engine",
+            rebuilds,
+        );
+        emit(
+            "cs_epochs_applied_total",
+            "consensus epoch boundaries applied",
+            epochs_applied,
+        );
+        emit(
+            "cs_relays_joined_total",
+            "relays brought live by epoch deltas",
+            relays_joined,
+        );
+        emit(
+            "cs_relays_departed_total",
+            "relays taken dark by epoch deltas",
+            relays_departed,
+        );
+        emit(
+            "cs_epoch_teardowns_total",
+            "teardowns forced by departing relays",
+            epoch_teardowns,
+        );
+        emit(
+            "cs_crashes_injected_total",
+            "relay crashes injected by the fault engine",
+            crashes_injected,
+        );
+        emit(
+            "cs_timeouts_fired_total",
+            "client circuit timers fired",
+            timeouts_fired,
+        );
+        emit(
+            "cs_retries_total",
+            "timeout-driven rebuild attempts scheduled",
+            retries,
+        );
+        emit(
+            "cs_blamed_exclusions_total",
+            "relays excluded after timeout blame",
+            blamed_exclusions,
+        );
+        emit(
+            "cs_flows_parked_total",
+            "flows parked after exhausting recovery",
+            flows_parked,
+        );
+        emit(
+            "cs_crash_frames_dropped_total",
+            "frames dropped at crashed relays",
+            crash_frames_dropped,
+        );
+        emit(
+            "cs_stale_frames_dropped_total",
+            "stale frames dropped while faults are active",
+            stale_frames_dropped,
+        );
     }
 }
 
@@ -433,6 +565,11 @@ pub struct TorNetwork {
     /// circuits); `None` for fault-free worlds.
     pub(super) faults: Option<FaultState>,
     pub(super) stats: WorldStats,
+    /// Streaming twin of [`TorNetwork::flow_completion_cdf`]: every flow
+    /// completion is folded in (seconds) the moment it happens, so the
+    /// distribution is available at O(buckets) memory without retaining
+    /// per-flow samples.
+    pub(super) completion_sketch: QuantileSketch,
 }
 
 impl TorNetwork {
@@ -468,6 +605,7 @@ impl TorNetwork {
             epoch_deltas: Vec::new(),
             faults: None,
             stats: WorldStats::default(),
+            completion_sketch: QuantileSketch::default(),
         }
     }
 
@@ -1032,7 +1170,9 @@ impl TorNetwork {
     }
 
     /// Request-to-last-byte completion times of all completed flows —
-    /// the per-stream CDF of a workload experiment.
+    /// the per-stream CDF of a workload experiment. Exact but O(flows):
+    /// see [`flow_completion_sketch`](Self::flow_completion_sketch) for
+    /// the fixed-size streaming twin.
     pub fn flow_completion_cdf(&self) -> Option<simstats::cdf::Cdf> {
         simstats::cdf::Cdf::from_samples(
             self.flows
@@ -1041,6 +1181,14 @@ impl TorNetwork {
                 .map(|d| d.as_secs_f64())
                 .collect(),
         )
+    }
+
+    /// The streaming completion-time sketch (seconds): fed as each flow
+    /// finishes, mergeable across worlds, within
+    /// [`QuantileSketch::alpha`] relative error of the exact CDF. Empty
+    /// until the first completion.
+    pub fn flow_completion_sketch(&self) -> &QuantileSketch {
+        &self.completion_sketch
     }
 
     /// Size of the link-route table (slots, live or free). Stays flat

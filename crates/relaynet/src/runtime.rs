@@ -26,8 +26,12 @@
 //!   flows, slabs, pool, counters — bit for bit, across seeds and
 //!   policies.
 //! * **Mergeable aggregation.** Shard outcomes fold into experiment
-//!   totals: [`WorldStats::merge`] for counters,
-//!   concatenated-and-sorted completion samples for the flow CDF.
+//!   totals: [`WorldStats::merge`] for counters, and the completion-time
+//!   distribution under a [`StatsKind`] seam — exact mode concatenates
+//!   and sorts every raw sample (O(flows) memory, the fingerprint
+//!   currency), sketch mode merges fixed-size
+//!   [`QuantileSketch`](simstats::sketch::QuantileSketch)es bucket-wise
+//!   (O(buckets), order-independent by construction; DESIGN.md §13).
 //!
 //! # Stage tasks over bounded channels
 //!
@@ -66,6 +70,7 @@ use simcore::exec::{execute_typed, Executor};
 use simcore::rng::SimRng;
 use simcore::sim::{RunLimits, StopReason};
 use simcore::time::{SimDuration, SimTime};
+use simstats::sketch::QuantileSketch;
 
 use crate::builder::StarScenario;
 use crate::network::{TorNetwork, WorldStats};
@@ -159,9 +164,26 @@ pub fn fingerprint(world: &TorNetwork, events_processed: u64) -> WorldFingerprin
     }
 }
 
+/// How a sharded experiment aggregates its completion-time
+/// distribution — the telemetry seam, mirroring the
+/// [`QueueKind`]/[`SamplerKind`](crate::sampler::SamplerKind) pattern:
+/// the default keeps every observable bit-exact, the alternative trades
+/// a documented relative error for fixed memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatsKind {
+    /// Retain every raw completion sample per shard (O(flows) memory).
+    /// The fingerprint suites and the exact CDF harness run here.
+    #[default]
+    Exact,
+    /// Retain only the fixed-size quantile sketch per shard
+    /// (O(buckets) memory); [`SweepReport::completion_samples`] is
+    /// unavailable and panics. The scale path.
+    Sketch,
+}
+
 /// The outcome of one shard: its fingerprint plus the aggregates the
 /// experiment level consumes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardReport {
     /// Shard index within the experiment.
     pub shard: usize,
@@ -174,7 +196,11 @@ pub struct ShardReport {
     /// Payload bytes delivered across the shard's flows.
     pub bytes_delivered: u64,
     /// Request-to-last-byte completion times of the completed flows.
+    /// Empty under [`StatsKind::Sketch`] — the sketch is the record.
     pub flow_completions: Vec<SimDuration>,
+    /// The shard world's streaming completion sketch (always populated;
+    /// recording is deterministic, so it costs no fingerprint).
+    pub completion_sketch: QuantileSketch,
 }
 
 /// Experiment-level aggregation of every shard (see [`ShardedStar::run`]).
@@ -189,12 +215,27 @@ pub struct SweepReport {
     pub cells_delivered: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// The aggregation mode the experiment ran under.
+    pub stats_kind: StatsKind,
+    /// Bucket-wise merge of every shard's completion sketch.
+    pub completion_sketch: QuantileSketch,
 }
 
 impl SweepReport {
     /// All shards' flow completion times, sorted — the experiment-level
     /// CDF samples (sorting makes the merge order-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`StatsKind::Sketch`]: the raw samples were never
+    /// retained, and silently returning an empty set would read as "no
+    /// flow completed".
     pub fn completion_samples(&self) -> Vec<SimDuration> {
+        assert_eq!(
+            self.stats_kind,
+            StatsKind::Exact,
+            "completion_samples needs StatsKind::Exact; sketch mode drops raw samples"
+        );
         let mut all: Vec<SimDuration> = self
             .shards
             .iter()
@@ -205,6 +246,12 @@ impl SweepReport {
     }
 
     /// The merged flow-completion CDF, if any flow completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`StatsKind::Sketch`] (see
+    /// [`completion_samples`](Self::completion_samples)); use
+    /// [`completion_sketch`](Self::completion_sketch) there.
     pub fn completion_cdf(&self) -> Option<simstats::cdf::Cdf> {
         simstats::cdf::Cdf::from_samples(
             self.completion_samples()
@@ -212,6 +259,12 @@ impl SweepReport {
                 .map(|d| d.as_secs_f64())
                 .collect(),
         )
+    }
+
+    /// The merged completion-time sketch (seconds) — available in both
+    /// modes, within its configured relative error of the exact CDF.
+    pub fn completion_sketch(&self) -> &QuantileSketch {
+        &self.completion_sketch
     }
 }
 
@@ -230,6 +283,8 @@ pub struct ShardedStar {
     pub seed: u64,
     /// Event-queue implementation every shard runs on.
     pub queue: QueueKind,
+    /// Completion-distribution aggregation mode (the telemetry seam).
+    pub stats: StatsKind,
 }
 
 impl ShardedStar {
@@ -270,11 +325,16 @@ impl ShardedStar {
         let fingerprint = fingerprint(world, events);
         let cells_delivered = world.flows().iter().map(|f| f.cells_delivered).sum();
         let bytes_delivered = world.flows().iter().map(|f| f.delivered).sum();
-        let flow_completions = world
-            .flows()
-            .iter()
-            .filter_map(|f| f.completion_time())
-            .collect();
+        // Sketch mode is where the O(flows) concatenation is the
+        // problem, so that mode ships only the fixed-size record.
+        let flow_completions = match self.stats {
+            StatsKind::Exact => world
+                .flows()
+                .iter()
+                .filter_map(|f| f.completion_time())
+                .collect(),
+            StatsKind::Sketch => Vec::new(),
+        };
         ShardReport {
             shard,
             seed,
@@ -282,6 +342,7 @@ impl ShardedStar {
             cells_delivered,
             bytes_delivered,
             flow_completions,
+            completion_sketch: world.flow_completion_sketch().clone(),
         }
     }
 
@@ -301,18 +362,35 @@ impl ShardedStar {
             .collect();
         let shards = execute_typed(exec, jobs);
         let mut stats = WorldStats::default();
-        let mut cells_delivered = 0;
-        let mut bytes_delivered = 0;
+        let mut total_cells = 0;
+        let mut total_bytes = 0;
+        let mut sketch = QuantileSketch::default();
         for s in &shards {
-            stats.merge(&s.fingerprint.stats);
-            cells_delivered += s.cells_delivered;
-            bytes_delivered += s.bytes_delivered;
+            // Exhaustive destructure (no `..`), the WorldStats::merge
+            // contract extended to the shard level: a new ShardReport
+            // field is a compile error here until its aggregation is
+            // decided, never a silently-dropped experiment observable.
+            let ShardReport {
+                shard: _,
+                seed: _,
+                fingerprint,
+                cells_delivered,
+                bytes_delivered,
+                flow_completions: _, // queried via completion_samples()
+                completion_sketch,
+            } = s;
+            stats.merge(&fingerprint.stats);
+            total_cells += cells_delivered;
+            total_bytes += bytes_delivered;
+            sketch.merge(completion_sketch);
         }
         SweepReport {
             shards,
             stats,
-            cells_delivered,
-            bytes_delivered,
+            cells_delivered: total_cells,
+            bytes_delivered: total_bytes,
+            stats_kind: self.stats,
+            completion_sketch: sketch,
         }
     }
 }
@@ -578,6 +656,7 @@ mod tests {
             shards: 3,
             seed: 77,
             queue: QueueKind::default(),
+            stats: StatsKind::default(),
         }
     }
 
@@ -623,6 +702,42 @@ mod tests {
         assert_eq!(stats, sweep.stats);
         assert!(sweep.completion_cdf().is_some());
         assert!(sweep.bytes_delivered > 0);
+    }
+
+    #[test]
+    fn sketch_mode_drops_samples_but_keeps_the_distribution() {
+        let exact = small_sharded();
+        let sketchy = ShardedStar {
+            stats: StatsKind::Sketch,
+            ..exact.clone()
+        };
+        let make: FactoryMaker = Arc::new(|| fixed_window_factory(8));
+        let e = exact.run(&DeterministicExecutor, make.clone());
+        let s = sketchy.run(&DeterministicExecutor, make);
+        // The seam changes retention, never the simulation: fingerprints
+        // and the merged sketch are identical across modes.
+        for (a, b) in e.shards.iter().zip(&s.shards) {
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.completion_sketch, b.completion_sketch);
+            assert!(b.flow_completions.is_empty(), "sketch mode retains samples");
+        }
+        assert_eq!(e.completion_sketch, s.completion_sketch);
+        assert_eq!(
+            e.completion_samples().len() as u64,
+            s.completion_sketch().len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "StatsKind::Exact")]
+    fn sketch_mode_refuses_raw_sample_queries() {
+        let e = ShardedStar {
+            stats: StatsKind::Sketch,
+            ..small_sharded()
+        };
+        let make: FactoryMaker = Arc::new(|| fixed_window_factory(8));
+        let sweep = e.run(&DeterministicExecutor, make);
+        let _ = sweep.completion_samples();
     }
 
     #[test]

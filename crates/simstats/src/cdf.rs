@@ -3,9 +3,40 @@
 //! The paper's Figure 1 (lower panel) plots the empirical CDF of
 //! time-to-last-byte across circuits. [`Cdf`] collects samples, sorts them
 //! once on freeze, and then answers `F(x)`, quantile, and plotting-point
-//! queries.
+//! queries — **exact** answers at O(samples) memory. For streaming
+//! aggregation at scale (merging shards or sweeps without holding every
+//! sample), use the fixed-size [`QuantileSketch`](crate::sketch::QuantileSketch),
+//! which answers the same queries within a configured relative-error
+//! bound; sorting is *not* the only aggregation story (DESIGN.md §13).
 
 use std::fmt;
+
+/// The *lower-interpolation* rank for quantile `q` over `n` samples: the
+/// smallest 1-based rank `r` with `r/n >= q`, computed so that exact rank
+/// boundaries are immune to float rounding.
+///
+/// The naive `ceil(q * n)` misfires when `q * n` lands an ulp above an
+/// integer — e.g. `0.28 * 25 = 7.000000000000001`, whose ceiling is 8,
+/// selecting the 8th sample even though `F(sorted[6]) = 7/25 = 0.28 >= q`
+/// already holds. We start from the float guess and then repair it in
+/// integer space against the same `r/n` comparison `fraction_at_or_below`
+/// uses, so `quantile` and `F` stay mutually consistent.
+///
+/// Callers guarantee `n > 0` and `0 < q <= 1`.
+pub(crate) fn lower_rank(q: f64, n: u64) -> u64 {
+    debug_assert!(n > 0 && q > 0.0 && q <= 1.0);
+    let nf = n as f64;
+    let mut r = ((q * nf).ceil() as u64).clamp(1, n);
+    // Walk down while the previous rank already satisfies F >= q.
+    while r > 1 && (r - 1) as f64 / nf >= q {
+        r -= 1;
+    }
+    // Walk up while this rank still falls short of q.
+    while r < n && (r as f64) / nf < q {
+        r += 1;
+    }
+    r
+}
 
 /// An empirical CDF built from a set of `f64` samples.
 ///
@@ -57,7 +88,17 @@ impl Cdf {
     }
 
     /// Empirical `F(x)`: the fraction of samples `<= x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN: `NaN <= v` is false for every sample, so the
+    /// old behaviour silently returned 0.0 — a poisoned threshold now
+    /// fails loudly instead of masquerading as "no samples below".
     pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        assert!(
+            !x.is_nan(),
+            "Cdf::fraction_at_or_below requires a non-NaN threshold"
+        );
         // partition_point returns the index of the first element > x.
         let idx = self.sorted.partition_point(|&v| v <= x);
         idx as f64 / self.sorted.len() as f64
@@ -77,9 +118,8 @@ impl Cdf {
         if q == 0.0 {
             return self.min();
         }
-        let n = self.sorted.len();
-        let rank = (q * n as f64).ceil() as usize;
-        self.sorted[rank.clamp(1, n) - 1]
+        let rank = lower_rank(q, self.sorted.len() as u64);
+        self.sorted[rank as usize - 1]
     }
 
     /// Median (`quantile(0.5)`).
@@ -220,6 +260,64 @@ mod tests {
     #[should_panic(expected = "q in [0,1]")]
     fn quantile_out_of_range_panics() {
         cdf(vec![1.0]).quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-NaN threshold")]
+    fn fraction_at_or_below_rejects_nan() {
+        // Pre-fix: NaN made the partition closure false everywhere and the
+        // call silently returned 0.0 — indistinguishable from a threshold
+        // genuinely below every sample.
+        cdf(vec![1.0, 2.0]).fraction_at_or_below(f64::NAN);
+    }
+
+    #[test]
+    fn quantile_exact_rank_boundaries_survive_float_rounding() {
+        // Pre-fix: quantile trusted ceil(q * n). For n = 25, q = 7/25,
+        // q * 25 = 7.000000000000001 in f64, whose ceiling is 8 — the old
+        // code returned sorted[7] (the 8th sample) even though
+        // F(sorted[6]) = 0.28 >= q already held.
+        assert_eq!(0.28_f64 * 25.0, 7.000000000000001);
+        let c = cdf((1..=25).map(f64::from).collect());
+        assert_eq!(c.quantile(0.28), 7.0);
+        // More (numerator, n) pairs where ceil(q * n) overshoots the rank.
+        for (k, n) in [
+            (14u64, 25u64),
+            (15, 29),
+            (29, 35),
+            (21, 38),
+            (25, 39),
+            (7, 41),
+        ] {
+            let c = cdf((1..=n).map(|i| i as f64).collect());
+            let q = k as f64 / n as f64;
+            assert_eq!(
+                c.quantile(q),
+                k as f64,
+                "rank for q={k}/{n} must be {k}, not ceil({})",
+                q * n as f64
+            );
+            // The repaired rank stays consistent with F: the chosen sample
+            // is the smallest one whose F(v) >= q.
+            assert!(c.fraction_at_or_below(c.quantile(q)) >= q);
+        }
+    }
+
+    #[test]
+    fn lower_rank_matches_linear_scan() {
+        // Exhaustive cross-check on small n: lower_rank must agree with
+        // the definitional "smallest r with r/n >= q" for every exact
+        // boundary and for off-boundary probes.
+        for n in 1u64..=64 {
+            for k in 1..=n {
+                let q = k as f64 / n as f64;
+                let want = (1..=n).find(|&r| r as f64 / n as f64 >= q).unwrap();
+                assert_eq!(lower_rank(q, n), want, "boundary q={k}/{n}");
+                let probe = (q - 1e-9).max(1e-12);
+                let want = (1..=n).find(|&r| r as f64 / n as f64 >= probe).unwrap();
+                assert_eq!(lower_rank(probe, n), want, "probe below q={k}/{n}");
+            }
+        }
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! Plain-text exporters for experiment results.
 //!
-//! Two formats are supported, both trivially consumable:
+//! Three formats are supported, all trivially consumable:
 //!
 //! * **CSV** with a header row — for spreadsheets and pandas.
 //! * **gnuplot `.dat`** — whitespace-separated columns with `#` comments,
 //!   the format the original paper's plots were produced from.
+//! * **Prometheus text exposition** — [`prometheus_text`] renders a
+//!   [`MetricsRegistry`] (plus optional gauge-valued extras such as
+//!   sketch quantiles) for scraping or golden-file comparison.
 //!
 //! The writers are deliberately dependency-free (no serde): every artifact
-//! is a flat numeric table. See DESIGN.md §7.
+//! is a flat numeric table. See DESIGN.md §7 and §13.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+use crate::registry::{MetricKind, MetricsRegistry};
 
 /// A named numeric column set — the common denominator of everything the
 /// harness exports (cwnd traces, CDF points, sweep tables).
@@ -87,8 +92,10 @@ impl Table {
     }
 
     /// Renders a number compactly: integers without a decimal point,
-    /// everything else with up to 9 significant digits.
-    fn fmt_num(v: f64) -> String {
+    /// everything else with up to 9 significant digits. Shared with the
+    /// Prometheus exporter so every text format renders values the same
+    /// way.
+    pub(crate) fn fmt_num(v: f64) -> String {
         if v.fract() == 0.0 && v.abs() < 1e15 {
             format!("{}", v as i64)
         } else {
@@ -147,6 +154,67 @@ impl Table {
     }
 }
 
+/// Renders a [`MetricsRegistry`] in the Prometheus text exposition
+/// format: a `# HELP` / `# TYPE` pair followed by the sample line, one
+/// family per metric.
+///
+/// `extra_gauges` are float-valued gauges appended to the same exposition
+/// — the slot for derived, merge-then-query values such as sketch
+/// quantiles, which must be computed *after* aggregation and so never
+/// live inside a per-shard registry (DESIGN.md §13). They follow the
+/// gauge naming rules.
+///
+/// Output is sorted by metric name, so the rendering is a pure function
+/// of the metric *set* — registries merged in any shard order export
+/// byte-identical text (the property the golden-file smoke pins).
+///
+/// # Examples
+///
+/// ```
+/// use simstats::registry::MetricsRegistry;
+/// use simstats::export::prometheus_text;
+///
+/// let mut reg = MetricsRegistry::new();
+/// let c = reg.counter("cells_sent_total", "cells put on the wire");
+/// reg.add(c, 42);
+/// let text = prometheus_text(&reg, &[("sim_p99_seconds", "tail latency", 1.25)]);
+/// assert!(text.contains("# TYPE cells_sent_total counter\ncells_sent_total 42\n"));
+/// assert!(text.contains("sim_p99_seconds 1.25\n"));
+/// ```
+pub fn prometheus_text(registry: &MetricsRegistry, extra_gauges: &[(&str, &str, f64)]) -> String {
+    let mut entries: Vec<(&str, &str, MetricKind, String)> = registry
+        .sorted_entries()
+        .map(|(name, help, kind, value)| (name, help, kind, Table::fmt_num(value as f64)))
+        .collect();
+    for &(name, help, value) in extra_gauges {
+        crate::registry::validate_name(name, MetricKind::Gauge);
+        assert!(
+            !value.is_nan(),
+            "Prometheus gauge {name:?} is NaN — refuse to export a poisoned value"
+        );
+        entries.push((name, help, MetricKind::Gauge, Table::fmt_num(value)));
+    }
+    entries.sort_by_key(|&(name, ..)| name);
+    for pair in entries.windows(2) {
+        assert!(
+            pair[0].0 != pair[1].0,
+            "duplicate metric name {:?} in Prometheus export",
+            pair[0].0
+        );
+    }
+    let mut out = String::new();
+    for (name, help, kind, value) in entries {
+        let kind = match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +264,69 @@ mod tests {
         assert_eq!(Table::fmt_num(0.5), "0.5");
         assert_eq!(Table::fmt_num(1.0 / 3.0), "0.333333333");
         assert_eq!(Table::fmt_num(0.0), "0");
+    }
+
+    #[test]
+    fn prometheus_text_renders_sorted_families() {
+        let mut reg = MetricsRegistry::new();
+        let b = reg.counter("zz_late_total", "registered first, sorts last");
+        let a = reg.counter("aa_early_total", "registered last, sorts first");
+        reg.add(b, 2);
+        reg.add(a, 1);
+        let g = reg.gauge("relays_live", "live relays");
+        reg.set(g, 7);
+        let text = prometheus_text(&reg, &[("sim_p99_seconds", "tail", 0.5)]);
+        let expected = "\
+# HELP aa_early_total registered last, sorts first
+# TYPE aa_early_total counter
+aa_early_total 1
+# HELP relays_live live relays
+# TYPE relays_live gauge
+relays_live 7
+# HELP sim_p99_seconds tail
+# TYPE sim_p99_seconds gauge
+sim_p99_seconds 0.5
+# HELP zz_late_total registered first, sorts last
+# TYPE zz_late_total counter
+zz_late_total 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_text_is_merge_order_independent() {
+        let mk = |names: &[(&str, u64)]| {
+            let mut reg = MetricsRegistry::new();
+            for &(name, v) in names {
+                let id = reg.counter(name, "h");
+                reg.add(id, v);
+            }
+            reg
+        };
+        let a = mk(&[("a_total", 1), ("c_total", 3)]);
+        let b = mk(&[("b_total", 2)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(prometheus_text(&ab, &[]), prometheus_text(&ba, &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn prometheus_text_rejects_duplicate_names() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("relays_live", "live relays");
+        prometheus_text(&reg, &[("relays_live", "collides", 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn prometheus_text_rejects_nan_gauge() {
+        prometheus_text(
+            &MetricsRegistry::new(),
+            &[("sim_p99_seconds", "tail", f64::NAN)],
+        );
     }
 
     #[test]

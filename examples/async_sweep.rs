@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use backtap::config::CcConfig;
 use circuitstart::Algorithm;
-use relaynet::runtime::{FactoryMaker, ShardedStar};
+use relaynet::runtime::{FactoryMaker, ShardedStar, StatsKind};
 use relaynet::selection::all_policies;
 use relaynet::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
 use relaynet::{DirectoryConfig, StarScenario};
@@ -57,6 +57,7 @@ fn experiment(policy: relaynet::SelectionPolicy, shards: usize) -> ShardedStar {
         shards,
         seed: 4242,
         queue: QueueKind::default(),
+        stats: StatsKind::default(),
     }
 }
 

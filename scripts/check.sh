@@ -31,11 +31,17 @@ cargo run -q --release --example consensus_scale
 echo "==> smoke: cargo run --example fault_storm (crash injection + recovery loop)"
 cargo run -q --release --example fault_storm
 
+echo "==> smoke: cargo run --example telemetry_scale (7k-relay sketch quantiles + Prometheus golden file)"
+cargo run -q --release --example telemetry_scale
+
 echo "==> threaded-runtime differential suite (oracle fingerprints, deadlock stress)"
 cargo test -q --test async_runtime
 
 echo "==> fault-recovery suite (conservation + fingerprint invariance under faults)"
 cargo test -q --test fault_recovery
+
+echo "==> telemetry differential suite (sketch vs exact CDF, shuffle-merge invariance)"
+cargo test -q --test telemetry_sketch
 
 echo "==> bench smoke: CS_BENCH_FAST=1 (3 samples; sanity, not measurement)"
 echo "    (includes overlay/star_async_* — threaded-runtime scaling cases + pool-flatness asserts)"

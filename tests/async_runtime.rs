@@ -23,7 +23,7 @@ use std::time::Duration;
 use backtap::config::CcConfig;
 use circuitstart::Algorithm;
 use relaynet::builder::StarScenario;
-use relaynet::runtime::{FactoryMaker, ShardedStar, StagePipeline};
+use relaynet::runtime::{FactoryMaker, ShardedStar, StagePipeline, StatsKind};
 use relaynet::selection::{all_policies, SelectionPolicy};
 use relaynet::workload::{ArrivalSpec, ChurnSpec, WorkloadSpec};
 use relaynet::DirectoryConfig;
@@ -74,6 +74,7 @@ fn threaded_runtime_reproduces_oracle_across_seeds_and_policies() {
                 shards: 2,
                 seed,
                 queue: QueueKind::default(),
+                stats: StatsKind::default(),
             };
             let oracle = exp.run(&DeterministicExecutor, circuitstart_maker());
             let threaded = exp.run(&ThreadedExecutor::new(4), circuitstart_maker());
@@ -108,6 +109,7 @@ fn worker_count_is_unobservable() {
         shards: 4,
         seed: 29,
         queue: QueueKind::default(),
+        stats: StatsKind::default(),
     };
     let oracle = exp.run(&DeterministicExecutor, circuitstart_maker());
     for workers in [1usize, 2, 4, 8] {
@@ -130,6 +132,7 @@ fn queue_and_runtime_seams_compose() {
             shards: 2,
             seed: 13,
             queue,
+            stats: StatsKind::default(),
         };
         if threaded {
             exp.run(&ThreadedExecutor::new(4), circuitstart_maker())

@@ -26,7 +26,7 @@ use std::time::Duration;
 use netsim::bandwidth::Bandwidth;
 use netsim::link::LinkConfig;
 use relaynet::builder::{baseline_factory, fixed_window_factory};
-use relaynet::runtime::{fingerprint, ShardedStar};
+use relaynet::runtime::{fingerprint, ShardedStar, StatsKind};
 use relaynet::sampler::SamplerKind;
 use relaynet::selection::{all_policies, CongestionAware};
 use relaynet::workload::{ArrivalSpec, EpochSpec, FaultSpec, WorkloadSpec};
@@ -223,6 +223,7 @@ fn threaded_runtime_reproduces_oracle_under_faults() {
                     shards: 2,
                     seed,
                     queue: QueueKind::default(),
+                    stats: StatsKind::default(),
                 };
                 let maker: relaynet::runtime::FactoryMaker =
                     Arc::new(|| baseline_factory(Default::default()));
