@@ -1,0 +1,450 @@
+//! The scan pipeline: lex → split code/comments → parse `allow`
+//! annotations → mark test regions → run rules → scope + suppress.
+//!
+//! # Annotation grammar (DESIGN.md §14)
+//!
+//! ```text
+//! // cs-lint: allow(<rule-name>, reason = "<non-empty text>")
+//! ```
+//!
+//! The comment must be **alone on its line** and suppresses findings of
+//! that rule on the next line holding any code token (doc comments and
+//! blank lines in between are skipped, so an annotation can sit above a
+//! documented item). Stacked annotations all bind to that same line. A
+//! `cs-lint:` comment that does not parse — unknown rule, missing or
+//! empty reason, trailing position — is itself reported as
+//! `malformed-annotation`, which cannot be suppressed.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::policy;
+use crate::rules::{self, Rule};
+
+/// Rule name used for unparseable `cs-lint:` comments.
+pub const MALFORMED: &str = "malformed-annotation";
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    /// Kebab-case rule name.
+    pub rule: String,
+    pub message: String,
+    /// The source line the finding points at, trimmed — context for the
+    /// human report and for `--fix-annotations` indentation.
+    pub snippet: String,
+}
+
+/// A parsed, well-formed allow annotation.
+struct Allow {
+    rule: Rule,
+    /// Line the annotation comment sits on.
+    line: u32,
+}
+
+/// Scans one file's source. `rel_path` drives policy scoping and is
+/// echoed into findings.
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let ctx = policy::classify(rel_path);
+    let tokens = lexer::lex(src);
+    let (code, comments): (Vec<Token>, Vec<Token>) = tokens
+        .into_iter()
+        .partition(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment));
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Lines that hold at least one code token, for annotation binding.
+    let code_lines: BTreeSet<u32> = code.iter().map(|t| t.line).collect();
+    let mut allows: Vec<Allow> = Vec::new();
+    for c in &comments {
+        if c.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = c.text(src);
+        let Some(rest) = annotation_body(text) else {
+            continue;
+        };
+        let alone = !code_lines.contains(&c.line);
+        match (parse_allow(rest), alone) {
+            (Some(rule), true) => allows.push(Allow { rule, line: c.line }),
+            (Some(_), false) => findings.push(Finding {
+                path: rel_path.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: MALFORMED.to_string(),
+                message: "annotation must be alone on the line preceding the finding, not \
+                          trailing code"
+                    .to_string(),
+                snippet: line_snippet(src, c.line),
+            }),
+            (None, _) => findings.push(Finding {
+                path: rel_path.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: MALFORMED.to_string(),
+                message: format!(
+                    "cannot parse annotation; expected `// cs-lint: allow(<rule>, reason = \
+                     \"...\")` with a known rule and non-empty reason; rules: {}",
+                    rules::ALL_RULES
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                snippet: line_snippet(src, c.line),
+            }),
+        }
+    }
+
+    // Each annotation suppresses its rule on the next code line.
+    let suppressed: BTreeSet<(Rule, u32)> = allows
+        .iter()
+        .filter_map(|a| {
+            code_lines
+                .range(a.line + 1..)
+                .next()
+                .map(|&target| (a.rule, target))
+        })
+        .collect();
+
+    let test_regions = test_regions(src, &code);
+    let in_test = |line: u32| test_regions.iter().any(|&(a, b)| (a..=b).contains(&line));
+
+    for raw in rules::detect(src, &code) {
+        let test_code = ctx.kind == policy::TargetKind::TestFile || in_test(raw.line);
+        if !policy::rule_applies(raw.rule, &ctx, test_code) {
+            continue;
+        }
+        if suppressed.contains(&(raw.rule, raw.line)) {
+            continue;
+        }
+        findings.push(Finding {
+            path: rel_path.to_string(),
+            line: raw.line,
+            col: raw.col,
+            rule: raw.rule.name().to_string(),
+            message: raw.rule.message().to_string(),
+            snippet: line_snippet(src, raw.line),
+        });
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    findings
+}
+
+/// Returns the text after a `cs-lint:` marker in a line comment, or
+/// `None` when the comment is not an annotation at all.
+fn annotation_body(comment: &str) -> Option<&str> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start();
+    body.strip_prefix("cs-lint:").map(str::trim_start)
+}
+
+/// Parses `allow(<rule>, reason = "<non-empty>")`. Returns the rule on
+/// success.
+fn parse_allow(body: &str) -> Option<Rule> {
+    let inner = body.strip_prefix("allow")?.trim_start().strip_prefix('(')?;
+    let inner = inner.trim_end().strip_suffix(')')?;
+    let (rule_name, rest) = inner.split_once(',')?;
+    let rule = Rule::from_name(rule_name.trim())?;
+    let reason = rest
+        .trim()
+        .strip_prefix("reason")?
+        .trim_start()
+        .strip_prefix('=')?;
+    let reason = reason.trim().strip_prefix('"')?.strip_suffix('"')?;
+    (!reason.trim().is_empty()).then_some(rule)
+}
+
+/// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]` items. Token
+/// scan: a `#[...]` attribute whose idents include `test` (and not
+/// `not`, so `#[cfg(not(test))]` stays production code) marks the next
+/// brace-delimited item; a `;` before any `{` means the attribute
+/// decorated a braceless item and no region is produced.
+fn test_regions(src: &str, code: &[Token]) -> Vec<(u32, u32)> {
+    let text = |i: usize| code[i].text(src);
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if !(text(i) == "#" && text(i + 1) == "[") {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        while j < code.len() {
+            match text(j) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "test" => saw_test = true,
+                "not" => saw_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !saw_test || saw_not {
+            i = j;
+            continue;
+        }
+        // Attribute marks a test item: find its body's `{`, bailing at a
+        // same-level `;` (braceless item).
+        let mut k = j + 1;
+        while k < code.len() && text(k) != "{" && text(k) != ";" {
+            k += 1;
+        }
+        if k < code.len() && text(k) == "{" {
+            let open_line = code[k].line;
+            let mut brace = 0usize;
+            while k < code.len() {
+                match text(k) {
+                    "{" => brace += 1,
+                    "}" => {
+                        brace -= 1;
+                        if brace == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let close_line = if k < code.len() {
+                code[k].line
+            } else {
+                u32::MAX
+            };
+            regions.push((open_line, close_line));
+        }
+        i = k;
+    }
+    regions
+}
+
+/// The 1-based `line` of `src`, trimmed; empty string when out of range.
+fn line_snippet(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line as usize - 1)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+/// Raw (untrimmed) source line, for `--fix-annotations` indentation.
+pub fn raw_line(src: &str, line: u32) -> String {
+    src.lines().nth(line as usize - 1).unwrap_or("").to_string()
+}
+
+/// Result of a workspace scan.
+pub struct ScanReport {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+
+/// Path suffix of the known-bad lint fixture corpus — scanning it would
+/// (correctly) light up every rule.
+const FIXTURES_DIR: &str = "crates/cs-lint/tests/fixtures";
+
+/// Walks the workspace rooted at `root` and scans every `.rs` file,
+/// deterministically ordered.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = rel_unix(root, file);
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        findings.extend(scan_source(&rel, &src));
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    Ok(ScanReport {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+fn rel_unix(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            if rel_unix(root, &path) == FIXTURES_DIR {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<(String, u32)> {
+        findings.iter().map(|f| (f.rule.clone(), f.line)).collect()
+    }
+
+    #[test]
+    fn allow_suppresses_next_code_line_only() {
+        let src = "\
+// cs-lint: allow(nondeterministic-iteration, reason = \"membership only\")
+use std::collections::HashSet;
+use std::collections::HashMap;
+";
+        let f = scan_source("crates/relaynet/src/x.rs", src);
+        assert_eq!(
+            rules_of(&f),
+            vec![("nondeterministic-iteration".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn allow_skips_doc_comments_between() {
+        let src = "\
+// cs-lint: allow(nondeterministic-iteration, reason = \"membership only\")
+/// Documented field.
+struct S { m: HashSet<u64> }
+";
+        let f = scan_source("crates/relaynet/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stacked_allows_bind_to_same_line() {
+        let src = "\
+// cs-lint: allow(nondeterministic-iteration, reason = \"fixture\")
+// cs-lint: allow(no-bare-unwrap-in-lib, reason = \"fixture\")
+fn f(m: HashMap<u8, u8>) { m.get(&1).unwrap(); }
+";
+        let f = scan_source("crates/relaynet/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wrong_rule_does_not_suppress() {
+        let src = "\
+// cs-lint: allow(wall-clock, reason = \"mismatched\")
+use std::collections::HashMap;
+";
+        let f = scan_source("crates/relaynet/src/x.rs", src);
+        assert_eq!(
+            rules_of(&f),
+            vec![("nondeterministic-iteration".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn malformed_annotations_are_findings() {
+        for bad in [
+            "// cs-lint: allow(unknown-rule, reason = \"x\")",
+            "// cs-lint: allow(wall-clock)",
+            "// cs-lint: allow(wall-clock, reason = \"\")",
+            "// cs-lint: disallow(wall-clock, reason = \"x\")",
+        ] {
+            let f = scan_source("crates/relaynet/src/x.rs", bad);
+            assert_eq!(rules_of(&f), vec![(MALFORMED.to_string(), 1)], "for {bad}");
+        }
+        // Trailing-position annotation is malformed even when parseable.
+        let f = scan_source(
+            "crates/relaynet/src/x.rs",
+            "let x = 1; // cs-lint: allow(wall-clock, reason = \"x\")",
+        );
+        assert_eq!(rules_of(&f), vec![(MALFORMED.to_string(), 1)]);
+        // A plain comment mentioning the tool is not an annotation.
+        let f = scan_source(
+            "crates/relaynet/src/x.rs",
+            "// run cs-lint before pushing\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_where_policy_says() {
+        let src = "\
+fn lib_code() { std::thread::spawn(|| {}); }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { std::thread::spawn(|| {}); }
+}
+";
+        let f = scan_source("crates/simcore/src/chan.rs", src);
+        assert_eq!(rules_of(&f), vec![("stray-threads".to_string(), 1)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "\
+#[cfg(not(test))]
+mod prod {
+    fn f() { std::thread::spawn(|| {}); }
+}
+";
+        let f = scan_source("crates/simcore/src/chan.rs", src);
+        assert_eq!(rules_of(&f), vec![("stray-threads".to_string(), 3)]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_marks_no_region() {
+        let src = "\
+#[cfg(test)]
+use helper::thing;
+fn f() { std::thread::spawn(|| {}); }
+";
+        let f = scan_source("crates/simcore/src/chan.rs", src);
+        assert_eq!(rules_of(&f), vec![("stray-threads".to_string(), 3)]);
+    }
+
+    #[test]
+    fn hash_rule_reaches_cfg_test_in_visible_crates() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn f() { let mut s = std::collections::HashSet::new(); s.insert(1); }
+}
+";
+        let f = scan_source("crates/torcell/src/ids.rs", src);
+        assert_eq!(
+            rules_of(&f),
+            vec![("nondeterministic-iteration".to_string(), 3)]
+        );
+    }
+}

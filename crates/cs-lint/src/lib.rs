@@ -1,0 +1,38 @@
+//! `cs-lint` — the workspace's determinism-and-invariant lint
+//! (DESIGN.md §14).
+//!
+//! Every guarantee this reproduction makes — bit-exact
+//! `WorldFingerprint` equality across queue/sampler/executor seams,
+//! merge-order-invariant telemetry, derivation-rooted RNG streams — is
+//! otherwise enforced only at runtime by differential suites, which
+//! means a nondeterminism leak survives until a test happens to take
+//! the path that exposes it (PR 8's f64 merge-sum drift did exactly
+//! that). This crate catches the known hazard classes at the *source*
+//! level instead:
+//!
+//! | rule | invariant it guards |
+//! |------|---------------------|
+//! | `nondeterministic-iteration` | no unseeded `HashMap`/`HashSet` order in fingerprint-visible crates |
+//! | `wall-clock` | results are a function of the seed, not the host clock |
+//! | `stray-threads` | all parallelism goes through the `simcore::exec` seam |
+//! | `float-accumulation-in-merge` | shard merges are bit-exact in any order |
+//! | `rng-discipline` | every stream derives from the master seed in a builder |
+//! | `no-println-in-lib` | library telemetry goes through `simstats` |
+//! | `no-bare-unwrap-in-lib` | library panics name their invariant |
+//!
+//! Violations are suppressed one line at a time with an annotation on
+//! the preceding line:
+//!
+//! ```text
+//! // cs-lint: allow(nondeterministic-iteration, reason = "membership-only, never iterated")
+//! ```
+//!
+//! The crate is **dependency-free** (hand-rolled lexer, same discipline
+//! as the local xoshiro RNG and bench harness) so the CI gate never
+//! depends on code it cannot itself vouch for.
+
+pub mod engine;
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;

@@ -1,0 +1,147 @@
+//! Rendering a [`ScanReport`]: human text, `--json` (same hand-rolled
+//! JSON idiom as `cs_bench::harness`), and `--fix-annotations`
+//! paste-ready triage output.
+
+use crate::engine::ScanReport;
+
+/// Human-readable findings, one per line, `file:line:col` first so
+/// terminals link them.
+pub fn human(report: &ScanReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {}: {}\n",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+    }
+    out.push_str(&format!(
+        "cs-lint: {} finding{} across {} files\n",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.files_scanned,
+    ));
+    out
+}
+
+/// JSON document: `{"tool", "files_scanned", "findings": [...]}`.
+pub fn json(report: &ScanReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"cs-lint\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"finding_count\": {},\n",
+        report.findings.len()
+    ));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"file\": {}, ", json_str(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"col\": {}, ", f.col));
+        out.push_str(&format!("\"rule\": {}, ", json_str(&f.rule)));
+        out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+        out.push('}');
+        if i + 1 < report.findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Ready-to-paste `allow` lines for every finding, indented to match
+/// the flagged line, so triage is copy-paste instead of hand-formatting.
+/// `raw_lines` maps each finding index to the untrimmed flagged line.
+pub fn fix_annotations(report: &ScanReport, raw_lines: &[String]) -> String {
+    let mut out = String::new();
+    let annotatable = report
+        .findings
+        .iter()
+        .filter(|f| f.rule != crate::engine::MALFORMED)
+        .count();
+    out.push_str(&format!(
+        "cs-lint --fix-annotations: {annotatable} annotatable finding{} (dry run; paste \
+         each line above its finding, then replace the reason placeholder)\n",
+        if annotatable == 1 { "" } else { "s" },
+    ));
+    for (f, raw) in report.findings.iter().zip(raw_lines) {
+        if f.rule == crate::engine::MALFORMED {
+            continue;
+        }
+        let indent: String = raw.chars().take_while(|c| c.is_whitespace()).collect();
+        out.push_str(&format!("\n{}:{}  ({})\n", f.path, f.line, f.rule));
+        out.push_str(&format!(
+            "{indent}// cs-lint: allow({}, reason = \"<why this site cannot break the \
+             invariant>\")\n",
+            f.rule
+        ));
+    }
+    out
+}
+
+/// Escapes a string as a JSON literal (same dialect as
+/// `cs_bench::harness`: control chars, quotes, and backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+
+    fn sample() -> ScanReport {
+        ScanReport {
+            findings: vec![Finding {
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                col: 9,
+                rule: "wall-clock".to_string(),
+                message: "wall-clock read \"quoted\"".to_string(),
+                snippet: "let t = Instant::now();".to_string(),
+            }],
+            files_scanned: 7,
+        }
+    }
+
+    #[test]
+    fn human_lists_location_first() {
+        let text = human(&sample());
+        assert!(text.starts_with("crates/x/src/lib.rs:3:9: wall-clock:"));
+        assert!(text.contains("1 finding across 7 files"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let text = json(&sample());
+        assert!(text.contains("\"tool\": \"cs-lint\""));
+        assert!(text.contains("\"files_scanned\": 7"));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\"finding_count\": 1"));
+    }
+
+    #[test]
+    fn fix_annotations_match_indentation() {
+        let text = fix_annotations(&sample(), &["        let t = Instant::now();".to_string()]);
+        assert!(text.contains("\n        // cs-lint: allow(wall-clock, reason = "));
+    }
+}

@@ -1,0 +1,29 @@
+// cs-lint-fixture: path = "crates/relaynet/src/bad_annotation.rs"
+// Malformed annotations are findings themselves, and a well-formed
+// allow never suppresses a DIFFERENT rule or a non-adjacent line.
+
+// cs-lint: allow(no-such-rule, reason = "unknown rule name") //~ malformed-annotation
+use std::collections::BTreeMap;
+
+// cs-lint: allow(wall-clock) //~ malformed-annotation
+fn missing_reason() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}
+
+// cs-lint: allow(wall-clock, reason = "") //~ malformed-annotation
+fn empty_reason() -> u64 {
+    1
+}
+
+fn trailing() -> u64 { 2 } // cs-lint: allow(wall-clock, reason = "not allowed trailing code") //~ malformed-annotation
+
+// cs-lint: allow(wall-clock, reason = "wrong rule for the site below")
+fn wrong_rule() {
+    let _ = std::collections::HashSet::<u8>::new(); //~ nondeterministic-iteration
+}
+
+// cs-lint: allow(nondeterministic-iteration, reason = "right rule, but a code line intervenes")
+fn not_adjacent() -> u64 {
+    let _ = std::collections::HashSet::<u8>::new(); //~ nondeterministic-iteration
+    3
+}

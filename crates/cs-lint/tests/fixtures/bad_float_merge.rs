@@ -1,0 +1,33 @@
+// cs-lint-fixture: path = "crates/simstats/src/badmerge.rs"
+struct Agg {
+    total: f64,
+    count: u64,
+}
+
+impl Agg {
+    fn merge(&mut self, other: &Agg) {
+        self.total += other.total; //~ float-accumulation-in-merge
+        self.count += other.count;
+    }
+
+    // Accumulation outside a merge fn is the (ordered) recording path.
+    fn add(&mut self, v: f64) {
+        self.total += v;
+        self.count += 1;
+    }
+}
+
+fn merge_all(parts: &[f64]) -> f64 {
+    parts.iter().copied().sum::<f64>() //~ float-accumulation-in-merge
+}
+
+struct Counters {
+    events: u64,
+}
+
+impl Counters {
+    // Integer accumulation in a merge is associative: clean.
+    fn merge(&mut self, other: &Counters) {
+        self.events += other.events;
+    }
+}

@@ -1,0 +1,23 @@
+// cs-lint-fixture: path = "crates/torcell/src/badprint.rs"
+use std::fmt::Write as _;
+
+fn report(cells: u64) {
+    println!("cells: {cells}"); //~ no-println-in-lib
+    eprintln!("warning"); //~ no-println-in-lib
+    let _ = dbg!(cells); //~ no-println-in-lib
+}
+
+// Formatting into a buffer is not stdout.
+fn render(cells: u64) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "cells: {cells}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_print_freely() {
+        println!("diagnostic output on failure");
+    }
+}

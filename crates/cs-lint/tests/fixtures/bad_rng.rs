@@ -1,0 +1,25 @@
+// cs-lint-fixture: path = "crates/relaynet/src/badrng.rs"
+use simcore::rng::SimRng;
+
+#[derive(Clone, Debug)]
+struct Widget {
+    seed: u64,
+}
+
+fn ad_hoc_stream(master: &SimRng) -> u64 {
+    let mut local = SimRng::seed_from(42); //~ rng-discipline
+    let mut child = master.derive("side-channel"); //~ rng-discipline
+    let mut indexed = master.derive_indexed("shard", 3); //~ rng-discipline
+    local.u64() ^ child.u64() ^ indexed.u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_mint_freely() {
+        let mut rng = SimRng::seed_from(7);
+        let _ = rng.derive("fixture").u64();
+    }
+}

@@ -1,0 +1,25 @@
+// cs-lint-fixture: path = "crates/relaynet/src/badthreads.rs"
+use std::thread;
+
+fn launch() {
+    let h = thread::spawn(|| 1 + 1); //~ stray-threads
+    std::thread::scope(|s| { //~ stray-threads
+        let _ = s;
+    });
+    let _ = h;
+}
+
+// Executor-seam methods named `spawn` are not thread creation.
+fn through_the_seam(pool: &Pool) {
+    pool.spawn(job);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn watchdogs_are_test_harness() {
+        // Test watchdog threads never touch world state: exempt.
+        let h = std::thread::spawn(|| ());
+        h.join().expect("watchdog joins");
+    }
+}

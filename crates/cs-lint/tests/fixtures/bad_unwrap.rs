@@ -1,0 +1,26 @@
+// cs-lint-fixture: path = "crates/backtap/src/badunwrap.rs"
+fn first_and_last(xs: &[u64]) -> u64 {
+    xs.first().unwrap() + xs.last().unwrap() //~ no-bare-unwrap-in-lib //~ no-bare-unwrap-in-lib
+}
+
+fn named_invariant(xs: &[u64]) -> u64 {
+    *xs.first().expect("caller guarantees a non-empty window")
+}
+
+fn with_defaults(x: Option<u64>) -> u64 {
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+
+fn annotated(x: Option<u64>) -> u64 {
+    // cs-lint: allow(no-bare-unwrap-in-lib, reason = "Some() by construction two lines up")
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_unwrap_freely() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+// cs-lint-fixture: path = "crates/simstats/src/bad.rs"
+use std::time::SystemTime; //~ wall-clock
+use std::time::Instant;
+
+fn stamp() -> u64 {
+    let t = Instant::now(); //~ wall-clock
+    let _ = SystemTime::now(); //~ wall-clock
+    let _ = t;
+    0
+}
+
+// A bare `Instant` in type position is storage, not a clock read.
+fn takes(deadline: Instant) -> Instant {
+    deadline
+}

@@ -1,0 +1,25 @@
+// cs-lint-fixture: path = "crates/relaynet/src/hard_allow_placement.rs"
+// Annotation binding across blank lines, doc comments, and stacking.
+// ZERO findings: every violation here is correctly suppressed.
+
+// cs-lint: allow(nondeterministic-iteration, reason = "binds across the blank line below")
+
+use std::collections::HashSet;
+
+/// A documented set-bearing struct. The annotation binds to the next
+/// CODE line, so it sits on the field, not above the struct header.
+struct Probe {
+    // cs-lint: allow(nondeterministic-iteration, reason = "binds across the doc comment below")
+    /// Which ids were ever seen (membership only in this fixture).
+    seen: HashSet<u64>,
+}
+
+// cs-lint: allow(nondeterministic-iteration, reason = "stacked: rule one of two")
+// cs-lint: allow(no-bare-unwrap-in-lib, reason = "stacked: rule two of two")
+fn both_on_one_line(m: HashSet<u64>) -> u64 { *m.iter().next().unwrap() }
+
+fn inside_a_body() -> u64 {
+    // cs-lint: allow(nondeterministic-iteration, reason = "indented annotation in a body")
+    let s = HashSet::<u64>::new();
+    s.len() as u64
+}

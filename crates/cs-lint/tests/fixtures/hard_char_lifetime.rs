@@ -1,0 +1,32 @@
+// cs-lint-fixture: path = "crates/relaynet/src/hard_char_lifetime.rs"
+// Char literals vs. lifetimes: a lexer that confuses `'a'` with `'a`
+// treats a later quote as a string opener and swallows real code (or
+// exposes string contents as code). ZERO findings.
+
+struct Borrowed<'a, 'b: 'a> {
+    name: &'a str,
+    tag: &'b [u8],
+}
+
+fn chars<'s>(input: &'s str) -> (char, char, char, char, char, u8) {
+    let plain = 'a';
+    let escaped_quote = '\'';
+    let double_quote = '"';
+    let unicode = 'é';
+    let newline = '\n';
+    let byte = b'x';
+    let _: &'s str = input;
+    let _ = ('_', '\u{1F980}');
+    (plain, escaped_quote, double_quote, unicode, newline, byte)
+}
+
+fn lifetimes_after_chars<'q>(x: &'q [u64]) -> &'q [u64] {
+    // If `'"'` above opened a phantom string, this "HashMap" comment and
+    // the string below would lex as code and trip the hash rule.
+    let _label = "not a HashMap, just a string";
+    x
+}
+
+fn static_and_underscore(x: &'static str) -> &'_ str {
+    x
+}

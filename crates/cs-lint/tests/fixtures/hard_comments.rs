@@ -1,0 +1,32 @@
+// cs-lint-fixture: path = "crates/simcore/src/hard_comments.rs"
+// Violations spelled in comments of every flavor. ZERO findings.
+
+// line comment: Instant::now() and HashMap::new()
+
+/* block comment: thread::spawn(|| SystemTime::now()) */
+
+/* nested /* block /* comments */ hide SimRng::seed_from(3) */ too */
+
+/// Doc comment with a fenced example:
+///
+/// ```
+/// use std::collections::HashSet;
+/// let mut s = HashSet::new();
+/// s.insert(1);
+/// assert_eq!(s.iter().next().unwrap(), &1);
+/// ```
+fn documented() -> u64 {
+    7
+}
+
+/** Block doc: `x.unwrap()` and `println!("{}", x)` stay prose. */
+fn block_documented() -> u64 {
+    8
+}
+
+//! Inner-style comment mentioning eprintln!("x") — still a comment.
+
+/* unterminated-looking content: "a quote inside a comment */
+fn after_comments(x: Option<u64>) -> u64 {
+    x.unwrap_or_default()
+}

@@ -1,0 +1,25 @@
+// cs-lint-fixture: path = "crates/relaynet/src/hard_raw_strings.rs"
+// Every violation below is spelled inside a string literal; a lexer
+// that mishandles raw-string fences would leak them into the token
+// stream as code. This file must produce ZERO findings.
+
+fn strings() -> Vec<String> {
+    vec![
+        "Instant::now() in a plain string".to_string(),
+        "escaped quote \" then HashMap<u64, u64>".to_string(),
+        r"raw: thread::spawn(|| {})".to_string(),
+        r#"raw hash fence: SimRng::seed_from(1).derive("x")"#.to_string(),
+        r##"inner fence "# then SystemTime::now()"##.to_string(),
+        r#"println!("x.unwrap()")"#.to_string(),
+        String::from_utf8_lossy(b"byte string: HashSet::new()").to_string(),
+        String::from_utf8_lossy(br#"raw bytes: dbg!(x)"#).to_string(),
+    ]
+}
+
+// Code after the string gallery still lexes as code; if a fence above
+// desynced the lexer, the tokens below would vanish or shift and the
+// fixture's zero-finding assertion would still hold — so prove sync by
+// ending with a clean, ordinary item the harness can see.
+fn after(x: Option<u64>) -> u64 {
+    x.unwrap_or(7)
+}

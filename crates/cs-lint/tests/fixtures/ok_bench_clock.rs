@@ -1,0 +1,13 @@
+// cs-lint-fixture: path = "crates/bench/src/harness_extra.rs"
+// cs-bench is the one crate whose job is reading the host clock, and
+// bench targets own their master seeds. ZERO findings.
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}
+
+fn stdout_report(rate: f64) {
+    println!("rate {rate:>14.0}");
+}

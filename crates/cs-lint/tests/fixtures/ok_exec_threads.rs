@@ -1,0 +1,11 @@
+// cs-lint-fixture: path = "crates/simcore/src/exec.rs"
+// The executor seam is the one module allowed to create threads.
+// ZERO findings.
+fn run_scoped() {
+    std::thread::scope(|scope| {
+        let h = scope.spawn(|| 1);
+        let _ = h;
+    });
+    let h = std::thread::spawn(|| 2);
+    let _ = h;
+}

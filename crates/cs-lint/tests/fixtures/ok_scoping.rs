@@ -1,0 +1,8 @@
+// cs-lint-fixture: path = "crates/netsim/src/ok_scoping.rs"
+// netsim is not fingerprint-visible: unordered maps are legal here
+// (policy exemption, not annotation). ZERO findings.
+use std::collections::{HashMap, HashSet};
+
+fn topology_scratch() -> (HashMap<u64, u64>, HashSet<u64>) {
+    (HashMap::new(), HashSet::new())
+}

@@ -129,6 +129,7 @@ impl Directory {
         let mut bandwidth_bps = Vec::with_capacity(cfg.relays);
         let mut delay = Vec::with_capacity(cfg.relays);
         for i in 0..cfg.relays {
+            // cs-lint: allow(rng-discipline, reason = "per-relay sub-stream of the builder's derive(directory) stream; labeled and index-rooted, so specs stay independent of draw order")
             let mut r = rng.derive_indexed("relay-spec", i as u64);
             let mbps = r.log_uniform(cfg.bandwidth_mbps.0, cfg.bandwidth_mbps.1);
             let delay_ms = if cfg.delay_ms.1 > cfg.delay_ms.0 {

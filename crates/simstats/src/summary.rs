@@ -76,9 +76,12 @@ impl Summary {
         let n2 = other.count as f64;
         let delta = other.mean - self.mean;
         let total = n1 + n2;
+        // cs-lint: allow(float-accumulation-in-merge, reason = "parallel Welford is inherently float; Summary is a diagnostic accumulator, never fingerprint-visible — order-invariant merges use QuantileSketch (DESIGN.md par 13)")
         self.mean += delta * n2 / total;
+        // cs-lint: allow(float-accumulation-in-merge, reason = "parallel Welford is inherently float; Summary is a diagnostic accumulator, never fingerprint-visible — order-invariant merges use QuantileSketch (DESIGN.md par 13)")
         self.m2 += other.m2 + delta * delta * n1 * n2 / total;
         self.count += other.count;
+        // cs-lint: allow(float-accumulation-in-merge, reason = "last-ulp order sensitivity acceptable for a diagnostic sum; the mergeable path is QuantileSketch's fixed-point u128")
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);

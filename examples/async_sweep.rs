@@ -18,7 +18,6 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use backtap::config::CcConfig;
 use circuitstart::Algorithm;
@@ -81,14 +80,12 @@ fn main() {
         pool.name()
     );
     println!(
-        "{:<12} {:>9} {:>11} {:>9} {:>9} {:>10} {:>8}",
-        "policy", "flows", "cells", "p50 s", "p90 s", "peak load", "wall ms"
+        "{:<12} {:>9} {:>11} {:>9} {:>9} {:>10}",
+        "policy", "flows", "cells", "p50 s", "p90 s", "peak load"
     );
     for policy in all_policies() {
         let exp = experiment(policy.clone(), shards);
-        let t = Instant::now();
         let sweep = exp.run(&pool, maker.clone());
-        let wall = t.elapsed();
         let cdf = sweep.completion_cdf().expect("completed flows");
         let peak_load = sweep
             .shards
@@ -97,7 +94,7 @@ fn main() {
             .max()
             .unwrap_or(0);
         println!(
-            "{:<12} {:>9} {:>11} {:>9.3} {:>9.3} {:>10} {:>8.1}",
+            "{:<12} {:>9} {:>11} {:>9.3} {:>9.3} {:>10}",
             policy.name(),
             sweep
                 .shards
@@ -108,7 +105,6 @@ fn main() {
             cdf.quantile(0.5),
             cdf.quantile(0.9),
             peak_load,
-            wall.as_secs_f64() * 1e3,
         );
     }
 

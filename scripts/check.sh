@@ -10,6 +10,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cs-lint: determinism-and-invariant gate (DESIGN.md §14)"
+cargo run -q --release -p cs-lint
+echo "==> cs-lint --json smoke"
+cargo run -q --release -p cs-lint -- --json | grep -q '"tool": "cs-lint"'
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
