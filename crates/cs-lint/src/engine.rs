@@ -1,5 +1,7 @@
-//! The scan pipeline: lex → split code/comments → parse `allow`
-//! annotations → mark test regions → run rules → scope + suppress.
+//! The scan pipeline: lex → split code/comments → parse items → build
+//! the workspace call graph → parse `allow` annotations → mark test
+//! regions → run token + semantic rules → scope + suppress → report
+//! dead suppressions.
 //!
 //! # Annotation grammar (DESIGN.md §14)
 //!
@@ -14,16 +16,29 @@
 //! `cs-lint:` comment that does not parse — unknown rule, missing or
 //! empty reason, trailing position — is itself reported as
 //! `malformed-annotation`, which cannot be suppressed.
+//!
+//! # Unused suppressions
+//!
+//! An allow whose rule produces no finding on its bound line reports
+//! `unused-allow` at the annotation itself. Like `malformed-annotation`
+//! it lives outside the [`Rule`] enum, so `allow(unused-allow, …)` is
+//! not even parseable: suppression debt can be paid down but never
+//! rolled over.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
+use crate::graph::{self, DepMap, FileView};
+use crate::items::{self, ItemIndex};
 use crate::lexer::{self, Token, TokenKind};
 use crate::policy;
-use crate::rules::{self, Rule};
+use crate::rules::{self, RawFinding, Rule};
 
 /// Rule name used for unparseable `cs-lint:` comments.
 pub const MALFORMED: &str = "malformed-annotation";
+
+/// Rule name used for allows that no longer suppress anything.
+pub const UNUSED_ALLOW: &str = "unused-allow";
 
 /// One reported violation.
 #[derive(Clone, Debug)]
@@ -43,24 +58,46 @@ pub struct Finding {
 /// A parsed, well-formed allow annotation.
 struct Allow {
     rule: Rule,
-    /// Line the annotation comment sits on.
+    /// Line/col the annotation comment sits on.
     line: u32,
+    col: u32,
+    /// The code line it binds to (the next line with a code token), or
+    /// `None` when nothing follows it.
+    target: Option<u32>,
+    /// Set when the allow suppressed at least one applicable finding;
+    /// still-false allows become `unused-allow` findings.
+    used: bool,
 }
 
-/// Scans one file's source. `rel_path` drives policy scoping and is
-/// echoed into findings.
-pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+/// Everything the per-file front half of the pipeline produces; the
+/// back half (rules, graph, suppression) runs over a batch of these.
+struct FileAnalysis {
+    ctx: policy::FileCtx,
+    src: String,
+    /// Comment-free token stream.
+    code: Vec<Token>,
+    items: ItemIndex,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(u32, u32)>,
+    allows: Vec<Allow>,
+    /// Malformed-annotation findings, complete as parsed.
+    malformed: Vec<Finding>,
+}
+
+/// Lexes, parses, and annotation-scans one file (no rules yet).
+fn analyze_file(rel_path: &str, src: &str) -> FileAnalysis {
     let ctx = policy::classify(rel_path);
     let tokens = lexer::lex(src);
     let (code, comments): (Vec<Token>, Vec<Token>) = tokens
         .into_iter()
         .partition(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment));
-
-    let mut findings: Vec<Finding> = Vec::new();
+    let items = items::parse(src, &code);
+    let test_regions = test_regions(src, &code);
 
     // Lines that hold at least one code token, for annotation binding.
     let code_lines: BTreeSet<u32> = code.iter().map(|t| t.line).collect();
     let mut allows: Vec<Allow> = Vec::new();
+    let mut malformed: Vec<Finding> = Vec::new();
     for c in &comments {
         if c.kind != TokenKind::LineComment {
             continue;
@@ -71,8 +108,14 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
         };
         let alone = !code_lines.contains(&c.line);
         match (parse_allow(rest), alone) {
-            (Some(rule), true) => allows.push(Allow { rule, line: c.line }),
-            (Some(_), false) => findings.push(Finding {
+            (Some(rule), true) => allows.push(Allow {
+                rule,
+                line: c.line,
+                col: c.col,
+                target: code_lines.range(c.line + 1..).next().copied(),
+                used: false,
+            }),
+            (Some(_), false) => malformed.push(Finding {
                 path: rel_path.to_string(),
                 line: c.line,
                 col: c.col,
@@ -82,7 +125,7 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
                     .to_string(),
                 snippet: line_snippet(src, c.line),
             }),
-            (None, _) => findings.push(Finding {
+            (None, _) => malformed.push(Finding {
                 path: rel_path.to_string(),
                 line: c.line,
                 col: c.col,
@@ -101,40 +144,124 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    // Each annotation suppresses its rule on the next code line.
-    let suppressed: BTreeSet<(Rule, u32)> = allows
+    FileAnalysis {
+        ctx,
+        src: src.to_string(),
+        code,
+        items,
+        test_regions,
+        allows,
+        malformed,
+    }
+}
+
+/// Scans a batch of files as one workspace: token rules per file,
+/// semantic rules over the shared call graph (`deps` gates cross-crate
+/// edges; `None` means every edge is link-plausible, the single-file
+/// case). Input pairs are `(workspace-relative path, source)`.
+pub fn scan_files(inputs: &[(String, String)], deps: Option<&DepMap>) -> Vec<Finding> {
+    let mut files: Vec<FileAnalysis> = inputs
         .iter()
-        .filter_map(|a| {
-            code_lines
-                .range(a.line + 1..)
-                .next()
-                .map(|&target| (a.rule, target))
-        })
+        .map(|(rel, src)| analyze_file(rel, src))
         .collect();
 
-    let test_regions = test_regions(src, &code);
-    let in_test = |line: u32| test_regions.iter().any(|&(a, b)| (a..=b).contains(&line));
+    let mut raw: Vec<(usize, RawFinding)> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        raw.extend(rules::detect(&f.src, &f.code).into_iter().map(|r| (fi, r)));
+    }
+    {
+        let views: Vec<FileView<'_>> = files
+            .iter()
+            .zip(inputs)
+            .map(|(f, (rel, _))| FileView {
+                rel_path: rel,
+                krate: &f.ctx.krate,
+                src: &f.src,
+                code: &f.code,
+                items: &f.items,
+            })
+            .collect();
+        raw.extend(graph::analyze(&views, deps));
+    }
 
-    for raw in rules::detect(src, &code) {
-        let test_code = ctx.kind == policy::TargetKind::TestFile || in_test(raw.line);
-        if !policy::rule_applies(raw.rule, &ctx, test_code) {
+    let mut findings: Vec<Finding> = Vec::new();
+    for (fi, r) in raw {
+        let applies = {
+            let f = &files[fi];
+            let test_code = f.ctx.kind == policy::TargetKind::TestFile
+                || f.test_regions
+                    .iter()
+                    .any(|&(a, b)| (a..=b).contains(&r.line));
+            policy::rule_applies(r.rule, &f.ctx, test_code)
+        };
+        if !applies {
             continue;
         }
-        if suppressed.contains(&(raw.rule, raw.line)) {
+        let mut suppressed = false;
+        for a in &mut files[fi].allows {
+            if a.rule == r.rule && a.target == Some(r.line) {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        if suppressed {
             continue;
         }
+        let f = &files[fi];
+        let message = match &r.detail {
+            Some(d) => format!("{} — {d}", r.rule.message()),
+            None => r.rule.message().to_string(),
+        };
         findings.push(Finding {
-            path: rel_path.to_string(),
-            line: raw.line,
-            col: raw.col,
-            rule: raw.rule.name().to_string(),
-            message: raw.rule.message().to_string(),
-            snippet: line_snippet(src, raw.line),
+            path: f.ctx.rel_path.clone(),
+            line: r.line,
+            col: r.col,
+            rule: r.rule.name().to_string(),
+            message,
+            snippet: line_snippet(&f.src, r.line),
         });
     }
 
-    findings.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    // Allows that suppressed nothing are themselves findings — at the
+    // annotation, so deleting the flagged line is always the fix.
+    for f in &files {
+        for a in &f.allows {
+            if a.used {
+                continue;
+            }
+            let target = match a.target {
+                Some(l) => format!("its bound line {l}"),
+                None => "any code line (nothing follows it)".to_string(),
+            };
+            findings.push(Finding {
+                path: f.ctx.rel_path.clone(),
+                line: a.line,
+                col: a.col,
+                rule: UNUSED_ALLOW.to_string(),
+                message: format!(
+                    "allow({}) suppresses nothing on {target}: the finding it guarded is \
+                     gone, so delete the annotation (unused suppressions cannot be \
+                     suppressed)",
+                    a.rule.name()
+                ),
+                snippet: line_snippet(&f.src, a.line),
+            });
+        }
+    }
+
+    for f in &mut files {
+        findings.append(&mut f.malformed);
+    }
     findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    findings
+}
+
+/// Scans one file's source in isolation. `rel_path` drives policy
+/// scoping and is echoed into findings. Cross-crate call edges are
+/// link-plausible by default here (no manifest knowledge).
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    scan_files(&[(rel_path.to_string(), src.to_string())], None)
 }
 
 /// Returns the text after a `cs-lint:` marker in a line comment, or
@@ -263,24 +390,146 @@ const SKIP_DIRS: &[&str] = &["target", ".git"];
 const FIXTURES_DIR: &str = "crates/cs-lint/tests/fixtures";
 
 /// Walks the workspace rooted at `root` and scans every `.rs` file,
-/// deterministically ordered.
+/// deterministically ordered, with call-graph edges gated by the
+/// manifests' declared dependencies.
 pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in &files {
-        let rel = rel_unix(root, file);
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        findings.extend(scan_source(&rel, &src));
+        inputs.push((rel_unix(root, file), src));
     }
-    findings
-        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    let deps = workspace_deps(root);
+    let findings = scan_files(&inputs, (!deps.is_empty()).then_some(&deps));
     Ok(ScanReport {
         findings,
-        files_scanned: files.len(),
+        files_scanned: inputs.len(),
     })
+}
+
+/// Reads `package name → direct dependency names` from the workspace
+/// manifests (root + `crates/*/Cargo.toml`). Hand-rolled line scan in
+/// the same dependency-free discipline as the lexer: section headers,
+/// `name = "…"` under `[package]`, and the leading key of each entry
+/// under `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]`.
+pub fn workspace_deps(root: &Path) -> DepMap {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    if let Ok(rd) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            let m = d.join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    let mut deps = DepMap::new();
+    for m in manifests {
+        let Ok(text) = std::fs::read_to_string(&m) else {
+            continue;
+        };
+        if let Some((name, d)) = parse_manifest(&text) {
+            deps.insert(name, d);
+        }
+    }
+    deps
+}
+
+/// Parses one manifest's `(package name, dependency names)`. Returns
+/// `None` for virtual manifests (workspace root without `[package]`
+/// would be one; ours has a root package).
+fn parse_manifest(text: &str) -> Option<(String, BTreeSet<String>)> {
+    let mut name: Option<String> = None;
+    let mut section = String::new();
+    let mut deps = BTreeSet::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').trim_matches('[').to_string();
+            continue;
+        }
+        if section == "package" && name.is_none() {
+            if let Some(v) = line
+                .strip_prefix("name")
+                .map(str::trim_start)
+                .and_then(|r| r.strip_prefix('='))
+            {
+                name = Some(v.trim().trim_matches('"').to_string());
+            }
+        }
+        if matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        ) {
+            if let Some((dep, _)) = line.split_once('=') {
+                let dep = dep.trim();
+                if !dep.is_empty()
+                    && dep
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                {
+                    deps.insert(dep.to_string());
+                }
+            }
+        }
+    }
+    Some((name?, deps))
+}
+
+/// Writes one allow annotation above every *annotatable* finding
+/// (rules in the [`Rule`] enum; `malformed-annotation` / `unused-allow`
+/// have no annotation form by design). The inserted reason is a
+/// placeholder the author must rewrite — `--apply` automates the
+/// mechanical half of triage, never the judgment half. Returns
+/// `(inserted, skipped)` counts; idempotent because each inserted
+/// annotation suppresses exactly the finding that produced it.
+pub fn apply_annotations(root: &Path, findings: &[Finding]) -> Result<(usize, usize), String> {
+    let mut by_file: BTreeMap<&str, BTreeSet<(u32, &str)>> = BTreeMap::new();
+    let mut skipped = 0usize;
+    for f in findings {
+        if Rule::from_name(&f.rule).is_none() {
+            skipped += 1;
+            continue;
+        }
+        by_file
+            .entry(&f.path)
+            .or_default()
+            .insert((f.line, &f.rule));
+    }
+    let mut inserted = 0usize;
+    for (path, sites) in by_file {
+        let abs = root.join(path);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        // Descending line order so earlier insertions never shift the
+        // remaining targets.
+        for &(line, rule) in sites.iter().rev() {
+            let idx = (line as usize).saturating_sub(1).min(lines.len());
+            let indent: String = lines
+                .get(idx)
+                .map(|l| l.chars().take_while(|c| c.is_whitespace()).collect())
+                .unwrap_or_default();
+            lines.insert(
+                idx,
+                format!(
+                    "{indent}// cs-lint: allow({rule}, reason = \"TODO(triage): state the \
+                     invariant that makes this safe\")"
+                ),
+            );
+            inserted += 1;
+        }
+        let mut out = lines.join("\n");
+        if src.ends_with('\n') {
+            out.push('\n');
+        }
+        std::fs::write(&abs, out).map_err(|e| format!("cannot write {}: {e}", abs.display()))?;
+    }
+    Ok((inserted, skipped))
 }
 
 fn rel_unix(root: &Path, file: &Path) -> String {
@@ -359,7 +608,7 @@ fn f(m: HashMap<u8, u8>) { m.get(&1).unwrap(); }
     }
 
     #[test]
-    fn wrong_rule_does_not_suppress() {
+    fn wrong_rule_does_not_suppress_and_is_itself_flagged() {
         let src = "\
 // cs-lint: allow(wall-clock, reason = \"mismatched\")
 use std::collections::HashMap;
@@ -367,8 +616,30 @@ use std::collections::HashMap;
         let f = scan_source("crates/relaynet/src/x.rs", src);
         assert_eq!(
             rules_of(&f),
-            vec![("nondeterministic-iteration".to_string(), 2)]
+            vec![
+                (UNUSED_ALLOW.to_string(), 1),
+                ("nondeterministic-iteration".to_string(), 2)
+            ]
         );
+    }
+
+    #[test]
+    fn unused_allow_fires_even_with_no_code_after_it() {
+        let src = "fn fine() {}\n// cs-lint: allow(wall-clock, reason = \"stale\")\n";
+        let f = scan_source("crates/relaynet/src/x.rs", src);
+        assert_eq!(rules_of(&f), vec![(UNUSED_ALLOW.to_string(), 2)]);
+    }
+
+    #[test]
+    fn allow_suppressing_a_policy_exempt_site_is_unused() {
+        // wall-clock does not apply in cs-bench, so the allow is dead
+        // weight and unused-allow says so.
+        let src = "\
+// cs-lint: allow(wall-clock, reason = \"bench timing\")
+let t = std::time::Instant::now();
+";
+        let f = scan_source("crates/bench/src/x.rs", src);
+        assert_eq!(rules_of(&f), vec![(UNUSED_ALLOW.to_string(), 1)]);
     }
 
     #[test]
@@ -378,6 +649,9 @@ use std::collections::HashMap;
             "// cs-lint: allow(wall-clock)",
             "// cs-lint: allow(wall-clock, reason = \"\")",
             "// cs-lint: disallow(wall-clock, reason = \"x\")",
+            // The engine-level rules have no annotation form at all.
+            "// cs-lint: allow(unused-allow, reason = \"x\")",
+            "// cs-lint: allow(malformed-annotation, reason = \"x\")",
         ] {
             let f = scan_source("crates/relaynet/src/x.rs", bad);
             assert_eq!(rules_of(&f), vec![(MALFORMED.to_string(), 1)], "for {bad}");
@@ -445,6 +719,42 @@ mod tests {
         assert_eq!(
             rules_of(&f),
             vec![("nondeterministic-iteration".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn transitive_findings_flow_through_scan_files() {
+        let src = "\
+fn stamp() -> u64 { let _ = std::time::Instant::now(); 0 }
+pub fn wraps() -> u64 { stamp() }
+";
+        let f = scan_source("crates/relaynet/src/x.rs", src);
+        assert_eq!(
+            rules_of(&f),
+            vec![
+                ("wall-clock".to_string(), 1),
+                ("transitive-wall-clock".to_string(), 2)
+            ]
+        );
+        // The transitive finding carries its call chain.
+        assert!(f[1]
+            .message
+            .contains("`wraps` reaches a wall-clock read via stamp"));
+    }
+
+    #[test]
+    fn manifest_parsing_reads_package_and_dep_sections() {
+        let (name, deps) = parse_manifest(
+            "[package]\nname = \"relaynet\"\nversion = \"0.1.0\"\n\n[dependencies]\n\
+             simcore = { path = \"../simcore\" }\nnetsim = { path = \"../netsim\" }\n\n\
+             [dev-dependencies]\ntorcell = { path = \"../torcell\" }\n\n[lints]\n\
+             workspace = true\n",
+        )
+        .expect("has a package section");
+        assert_eq!(name, "relaynet");
+        assert_eq!(
+            deps.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec!["netsim", "simcore", "torcell"]
         );
     }
 }

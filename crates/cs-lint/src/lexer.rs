@@ -174,6 +174,17 @@ fn raw_fence_at(c: &Cursor<'_>, offset: usize) -> Option<usize> {
     (c.peek(offset + hashes) == b'"').then_some(hashes)
 }
 
+/// Lexes `src` and drops comment tokens: the stream the item parser,
+/// call graph, and rule matchers all run on. (The engine still lexes
+/// with comments once per file — it needs them for annotations — and
+/// partitions; this helper serves tests and single-purpose callers.)
+pub fn code_tokens(src: &str) -> Vec<Token> {
+    lex(src)
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect()
+}
+
 /// Lexes `src` into a flat token stream, comments included.
 ///
 /// Never panics on malformed input: unterminated literals and comments

@@ -19,6 +19,20 @@
 //! | `rng-discipline` | every stream derives from the master seed in a builder |
 //! | `no-println-in-lib` | library telemetry goes through `simstats` |
 //! | `no-bare-unwrap-in-lib` | library panics name their invariant |
+//! | `transitive-wall-clock` | no helper-laundered clock reads (call-graph closure) |
+//! | `transitive-threads` | no helper-laundered thread spawns (call-graph closure) |
+//! | `rng-stream-collision` | no two sites share one (parent, label) RNG stream |
+//! | `exhaustive-destructure` | merge/export/fingerprint fns bind every struct field |
+//!
+//! The first seven are token-local. The last four are *semantic*: they
+//! run on an item-level parse ([`items`]) and a conservative workspace
+//! call graph ([`graph`]) built over the same token stream, so a
+//! wall-clock read hidden behind two layers of helpers in another crate
+//! still fires at the call site that reaches it. The engine also
+//! reports two rules of its own that no annotation can silence:
+//! `malformed-annotation` (an unparseable `cs-lint:` comment) and
+//! `unused-allow` (a suppression whose rule no longer fires on its
+//! bound line — annotation debt is pruned, never accumulated).
 //!
 //! Violations are suppressed one line at a time with an annotation on
 //! the preceding line:
@@ -32,6 +46,8 @@
 //! depends on code it cannot itself vouch for.
 
 pub mod engine;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod policy;
 pub mod report;

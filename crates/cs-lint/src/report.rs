@@ -26,7 +26,11 @@ pub fn human(report: &ScanReport) -> String {
     out
 }
 
-/// JSON document: `{"tool", "files_scanned", "findings": [...]}`.
+/// JSON document:
+/// `{"tool", "files_scanned", "finding_count", "rule_counts", "findings"}`.
+/// `rule_counts` maps each rule that fired to its finding count,
+/// name-sorted, so CI dashboards can trend per-rule totals without
+/// re-aggregating the findings array.
 pub fn json(report: &ScanReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -36,6 +40,23 @@ pub fn json(report: &ScanReport) -> String {
         "  \"finding_count\": {},\n",
         report.findings.len()
     ));
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in &report.findings {
+        *counts.entry(&f.rule).or_default() += 1;
+    }
+    if counts.is_empty() {
+        out.push_str("  \"rule_counts\": {},\n");
+    } else {
+        out.push_str("  \"rule_counts\": {\n");
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}: {n}{}\n",
+                json_str(rule),
+                if i + 1 < counts.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n");
+    }
     out.push_str("  \"findings\": [\n");
     for (i, f) in report.findings.iter().enumerate() {
         out.push_str("    {");
@@ -57,20 +78,23 @@ pub fn json(report: &ScanReport) -> String {
 /// Ready-to-paste `allow` lines for every finding, indented to match
 /// the flagged line, so triage is copy-paste instead of hand-formatting.
 /// `raw_lines` maps each finding index to the untrimmed flagged line.
+/// Only findings of enum rules are annotatable: `malformed-annotation`
+/// and `unused-allow` have no suppression form and are skipped.
 pub fn fix_annotations(report: &ScanReport, raw_lines: &[String]) -> String {
     let mut out = String::new();
     let annotatable = report
         .findings
         .iter()
-        .filter(|f| f.rule != crate::engine::MALFORMED)
+        .filter(|f| crate::rules::Rule::from_name(&f.rule).is_some())
         .count();
     out.push_str(&format!(
         "cs-lint --fix-annotations: {annotatable} annotatable finding{} (dry run; paste \
-         each line above its finding, then replace the reason placeholder)\n",
+         each line above its finding, then replace the reason placeholder; re-run with \
+         --apply to write them in place)\n",
         if annotatable == 1 { "" } else { "s" },
     ));
     for (f, raw) in report.findings.iter().zip(raw_lines) {
-        if f.rule == crate::engine::MALFORMED {
+        if crate::rules::Rule::from_name(&f.rule).is_none() {
             continue;
         }
         let indent: String = raw.chars().take_while(|c| c.is_whitespace()).collect();
@@ -137,6 +161,21 @@ mod tests {
         assert!(text.contains("\"files_scanned\": 7"));
         assert!(text.contains("\\\"quoted\\\""));
         assert!(text.contains("\"finding_count\": 1"));
+    }
+
+    #[test]
+    fn json_rule_counts_aggregate_per_rule() {
+        let mut r = sample();
+        let mut second = r.findings[0].clone();
+        second.line = 9;
+        r.findings.push(second);
+        let text = json(&r);
+        assert!(text.contains("\"rule_counts\": {\n    \"wall-clock\": 2\n  },"));
+        let clean = ScanReport {
+            findings: Vec::new(),
+            files_scanned: 7,
+        };
+        assert!(json(&clean).contains("\"rule_counts\": {},"));
     }
 
     #[test]

@@ -9,8 +9,12 @@
 
 use crate::lexer::{Token, TokenKind};
 
-/// Identity of a lint rule. `malformed-annotation` is reported by the
-/// engine itself and is not in this enum: it cannot be suppressed.
+/// Identity of a lint rule. `malformed-annotation` and `unused-allow`
+/// are reported by the engine itself and are not in this enum: they
+/// cannot be suppressed.
+///
+/// The first seven are token-level (PR 9); the last four are semantic
+/// rules over the item graph (`crate::items` + `crate::graph`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     NondetIteration,
@@ -20,6 +24,10 @@ pub enum Rule {
     RngDiscipline,
     NoPrintlnInLib,
     NoBareUnwrapInLib,
+    TransitiveWallClock,
+    TransitiveThreads,
+    RngStreamCollision,
+    ExhaustiveDestructure,
 }
 
 /// All rules, in reporting order.
@@ -31,6 +39,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::RngDiscipline,
     Rule::NoPrintlnInLib,
     Rule::NoBareUnwrapInLib,
+    Rule::TransitiveWallClock,
+    Rule::TransitiveThreads,
+    Rule::RngStreamCollision,
+    Rule::ExhaustiveDestructure,
 ];
 
 impl Rule {
@@ -44,6 +56,10 @@ impl Rule {
             Rule::RngDiscipline => "rng-discipline",
             Rule::NoPrintlnInLib => "no-println-in-lib",
             Rule::NoBareUnwrapInLib => "no-bare-unwrap-in-lib",
+            Rule::TransitiveWallClock => "transitive-wall-clock",
+            Rule::TransitiveThreads => "transitive-threads",
+            Rule::RngStreamCollision => "rng-stream-collision",
+            Rule::ExhaustiveDestructure => "exhaustive-destructure",
         }
     }
 
@@ -85,16 +101,41 @@ impl Rule {
                 "bare unwrap() in library code: use expect(\"<invariant>\") naming the \
                  invariant that makes this infallible"
             }
+            Rule::TransitiveWallClock => {
+                "function reaches a wall-clock read (Instant::now/SystemTime) through \
+                 workspace calls: results must be a function of the seed even when the \
+                 clock hides behind a helper; route timing through cs-bench"
+            }
+            Rule::TransitiveThreads => {
+                "function reaches thread creation through workspace calls: all \
+                 parallelism goes through the simcore::exec Executor seam, including \
+                 indirectly via helpers"
+            }
+            Rule::RngStreamCollision => {
+                "duplicate derive label under one parent stream: identical \
+                 (parent, label) pairs alias the same RNG stream, so two call sites \
+                 silently consume one byte sequence; make every label unique per parent"
+            }
+            Rule::ExhaustiveDestructure => {
+                "merge/export/fingerprint fn must bind every field of its struct via an \
+                 exhaustive destructure or literal with no `..` rest pattern, so adding \
+                 a field is a compile error instead of a silent aggregation gap"
+            }
         }
     }
 }
 
 /// A rule match before policy scoping and `allow` filtering.
+///
+/// `detail` carries per-site evidence (e.g. the call chain that reaches
+/// a clock, or the line of the first duplicate label) and is appended
+/// to the rule's invariant message in the report.
 #[derive(Clone, Debug)]
 pub struct RawFinding {
     pub rule: Rule,
     pub line: u32,
     pub col: u32,
+    pub detail: Option<String>,
 }
 
 fn hit(out: &mut Vec<RawFinding>, rule: Rule, t: &Token) {
@@ -102,6 +143,7 @@ fn hit(out: &mut Vec<RawFinding>, rule: Rule, t: &Token) {
         rule,
         line: t.line,
         col: t.col,
+        detail: None,
     });
 }
 

@@ -17,12 +17,16 @@ fn empty_reason() -> u64 {
 
 fn trailing() -> u64 { 2 } // cs-lint: allow(wall-clock, reason = "not allowed trailing code") //~ malformed-annotation
 
+// A marker on the annotation's own line would corrupt the annotation,
+// so unused-allow expectations use the previous-line (caret) form.
 // cs-lint: allow(wall-clock, reason = "wrong rule for the site below")
+//~^ unused-allow
 fn wrong_rule() {
     let _ = std::collections::HashSet::<u8>::new(); //~ nondeterministic-iteration
 }
 
 // cs-lint: allow(nondeterministic-iteration, reason = "right rule, but a code line intervenes")
+//~^ unused-allow
 fn not_adjacent() -> u64 {
     let _ = std::collections::HashSet::<u8>::new(); //~ nondeterministic-iteration
     3

@@ -1,0 +1,36 @@
+// cs-lint-fixture: path = "crates/torcell/src/badagg.rs"
+// merge/export/fingerprint fns over workspace structs with named
+// fields must bind every field: a missing destructure fires on the fn
+// line, a `..` rest pattern fires where the `..` is.
+
+pub struct Tally {
+    hits: u64,
+    misses: u64,
+}
+
+impl Tally {
+    pub fn merge(&mut self, other: &Tally) { //~ exhaustive-destructure
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    pub fn export_rest(&self) -> u64 {
+        let Tally { hits, .. } = *self; //~ exhaustive-destructure
+        hits
+    }
+}
+
+#[derive(Default)]
+pub struct Snapshot {
+    id: u64,
+    total: u64,
+}
+
+// A fingerprint constructor that builds its result field-by-field
+// never proves it covered them all.
+pub fn fingerprint_tally(t: &Tally) -> Snapshot { //~ exhaustive-destructure
+    let mut s = Snapshot::default();
+    s.total = t.hits + t.misses;
+    let _ = &s.id;
+    s
+}

@@ -5,7 +5,7 @@ struct Agg {
 }
 
 impl Agg {
-    fn merge(&mut self, other: &Agg) {
+    fn merge(&mut self, other: &Agg) { //~ exhaustive-destructure
         self.total += other.total; //~ float-accumulation-in-merge
         self.count += other.count;
     }
@@ -26,8 +26,9 @@ struct Counters {
 }
 
 impl Counters {
-    // Integer accumulation in a merge is associative: clean.
-    fn merge(&mut self, other: &Counters) {
+    // Integer accumulation in a merge is associative (no float
+    // finding), but the field still has to be bound exhaustively.
+    fn merge(&mut self, other: &Counters) { //~ exhaustive-destructure
         self.events += other.events;
     }
 }

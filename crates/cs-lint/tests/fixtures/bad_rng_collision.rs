@@ -1,0 +1,25 @@
+// cs-lint-fixture: path = "crates/relaynet/src/builder.rs"
+// Duplicate (parent, label) pairs alias one RNG stream bit-for-bit.
+// The builder file may MINT streams (rng-discipline exempts it), but
+// collisions are a bug wherever they happen.
+use simcore::rng::SimRng;
+
+fn build_world(master: &SimRng) {
+    let churn = master.derive("churn");
+    let faults = master.derive("faults");
+    let dup = master.derive("churn"); //~ rng-stream-collision
+    let _ = (churn, faults, dup);
+}
+
+fn build_shards(master: &SimRng) {
+    let a = master.derive_indexed("shard", 0);
+    let b = master.derive_indexed("shard", 0); //~ rng-stream-collision
+    let _ = (a, b);
+}
+
+fn nested_parents(cfg: &Config) {
+    // The receiver chain is the parent key: `cfg.rng` twice collides.
+    let a = cfg.rng.derive("alpha");
+    let b = cfg.rng.derive("alpha"); //~ rng-stream-collision
+    let _ = (a, b);
+}

@@ -1,0 +1,29 @@
+// cs-lint-fixture: path = "crates/relaynet/src/stale.rs"
+// An allow whose rule no longer fires on its bound line is itself a
+// finding (at the annotation, so deleting the flagged line is the
+// fix); a live allow nearby stays silent.
+
+// cs-lint: allow(wall-clock, reason = "the clock read below was removed in a refactor")
+//~^ unused-allow
+fn no_longer_reads_the_clock() -> u64 {
+    7
+}
+
+// Still-live suppression: no unused-allow here.
+// cs-lint: allow(nondeterministic-iteration, reason = "membership probe, never iterated")
+fn still_uses_a_set(seen: &std::collections::HashSet<u64>) -> bool {
+    seen.is_empty()
+}
+
+// An allow that a policy exemption made dead is dead all the same:
+// stray-threads never applies inside #[cfg(test)].
+#[cfg(test)]
+mod tests {
+    // cs-lint: allow(stray-threads, reason = "watchdog thread in a test")
+    //~^ unused-allow
+    #[test]
+    fn watchdog() {
+        let h = std::thread::spawn(|| ());
+        h.join().expect("joins");
+    }
+}

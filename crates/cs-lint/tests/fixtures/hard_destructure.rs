@@ -1,0 +1,50 @@
+// cs-lint-fixture: path = "crates/torcell/src/hard_destructure.rs"
+// Exhaustive bindings in their good forms, plus the shapes that must
+// stay opaque: ranges are not rest patterns, tuple structs have no
+// field list to enforce, and foreign types are unknowable. ZERO
+// findings.
+
+pub struct Tally {
+    hits: u64,
+    misses: u64,
+}
+
+impl Tally {
+    pub fn merge(&mut self, other: &Tally) {
+        let Tally { hits, misses } = *other;
+        self.hits += hits;
+        self.misses += misses;
+    }
+
+    pub fn export(&self) -> Vec<u64> {
+        let Tally { hits, misses } = *self;
+        // `(0..hits)` is a range expression, not a `..` rest pattern.
+        (0..hits).chain(0..misses).collect()
+    }
+}
+
+pub struct Digest {
+    lo: u64,
+    hi: u64,
+}
+
+// A fingerprint constructor whose literal names every field IS the
+// exhaustive binding — adding a field breaks this line.
+pub fn fingerprint_pair(lo: u64, hi: u64) -> Digest {
+    Digest { lo, hi }
+}
+
+pub struct Pair(u64, u64);
+
+impl Pair {
+    // Tuple struct: no named fields, nothing to enforce.
+    pub fn merge(&mut self, other: &Pair) {
+        self.0 += other.0;
+        self.1 += other.1;
+    }
+}
+
+// Foreign type (not defined anywhere in the scanned set): opaque.
+pub fn merge_external(dst: &mut External, src: &External) {
+    dst.join(src);
+}

@@ -8,6 +8,10 @@
 //! * a trailing `//~ <rule-name>` marker on any line declares one
 //!   expected finding there (repeat the marker for multiple findings on
 //!   one line);
+//! * `//~^ <rule-name>` declares the finding one line UP (each extra
+//!   `^` climbs one more line) — needed when the finding is on a line
+//!   that cannot carry a trailing comment, e.g. a `// cs-lint: allow`
+//!   annotation whose parse a suffix would corrupt;
 //! * a fixture with no markers asserts the file is completely clean.
 
 use std::collections::BTreeMap;
@@ -28,7 +32,7 @@ fn fixture_files() -> Vec<PathBuf> {
         .collect();
     files.sort();
     assert!(
-        files.len() >= 12,
+        files.len() >= 20,
         "fixture corpus shrank: {} files",
         files.len()
     );
@@ -51,19 +55,23 @@ fn virtual_path(content: &str, file: &Path) -> String {
     path.to_string()
 }
 
-/// Collects `(line, rule)` expectations from `//~` markers.
+/// Collects `(line, rule)` expectations from `//~` / `//~^` markers.
 fn expectations(content: &str) -> Vec<(u32, String)> {
     let mut out = Vec::new();
     for (i, line) in content.lines().enumerate() {
         for piece in line.split("//~").skip(1) {
-            let rule = piece
+            let up = piece.chars().take_while(|&c| c == '^').count() as u32;
+            let rest = &piece[up as usize..];
+            let rule = rest
                 .trim_start()
                 .split(|c: char| !(c.is_ascii_lowercase() || c == '-'))
                 .next()
                 .unwrap_or("")
                 .to_string();
             assert!(!rule.is_empty(), "empty //~ marker on line {}", i + 1);
-            out.push((i as u32 + 1, rule));
+            let line_no = i as u32 + 1;
+            assert!(up < line_no, "//~^ marker climbs past line 1");
+            out.push((line_no - up, rule));
         }
     }
     out.sort();
@@ -117,8 +125,13 @@ fn corpus_covers_every_rule_and_has_clean_hard_cases() {
         engine::MALFORMED
     );
     assert!(
-        clean_fixtures >= 5,
-        "need >= 5 zero-finding hard-case fixtures, have {clean_fixtures}"
+        fired.contains_key(engine::UNUSED_ALLOW),
+        "no fixture exercises {}",
+        engine::UNUSED_ALLOW
+    );
+    assert!(
+        clean_fixtures >= 8,
+        "need >= 8 zero-finding hard-case fixtures, have {clean_fixtures}"
     );
 }
 
@@ -154,4 +167,69 @@ fn workspace_scan_is_clean_and_fast() {
         elapsed.as_secs_f64() < 2.0,
         "scan took {elapsed:?}, budget is 2s"
     );
+}
+
+/// Cross-crate reachability edges exist only when the caller's crate
+/// declares a dependency on the callee's crate, and only sink-reaching
+/// callees taint their callers.
+#[test]
+fn cross_crate_reachability_is_dependency_and_sink_gated() {
+    use std::collections::BTreeSet;
+
+    let bench_src = "\
+pub fn fmt_rate(n: u64, d: u64) -> String {
+    format!(\"{n}/{d}\")
+}
+
+pub fn timed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+";
+    let caller = |callee: &str| {
+        format!("pub fn summarize() -> String {{\n    let _ = {callee}();\n    String::new()\n}}\n")
+    };
+    let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    deps.insert(
+        "relaynet".to_string(),
+        ["cs-bench".to_string()].into_iter().collect(),
+    );
+
+    fn rules(
+        inputs: &[(String, String)],
+        deps: Option<&BTreeMap<String, BTreeSet<String>>>,
+    ) -> Vec<(String, u32)> {
+        engine::scan_files(inputs, deps)
+            .into_iter()
+            .filter(|f| f.path.starts_with("crates/relaynet"))
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+    let bench = (
+        "crates/bench/src/report.rs".to_string(),
+        bench_src.to_string(),
+    );
+
+    // Calling a clock-free helper across the dependency: silent.
+    let inputs = vec![
+        bench.clone(),
+        ("crates/relaynet/src/sum.rs".to_string(), caller("fmt_rate")),
+    ];
+    assert_eq!(rules(&inputs, Some(&deps)), vec![]);
+
+    // Calling the clock-reading helper: exactly one transitive finding
+    // at the call site. (cs-bench itself is policy-exempt from
+    // wall-clock, which must NOT launder the caller's reachability.)
+    let inputs = vec![
+        bench.clone(),
+        ("crates/relaynet/src/sum.rs".to_string(), caller("timed")),
+    ];
+    assert_eq!(
+        rules(&inputs, Some(&deps)),
+        vec![("transitive-wall-clock".to_string(), 2)]
+    );
+
+    // Without the declared dependency the edge disappears.
+    deps.get_mut("relaynet").expect("entry").clear();
+    assert_eq!(rules(&inputs, Some(&deps)), vec![]);
 }

@@ -206,7 +206,14 @@ impl MetricsRegistry {
     /// Panics if a name is a counter on one side and a gauge on the
     /// other.
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for m in &other.metrics {
+        // Exhaustive binding: `by_name` is the name→index cache over
+        // `metrics`, rebuilt on our side by `register`, so folding the
+        // metrics list alone covers the whole struct.
+        let MetricsRegistry {
+            metrics,
+            by_name: _,
+        } = other;
+        for m in metrics {
             let id = self.register(&m.name, &m.help, m.kind);
             self.add(id, m.value);
         }

@@ -204,21 +204,36 @@ impl QuantileSketch {
     /// Panics if the accuracies differ: buckets of different geometries
     /// cannot be added meaningfully.
     pub fn merge(&mut self, other: &QuantileSketch) {
+        // Exhaustive binding: a field added to the sketch must be
+        // threaded through this merge or the build breaks right here.
+        // `ln_gamma`/`base_index` are pure functions of `alpha`, whose
+        // bit-equality is asserted below.
+        let QuantileSketch {
+            alpha,
+            ln_gamma: _,
+            base_index: _,
+            buckets,
+            low,
+            count,
+            sum_fp,
+            min,
+            max,
+        } = other;
         assert!(
-            self.alpha.to_bits() == other.alpha.to_bits(),
+            self.alpha.to_bits() == alpha.to_bits(),
             "cannot merge sketches of different accuracy ({} vs {})",
             self.alpha,
-            other.alpha
+            alpha
         );
-        debug_assert_eq!(self.buckets.len(), other.buckets.len());
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+        debug_assert_eq!(self.buckets.len(), buckets.len());
+        for (a, b) in self.buckets.iter_mut().zip(buckets) {
             *a += b;
         }
-        self.low += other.low;
-        self.count += other.count;
-        self.sum_fp += other.sum_fp;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.low += low;
+        self.count += count;
+        self.sum_fp += sum_fp;
+        self.min = self.min.min(*min);
+        self.max = self.max.max(*max);
     }
 
     /// Number of samples recorded (across all merged inputs).

@@ -65,7 +65,17 @@ impl Summary {
 
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &Summary) {
-        if other.count == 0 {
+        // Exhaustive binding: a field added to Summary must be threaded
+        // through this merge or the build breaks right here.
+        let &Summary {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+            sum,
+        } = other;
+        if count == 0 {
             return;
         }
         if self.count == 0 {
@@ -73,18 +83,18 @@ impl Summary {
             return;
         }
         let n1 = self.count as f64;
-        let n2 = other.count as f64;
-        let delta = other.mean - self.mean;
+        let n2 = count as f64;
+        let delta = mean - self.mean;
         let total = n1 + n2;
         // cs-lint: allow(float-accumulation-in-merge, reason = "parallel Welford is inherently float; Summary is a diagnostic accumulator, never fingerprint-visible — order-invariant merges use QuantileSketch (DESIGN.md par 13)")
         self.mean += delta * n2 / total;
         // cs-lint: allow(float-accumulation-in-merge, reason = "parallel Welford is inherently float; Summary is a diagnostic accumulator, never fingerprint-visible — order-invariant merges use QuantileSketch (DESIGN.md par 13)")
-        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
-        self.count += other.count;
+        self.m2 += m2 + delta * delta * n1 * n2 / total;
+        self.count += count;
         // cs-lint: allow(float-accumulation-in-merge, reason = "last-ulp order sensitivity acceptable for a diagnostic sum; the mergeable path is QuantileSketch's fixed-point u128")
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.sum += sum;
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
     }
 
     /// Number of samples recorded.

@@ -11,9 +11,43 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cs-lint: determinism-and-invariant gate (DESIGN.md §14)"
-cargo run -q --release -p cs-lint
-echo "==> cs-lint --json smoke"
-cargo run -q --release -p cs-lint -- --json | grep -q '"tool": "cs-lint"'
+cargo build -q --release -p cs-lint
+lint_bin=target/release/cs-lint
+lint_t0=$(date +%s%N)
+"${lint_bin}"
+lint_ms=$(( ($(date +%s%N) - lint_t0) / 1000000 ))
+echo "    self-scan took ${lint_ms} ms (budget: 2000 ms)"
+if [ "${lint_ms}" -ge 2000 ]; then
+    echo "    FAIL: cs-lint self-scan blew its 2 s budget" >&2
+    exit 1
+fi
+
+echo "==> cs-lint --json smoke (schema: tool, files_scanned, rule_counts)"
+lint_json=$("${lint_bin}" --json)
+echo "${lint_json}" | grep -q '"tool": "cs-lint"'
+echo "${lint_json}" | grep -q '"files_scanned": '
+echo "${lint_json}" | grep -q '"rule_counts": '
+
+echo "==> cs-lint --fix-annotations --apply smoke (idempotent on a scratch tree)"
+apply_dir=$(mktemp -d)
+trap 'rm -rf "${apply_dir}"' EXIT
+mkdir -p "${apply_dir}/crates/relaynet/src"
+printf '[package]\nname = "scratch-root"\n' > "${apply_dir}/Cargo.toml"
+printf '[package]\nname = "relaynet"\n' > "${apply_dir}/crates/relaynet/Cargo.toml"
+printf 'pub fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n' \
+    > "${apply_dir}/crates/relaynet/src/lib.rs"
+if "${lint_bin}" --root "${apply_dir}" > /dev/null; then
+    echo "    FAIL: scratch tree should have findings before apply" >&2
+    exit 1
+fi
+"${lint_bin}" --root "${apply_dir}" --fix-annotations --apply > /dev/null
+"${lint_bin}" --root "${apply_dir}" > /dev/null   # clean after apply
+cp "${apply_dir}/crates/relaynet/src/lib.rs" "${apply_dir}/before.rs"
+"${lint_bin}" --root "${apply_dir}" --fix-annotations --apply > /dev/null
+cmp -s "${apply_dir}/before.rs" "${apply_dir}/crates/relaynet/src/lib.rs" || {
+    echo "    FAIL: second --apply pass was not a no-op" >&2
+    exit 1
+}
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
